@@ -1,0 +1,334 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§5).  Each benchmark drives the experiments suite and
+// reports the artefact's headline numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// prints a machine-readable rendition of the whole evaluation.  The
+// expensive simulations run once and are cached in a shared suite;
+// iterations beyond the first measure artefact regeneration from the
+// cached runs.
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+)
+
+// benchSuite returns the shared, lazily primed suite.
+func benchSuite() *experiments.Suite {
+	suiteOnce.Do(func() { suite = experiments.NewSuite(1, 0.5) })
+	return suite
+}
+
+func BenchmarkTable2TrampolinePKI(b *testing.B) {
+	s := benchSuite()
+	var rows []experiments.Table2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = s.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.PKI, r.Workload+"_trampPKI")
+	}
+}
+
+func BenchmarkTable3DistinctTrampolines(b *testing.B) {
+	s := benchSuite()
+	var rows []experiments.Table3Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = s.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.Distinct), r.Workload+"_distinct")
+	}
+}
+
+func BenchmarkFigure4TrampolineFrequency(b *testing.B) {
+	s := benchSuite()
+	var series []experiments.Figure4Series
+	for i := 0; i < b.N; i++ {
+		var err error
+		series, err = s.Figure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, sr := range series {
+		if len(sr.Counts) > 0 {
+			b.ReportMetric(float64(sr.Counts[0]), sr.Workload+"_rank1_calls")
+		}
+	}
+}
+
+func BenchmarkTable4PerfCounters(b *testing.B) {
+	s := benchSuite()
+	var rows []experiments.Table4Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = s.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Base.L1IMisses, r.Workload+"_L1I_base")
+		b.ReportMetric(r.Enhanced.L1IMisses, r.Workload+"_L1I_enh")
+		b.ReportMetric(r.Base.Mispredicts, r.Workload+"_mispred_base")
+		b.ReportMetric(r.Enhanced.Mispredicts, r.Workload+"_mispred_enh")
+	}
+}
+
+func BenchmarkFigure5ABTBSizeSweep(b *testing.B) {
+	s := benchSuite()
+	var series []experiments.Figure5Series
+	for i := 0; i < b.N; i++ {
+		var err error
+		series, err = s.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, sr := range series {
+		for i, n := range sr.Sizes {
+			if n == 16 || n == 256 {
+				b.ReportMetric(sr.SkipPct[i], sr.Workload+"_skip@"+itoa(n))
+			}
+		}
+	}
+}
+
+func BenchmarkFigure6ApacheCDF(b *testing.B) {
+	s := benchSuite()
+	var pairs []experiments.CDFPair
+	for i := 0; i < b.N; i++ {
+		var err error
+		pairs, err = s.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range pairs {
+		b.ReportMetric((p.BaseMeanUS-p.EnhMeanUS)/p.BaseMeanUS*100, p.Class+"_improve_pct")
+	}
+}
+
+func BenchmarkTable5FirefoxScores(b *testing.B) {
+	s := benchSuite()
+	var rows []experiments.Table5Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = s.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.ImprovePct, r.Category+"_improve_pct")
+	}
+}
+
+func BenchmarkFigure7MemcachedHistogram(b *testing.B) {
+	s := benchSuite()
+	var hists []experiments.Figure7Histogram
+	for i := 0; i < b.N; i++ {
+		var err error
+		hists, err = s.Figure7()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, h := range hists {
+		b.ReportMetric(h.BasePeakUS, h.Class+"_peak_base_us")
+		b.ReportMetric(h.EnhPeakUS, h.Class+"_peak_enh_us")
+	}
+}
+
+func BenchmarkFigure8MySQLCDF(b *testing.B) {
+	s := benchSuite()
+	var pairs []experiments.CDFPair
+	for i := 0; i < b.N; i++ {
+		var err error
+		pairs, err = s.Figure8()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range pairs {
+		b.ReportMetric((p.BaseMeanUS-p.EnhMeanUS)/p.BaseMeanUS*100, p.Class+"_improve_pct")
+	}
+}
+
+func BenchmarkTable6MySQLPercentiles(b *testing.B) {
+	s := benchSuite()
+	var rows []experiments.Table6Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = s.Table6()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Percentile == 95 {
+			b.ReportMetric(r.NewOrderBase, "neworder_p95_base_ms")
+			b.ReportMetric(r.NewOrderEnh, "neworder_p95_enh_ms")
+		}
+	}
+}
+
+func BenchmarkMemorySavings(b *testing.B) {
+	s := benchSuite()
+	var m *experiments.MemorySavings
+	for i := 0; i < b.N; i++ {
+		var err error
+		m, err = s.MemorySavingsExperiment(450)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(m.TotalWastedMB, "software_waste_MB")
+	b.ReportMetric(float64(m.PatchedPages), "pages_per_process")
+}
+
+func BenchmarkAblationBloomSize(b *testing.B) {
+	s := benchSuite()
+	var points []experiments.BloomPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = s.AblationBloomSize()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(points[0].FlushingStores), "flushes@"+itoa(points[0].Bits)+"bit")
+	last := points[len(points)-1]
+	b.ReportMetric(float64(last.FlushingStores), "flushes@"+itoa(last.Bits)+"bit")
+}
+
+func BenchmarkAblationBindingModes(b *testing.B) {
+	s := benchSuite()
+	var points []experiments.BindingPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = s.AblationBindingModes()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range points {
+		b.ReportMetric(p.MeanUS, p.Label+"_mean_us")
+	}
+}
+
+func BenchmarkAblationExplicitInvalidate(b *testing.B) {
+	s := benchSuite()
+	var points []experiments.InvalidatePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = s.AblationExplicitInvalidate()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range points {
+		b.ReportMetric(p.SkipPct, p.Label+"_skip_pct")
+	}
+}
+
+func BenchmarkAblationContextSwitch(b *testing.B) {
+	s := benchSuite()
+	var points []experiments.ContextSwitchPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = s.AblationContextSwitch()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range points {
+		if p.SwitchEvery == 1 {
+			b.ReportMetric(p.SkipPct, p.Label+"_skip_pct@switch1")
+		}
+	}
+}
+
+func BenchmarkAblationABTBGeometry(b *testing.B) {
+	s := benchSuite()
+	var points []experiments.ABTBGeometryPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = s.AblationABTBGeometry()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range points {
+		b.ReportMetric(p.SkipPct, "live_skip@"+itoa(p.Entries))
+	}
+}
+
+func BenchmarkAblationPLTStyle(b *testing.B) {
+	s := benchSuite()
+	var points []experiments.PLTStylePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = s.AblationPLTStyle()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range points {
+		if p.Enhanced {
+			b.ReportMetric(p.ImprovePct, p.Style+"_improve_pct")
+		} else {
+			b.ReportMetric(p.TrampPKI, p.Style+"_trampPKI")
+		}
+	}
+}
+
+func BenchmarkAblationSMP(b *testing.B) {
+	s := benchSuite()
+	var points []experiments.SMPPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = s.AblationSMP()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range points {
+		if p.Enhanced {
+			b.ReportMetric(p.ImprovePct, "improve_pct@"+itoa(p.Cores)+"cores")
+		}
+	}
+}
+
+// itoa avoids strconv in metric-name building.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,30 @@
+// Package repro reproduces "Architectural Support for Dynamic
+// Linking" (Agrawal, Dabral, Palit, Shen, Ferdman — ASPLOS 2015) as a
+// self-contained Go simulation.
+//
+// The paper proposes the ABTB: a small retire-time hardware table that
+// maps PLT trampoline addresses to the library functions they jump to,
+// letting the branch predictor redirect library calls past their
+// trampolines entirely — the performance of static linking with every
+// benefit of dynamic linking.  A Bloom filter over the GOT detects the
+// rare stores that invalidate mappings.
+//
+// This module contains the complete substrate the evaluation needs,
+// implemented from scratch: an x86-64-like ISA and object format, a
+// dynamic linker with lazy/eager binding, PLT/GOT emission, call-site
+// patching and fork/COW accounting, set-associative caches, TLBs and
+// branch predictors, a trace-driven CPU with the ABTB retire hook,
+// synthetic Apache/Memcached/MySQL/Firefox workloads calibrated to the
+// paper's published structure, and an experiment suite that
+// regenerates every table and figure of §5.
+//
+// Entry points:
+//
+//	cmd/experiments  regenerate all tables and figures
+//	cmd/dlsim        run one workload/system, print counters
+//	cmd/tracedump    the pintool: trampoline profiles, working sets
+//	examples/...     runnable walkthroughs of the public API
+//
+// The benchmarks in this directory regenerate each paper artefact and
+// report its headline numbers as benchmark metrics.
+package repro

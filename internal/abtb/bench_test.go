@@ -1,0 +1,29 @@
+package abtb
+
+import "testing"
+
+// BenchmarkLookupRedirect measures the per-call cost of the fully
+// associative default table at the paper's 256-entry design point.
+func BenchmarkLookupRedirect(b *testing.B) {
+	a := New(DefaultConfig())
+	for i := uint64(0); i < 200; i++ {
+		a.OnRetireCall(0x401000 + i*16)
+		a.OnRetireIndirectBranch(0x401000+i*16, 0x7f0000000000+i, 0x601000+i*8)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Lookup(0x401000 + uint64(i)%200*16)
+	}
+}
+
+func BenchmarkSnoopStoreMiss(b *testing.B) {
+	a := New(DefaultConfig())
+	for i := uint64(0); i < 200; i++ {
+		a.OnRetireCall(0x401000 + i*16)
+		a.OnRetireIndirectBranch(0x401000+i*16, 0x7f0000000000+i, 0x601000+i*8)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.SnoopStore(0x7fff00000000 + uint64(i)*8)
+	}
+}

@@ -1,0 +1,14 @@
+package bloom
+
+import "testing"
+
+func BenchmarkTest(b *testing.B) {
+	f := New(32768, 4)
+	for i := uint64(0); i < 400; i++ {
+		f.Add(i * 8)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Test(uint64(i) * 13)
+	}
+}

@@ -1,0 +1,144 @@
+package bloom
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1024, 4)
+	rng := rand.New(rand.NewPCG(7, 7))
+	var added []uint64
+	for i := 0; i < 100; i++ {
+		a := rng.Uint64()
+		f.Add(a)
+		added = append(added, a)
+	}
+	for _, a := range added {
+		if !f.Test(a) {
+			t.Fatalf("false negative for %#x", a)
+		}
+	}
+}
+
+// The no-false-negative guarantee is the property the paper's
+// correctness argument rests on (§3.1): if a GOT store is missed, the
+// ABTB could redirect to a stale target.
+func TestNoFalseNegativesProperty(t *testing.T) {
+	f := func(keys []uint64) bool {
+		bf := New(256, 3)
+		for _, k := range keys {
+			bf.Add(k)
+		}
+		for _, k := range keys {
+			if !bf.Test(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyFilterRejectsEverything(t *testing.T) {
+	f := New(512, 4)
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 1000; i++ {
+		if f.Test(rng.Uint64()) {
+			t.Fatal("empty filter reported a hit")
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	f := New(512, 4)
+	f.Add(0xdeadbeef)
+	if !f.Test(0xdeadbeef) {
+		t.Fatal("added key not found")
+	}
+	if f.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", f.Len())
+	}
+	f.Clear()
+	if f.Test(0xdeadbeef) {
+		t.Fatal("key survived Clear")
+	}
+	if f.Len() != 0 {
+		t.Fatalf("Len after Clear = %d, want 0", f.Len())
+	}
+}
+
+func TestFalsePositiveRateReasonable(t *testing.T) {
+	// 64 GOT entries in a 1024-bit filter with k=4 should have a low
+	// false-positive rate (theory: ~(1-e^{-kn/m})^k ~= 0.24% at these
+	// parameters; allow generous slack).
+	f := New(1024, 4)
+	rng := rand.New(rand.NewPCG(3, 9))
+	for i := 0; i < 64; i++ {
+		f.Add(rng.Uint64())
+	}
+	fp := 0
+	const probes = 100000
+	for i := 0; i < probes; i++ {
+		if f.Test(rng.Uint64()) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.02 {
+		t.Errorf("false-positive rate = %v, want < 2%%", rate)
+	}
+}
+
+func TestIndexInRange(t *testing.T) {
+	f := func(key uint64) bool {
+		bf := New(100, 5) // deliberately non-power-of-two bit request
+		for i := 0; i < bf.K(); i++ {
+			if bf.index(key, i) >= uint64(bf.Bits()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizingAndCounters(t *testing.T) {
+	f := New(100, 2)
+	if f.Bits() != 128 { // rounded up to a multiple of 64
+		t.Errorf("Bits = %d, want 128", f.Bits())
+	}
+	if f.SizeBytes() != 16 {
+		t.Errorf("SizeBytes = %d, want 16", f.SizeBytes())
+	}
+	if f.K() != 2 {
+		t.Errorf("K = %d, want 2", f.K())
+	}
+	f.Add(5)
+	f.Test(5)
+	f.Test(6)
+	if f.Lookups() != 2 {
+		t.Errorf("Lookups = %d, want 2", f.Lookups())
+	}
+	if f.Hits() < 1 {
+		t.Errorf("Hits = %d, want >= 1", f.Hits())
+	}
+}
+
+func TestNewPanicsOnBadParams(t *testing.T) {
+	for _, tt := range []struct{ bits, k int }{{0, 1}, {1, 0}, {-64, 4}, {64, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", tt.bits, tt.k)
+				}
+			}()
+			New(tt.bits, tt.k)
+		}()
+	}
+}

@@ -1,0 +1,22 @@
+package branch
+
+import "testing"
+
+func BenchmarkPredictUpdateTarget(b *testing.B) {
+	p := New(DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc := uint64(i) % 4096 * 8
+		p.PredictTarget(pc)
+		p.UpdateTarget(pc, pc+100)
+	}
+}
+
+func BenchmarkPredictCond(b *testing.B) {
+	p := New(DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc := uint64(i) % 1024 * 4
+		p.UpdateCond(pc, p.PredictCond(pc))
+	}
+}

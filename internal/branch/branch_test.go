@@ -1,0 +1,210 @@
+package branch
+
+import (
+	"testing"
+)
+
+func small() *Predictor {
+	return New(Config{BTBEntries: 8, BTBWays: 2, PHTEntries: 16, HistoryLen: 4, RASDepth: 4})
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{BTBEntries: 0, BTBWays: 1, PHTEntries: 16, HistoryLen: 4, RASDepth: 4},
+		{BTBEntries: 8, BTBWays: 3, PHTEntries: 16, HistoryLen: 4, RASDepth: 4},
+		{BTBEntries: 24, BTBWays: 2, PHTEntries: 16, HistoryLen: 4, RASDepth: 4},
+		{BTBEntries: 8, BTBWays: 2, PHTEntries: 15, HistoryLen: 4, RASDepth: 4},
+		{BTBEntries: 8, BTBWays: 2, PHTEntries: 16, HistoryLen: 40, RASDepth: 4},
+		{BTBEntries: 8, BTBWays: 2, PHTEntries: 16, HistoryLen: 4, RASDepth: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+}
+
+func TestBTBMissThenHit(t *testing.T) {
+	p := small()
+	if _, ok := p.PredictTarget(0x400000); ok {
+		t.Error("cold BTB predicted a target")
+	}
+	p.UpdateTarget(0x400000, 0x500000)
+	tgt, ok := p.PredictTarget(0x400000)
+	if !ok || tgt != 0x500000 {
+		t.Fatalf("PredictTarget = %#x, %v", tgt, ok)
+	}
+	if p.BTBLookups() != 2 || p.BTBMisses() != 1 {
+		t.Errorf("lookups/misses = %d/%d", p.BTBLookups(), p.BTBMisses())
+	}
+}
+
+func TestBTBRetarget(t *testing.T) {
+	p := small()
+	p.UpdateTarget(0x400000, 0x500000)
+	p.UpdateTarget(0x400000, 0x600000) // the ABTB substitution path
+	tgt, ok := p.PredictTarget(0x400000)
+	if !ok || tgt != 0x600000 {
+		t.Fatalf("retargeted prediction = %#x, %v", tgt, ok)
+	}
+	if p.BTBOccupancy() != 1 {
+		t.Errorf("occupancy = %d, want 1 (update in place)", p.BTBOccupancy())
+	}
+}
+
+func TestBTBInvalidate(t *testing.T) {
+	p := small()
+	p.UpdateTarget(0x400000, 0x500000)
+	p.InvalidateTarget(0x400000)
+	if _, ok := p.PredictTarget(0x400000); ok {
+		t.Error("invalidated entry still predicts")
+	}
+}
+
+func TestBTBConflictEviction(t *testing.T) {
+	p := small() // 4 sets x 2 ways
+	// Insert many branches; occupancy must never exceed capacity and
+	// evictions must occur.
+	for i := uint64(0); i < 64; i++ {
+		p.UpdateTarget(0x400000+i*8, 0x500000+i)
+	}
+	if p.BTBOccupancy() > 8 {
+		t.Errorf("occupancy %d exceeds capacity 8", p.BTBOccupancy())
+	}
+	if p.BTBEvictions() == 0 {
+		t.Error("no evictions under 8x oversubscription")
+	}
+}
+
+func TestCondPredictorLearnsBias(t *testing.T) {
+	p := small()
+	pc := uint64(0x400100)
+	// Train always-taken.
+	for i := 0; i < 32; i++ {
+		p.PredictCond(pc)
+		p.UpdateCond(pc, true)
+	}
+	correct := 0
+	for i := 0; i < 32; i++ {
+		if p.PredictCond(pc) {
+			correct++
+		}
+		p.UpdateCond(pc, true)
+	}
+	if correct != 32 {
+		t.Errorf("trained always-taken accuracy = %d/32", correct)
+	}
+}
+
+func TestCondPredictorLearnsPattern(t *testing.T) {
+	// With 4 bits of history, a (T,T,N) repeating pattern becomes
+	// fully predictable after training.
+	p := New(Config{BTBEntries: 8, BTBWays: 2, PHTEntries: 1024, HistoryLen: 8, RASDepth: 4})
+	pc := uint64(0x400200)
+	pattern := []bool{true, true, false}
+	for i := 0; i < 3000; i++ {
+		p.UpdateCond(pc, pattern[i%3])
+	}
+	correct := 0
+	for i := 0; i < 300; i++ {
+		want := pattern[i%3]
+		if p.PredictCond(pc) == want {
+			correct++
+		}
+		p.UpdateCond(pc, want)
+	}
+	if correct < 290 {
+		t.Errorf("pattern accuracy = %d/300, want near-perfect", correct)
+	}
+}
+
+func TestCounterSaturation(t *testing.T) {
+	p := small()
+	pc := uint64(0x400300)
+	for i := 0; i < 100; i++ {
+		p.UpdateCond(pc, true)
+	}
+	// One not-taken must not flip a saturated counter.
+	p.UpdateCond(pc, false)
+	// Re-establish the history the training used is not needed for a
+	// saturation check with the same index; bias should still be taken
+	// in aggregate: probe many history states.
+	taken := 0
+	for i := 0; i < 16; i++ {
+		if p.PredictCond(pc) {
+			taken++
+		}
+		p.UpdateCond(pc, true)
+	}
+	if taken < 12 {
+		t.Errorf("post-saturation taken predictions = %d/16", taken)
+	}
+}
+
+func TestRASLIFO(t *testing.T) {
+	p := small()
+	p.PushReturn(1)
+	p.PushReturn(2)
+	p.PushReturn(3)
+	for want := uint64(3); want >= 1; want-- {
+		got, ok := p.PredictReturn()
+		if !ok || got != want {
+			t.Fatalf("PredictReturn = %d, %v; want %d", got, ok, want)
+		}
+	}
+	if _, ok := p.PredictReturn(); ok {
+		t.Error("empty RAS predicted")
+	}
+	if p.RASUnderflows() != 1 {
+		t.Errorf("underflows = %d, want 1", p.RASUnderflows())
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	p := small() // depth 4
+	for i := uint64(1); i <= 6; i++ {
+		p.PushReturn(i)
+	}
+	// Deepest two (1, 2) were overwritten; pops yield 6,5,4,3.
+	for want := uint64(6); want >= 3; want-- {
+		got, ok := p.PredictReturn()
+		if !ok || got != want {
+			t.Fatalf("PredictReturn = %d, %v; want %d", got, ok, want)
+		}
+	}
+	if _, ok := p.PredictReturn(); ok {
+		t.Error("RAS deeper than capacity")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	p := small()
+	p.UpdateTarget(0x400000, 0x500000)
+	p.PushReturn(7)
+	p.UpdateCond(0x400100, true)
+	p.Flush()
+	if _, ok := p.PredictTarget(0x400000); ok {
+		t.Error("BTB survived flush")
+	}
+	if _, ok := p.PredictReturn(); ok {
+		t.Error("RAS survived flush")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	p := small()
+	p.UpdateTarget(0x400000, 1)
+	p.PredictTarget(0x400000)
+	p.PredictCond(0x400100)
+	p.PredictReturn()
+	p.ResetStats()
+	if p.BTBLookups() != 0 || p.CondLookups() != 0 || p.RASUnderflows() != 0 {
+		t.Error("ResetStats did not zero counters")
+	}
+	if _, ok := p.PredictTarget(0x400000); !ok {
+		t.Error("ResetStats dropped BTB contents")
+	}
+}

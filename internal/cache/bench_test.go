@@ -1,0 +1,20 @@
+package cache
+
+import "testing"
+
+func BenchmarkAccessHit(b *testing.B) {
+	c := DefaultL1D(DefaultL2())
+	c.Access(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0)
+	}
+}
+
+func BenchmarkAccessStreaming(b *testing.B) {
+	c := DefaultL1D(DefaultL2())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i) << 6)
+	}
+}

@@ -1,0 +1,41 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/objfile"
+)
+
+// Example builds a two-module program, runs it on the base system and
+// on the ABTB-enhanced system, and shows the trampolines disappearing
+// while the library call count stays identical.
+func Example() {
+	app := objfile.New("app")
+	m := app.NewFunc("main")
+	for i := 0; i < 3; i++ {
+		m.Call("work")
+	}
+	m.Halt()
+	lib := objfile.New("lib")
+	lib.NewFunc("work").ALU(5).Ret()
+
+	for _, cfg := range []core.Config{core.Base(1), core.Enhanced(1)} {
+		sys, err := core.NewSystem(app, []*objfile.Object{lib}, cfg)
+		if err != nil {
+			panic(err)
+		}
+		if err := sys.Warmup("main", 4); err != nil {
+			panic(err)
+		}
+		if _, err := sys.RunOnce("main"); err != nil {
+			panic(err)
+		}
+		c := sys.Counters()
+		fmt.Printf("%-9s library calls=%d trampolines executed=%d skipped=%d\n",
+			cfg.Label, c.TrampCalls, c.TrampInstrs, c.TrampSkips)
+	}
+	// Output:
+	// base      library calls=3 trampolines executed=3 skipped=0
+	// enhanced  library calls=3 trampolines executed=0 skipped=3
+}

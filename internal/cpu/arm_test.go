@@ -1,0 +1,198 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/abtb"
+	"repro/internal/linker"
+	"repro/internal/objfile"
+)
+
+// armConfig returns the enhanced configuration with the pattern
+// window ARM trampolines need (two adds of glue before `ldr pc`).
+func armConfig() Config {
+	cfg := DefaultConfig()
+	a := abtb.DefaultConfig()
+	a.PatternWindow = 2
+	cfg.ABTB = &a
+	return cfg
+}
+
+func armProgram(t *testing.T, mode linker.BindingMode) *linker.Image {
+	t.Helper()
+	app := objfile.New("app")
+	m := app.NewFunc("main")
+	lib := objfile.New("lib")
+	lib.AddData("out", 32)
+	for i := 0; i < 4; i++ {
+		name := libFuncName(i)
+		lib.NewFunc(name).ALU(3).Store("out", uint64(i*8), 1, uint64(500+i)).Ret()
+		m.Call(name)
+	}
+	m.Halt()
+	im, err := linker.Link(app, []*objfile.Object{lib},
+		linker.Options{Mode: mode, Seed: 9, PLT: linker.PLTARM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+// The paper's cross-ISA claim: the mechanism "works on all dynamically
+// linked library techniques ... across architectures (e.g., ARM and
+// x86)".  ARM trampolines are three instructions, so the retire-time
+// pattern must tolerate the two adds between the call and `ldr pc`.
+func TestARMTrampolinesExecuteAndResolve(t *testing.T) {
+	im := armProgram(t, linker.BindLazy)
+	c := New(im, DefaultConfig())
+	if _, err := c.RunSymbol("main", 0); err != nil {
+		t.Fatal(err)
+	}
+	cnt := c.Counters()
+	if cnt.Resolutions != 4 {
+		t.Errorf("Resolutions = %d, want 4", cnt.Resolutions)
+	}
+	// Steady state: each library call executes three trampoline
+	// instructions (add, add, ldr pc) — versus one on x86.
+	c.ResetStats()
+	if _, err := c.RunSymbol("main", 0); err != nil {
+		t.Fatal(err)
+	}
+	cnt = c.Counters()
+	if cnt.TrampCalls != 4 {
+		t.Errorf("TrampCalls = %d, want 4", cnt.TrampCalls)
+	}
+	if cnt.TrampInstrs != 12 {
+		t.Errorf("TrampInstrs = %d, want 12 (3 per ARM trampoline)", cnt.TrampInstrs)
+	}
+	// Side effects landed.
+	lib := im.Modules()[1]
+	out := (lib.GOTEnd + 63) &^ 63
+	for i := uint64(0); i < 4; i++ {
+		if got := im.Memory().Read64(out + i*8); got != 500+i {
+			t.Errorf("out[%d] = %d, want %d", i, got, 500+i)
+		}
+	}
+}
+
+func TestARMTrampolinesSkippedWithWindow(t *testing.T) {
+	im := armProgram(t, linker.BindLazy)
+	c := New(im, armConfig())
+	for i := 0; i < 3; i++ {
+		if _, err := c.RunSymbol("main", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.ResetStats()
+	if _, err := c.RunSymbol("main", 0); err != nil {
+		t.Fatal(err)
+	}
+	cnt := c.Counters()
+	if cnt.TrampSkips != 4 {
+		t.Errorf("TrampSkips = %d, want 4", cnt.TrampSkips)
+	}
+	if cnt.TrampInstrs != 0 {
+		t.Errorf("TrampInstrs = %d, want 0 (all three glue instructions skipped)", cnt.TrampInstrs)
+	}
+}
+
+// Without the window, the x86-tuned ABTB never learns ARM trampolines:
+// the adds break the strict adjacency pattern.  This pins why the
+// PatternWindow knob exists.
+func TestARMTrampolinesNotLearnedWithoutWindow(t *testing.T) {
+	im := armProgram(t, linker.BindLazy)
+	c := New(im, EnhancedConfig()) // window 0
+	for i := 0; i < 5; i++ {
+		if _, err := c.RunSymbol("main", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Counters().TrampSkips; got != 0 {
+		t.Errorf("window-0 ABTB skipped %d ARM trampolines", got)
+	}
+	if c.ABTB().Len() != 0 {
+		t.Errorf("window-0 ABTB learned %d ARM mappings", c.ABTB().Len())
+	}
+}
+
+// The window must not cause false learning: a call to a function that
+// begins with two ALU instructions and then makes an indirect call
+// through a function pointer is NOT a trampoline; mapping it would
+// redirect past the function's own body.
+func TestWindowDoesNotAliasFunctionPrologues(t *testing.T) {
+	app := objfile.New("app")
+	app.AddData("vt", 8)
+	app.InitPtr("vt", 0, "target")
+	// dispatch looks exactly like an ARM trampoline to a naive
+	// detector: two ALU then an indirect transfer — but the indirect
+	// transfer is a CallInd (pushes a return address) and its own
+	// body continues after.
+	app.NewFunc("dispatch").ALU(2).CallPtr("vt", 0).ALU(1).Ret()
+	app.NewFunc("target").ALU(1).Ret()
+	app.NewFunc("main").Call("dispatch").Call("dispatch").Halt()
+	im, err := linker.Link(app, nil, linker.Options{Mode: linker.BindLazy, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(im, armConfig())
+	for i := 0; i < 4; i++ {
+		if _, err := c.RunSymbol("main", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A mapping dispatch→target would skip dispatch's trailing ALU
+	// and corrupt the call stack; the CallInd's own retirement (a
+	// call, not a plain indirect jump) re-arms the detector with a
+	// NEW pending call, so no mapping for "dispatch" may exist.
+	if v, ok := c.ABTB().Lookup(mustSym(t, im, "dispatch")); ok {
+		t.Errorf("prologue aliased into ABTB: dispatch -> %#x", v)
+	}
+}
+
+func mustSym(t *testing.T, im *linker.Image, name string) uint64 {
+	t.Helper()
+	a, ok := im.Symbol(name)
+	if !ok {
+		t.Fatalf("no symbol %q", name)
+	}
+	return a
+}
+
+// ARM images must satisfy the same equivalence invariant as x86 ones.
+func TestARMBaseEnhancedEquivalence(t *testing.T) {
+	imB := armProgram(t, linker.BindLazy)
+	imE := armProgram(t, linker.BindLazy)
+	base := New(imB, DefaultConfig())
+	enh := New(imE, armConfig())
+	for i := 0; i < 6; i++ {
+		if _, err := base.RunSymbol("main", 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := enh.RunSymbol("main", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cb, ce := base.Counters(), enh.Counters()
+	// Each skip removes the three trampoline instructions.
+	if cb.Instructions-ce.Instructions != 3*ce.TrampSkips {
+		t.Errorf("instruction delta %d != 3*skips %d",
+			cb.Instructions-ce.Instructions, 3*ce.TrampSkips)
+	}
+	lib := imB.Modules()[1]
+	for a := lib.GOTEnd; a < lib.DataEnd; a += 8 {
+		if imB.Memory().Read64(a) != imE.Memory().Read64(a) {
+			t.Fatalf("memory divergence at %#x", a)
+		}
+	}
+}
+
+func TestARMEagerBinding(t *testing.T) {
+	im := armProgram(t, linker.BindNow)
+	c := New(im, armConfig())
+	if _, err := c.RunSymbol("main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Counters().Resolutions != 0 {
+		t.Error("eager ARM image resolved at runtime")
+	}
+}

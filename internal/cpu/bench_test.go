@@ -1,0 +1,69 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/linker"
+	"repro/internal/objfile"
+)
+
+// benchImage builds a moderate program for throughput measurement.
+func benchImage(b *testing.B, enhanced bool) *CPU {
+	b.Helper()
+	app := objfile.New("app")
+	m := app.NewFunc("main")
+	lib := objfile.New("lib")
+	lib.AddData("d", 8192)
+	for i := 0; i < 16; i++ {
+		name := "f" + string(rune('a'+i))
+		lib.NewFunc(name).ALU(8).Load("d", uint64(i*64), 8).Ret()
+		m.Call(name)
+	}
+	m.Halt()
+	im, err := linker.Link(app, []*objfile.Object{lib}, linker.Options{Mode: linker.BindLazy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	if enhanced {
+		cfg = EnhancedConfig()
+	}
+	c := New(im, cfg)
+	for i := 0; i < 3; i++ { // resolve and warm
+		if _, err := c.RunSymbol("main", 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return c
+}
+
+// BenchmarkSimulatedInstructions reports simulator throughput in
+// nanoseconds per simulated instruction (as ns/op divided by the
+// reported instructions metric).
+func BenchmarkSimulatedInstructionsBase(b *testing.B) {
+	c := benchImage(b, false)
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		res, err := c.RunSymbol("main", 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += res.Instructions
+	}
+	b.ReportMetric(float64(instrs)/float64(b.N), "instrs/op")
+}
+
+func BenchmarkSimulatedInstructionsEnhanced(b *testing.B) {
+	c := benchImage(b, true)
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		res, err := c.RunSymbol("main", 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += res.Instructions
+	}
+	b.ReportMetric(float64(instrs)/float64(b.N), "instrs/op")
+}

@@ -1,0 +1,689 @@
+// Package cpu implements the trace-driven processor model that
+// executes linked images and produces the paper's measurements.
+//
+// The model is a functional fetch/execute/retire pipeline with a
+// cycle-cost account, not a cycle-accurate out-of-order core: the
+// paper's results are counter deltas (cache misses, TLB misses,
+// branch mispredictions per kilo-instruction) and the latency shifts
+// those deltas imply, which a functional simulator with real
+// set-associative structures reproduces.
+//
+// Per instruction the CPU performs, in order:
+//
+//	fetch:   I-TLB translation and L1I access over the instruction's
+//	         byte range; branch prediction for control flow (BTB for
+//	         targets, gshare for directions, RAS for returns).
+//	execute: architectural semantics — memory accesses through the
+//	         D-TLB and L1D, stack pushes/pops, GOT reads by PLT
+//	         trampolines, the lazy resolver, conditional outcomes.
+//	retire:  branch resolution with the ABTB hook (§3.2): if the
+//	         resolved target of a call hits the ABTB, the mapped
+//	         library-function address is treated as the correct
+//	         target, the predictor is trained to it, and the
+//	         trampoline is skipped; every retired store is snooped
+//	         against the ABTB's Bloom filter.
+//
+// All dynamic behaviour is a pure function of (pc, per-pc execution
+// count, seed), so the same image executes identically under every
+// hardware configuration — the property that makes Base-vs-Enhanced
+// comparisons exact.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/abtb"
+	"repro/internal/branch"
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/linker"
+	"repro/internal/tlb"
+)
+
+// Config selects the hardware configuration.
+type Config struct {
+	// ABTB, when non-nil, enables the paper's mechanism ("Enhanced").
+	// Nil models the base system.
+	ABTB *abtb.Config
+
+	Branch branch.Config
+
+	L1I, L1D, L2 cache.Config
+	ITLB, DTLB   tlb.Config
+
+	// MispredictPenalty is the pipeline-flush cost in cycles.
+	MispredictPenalty int
+
+	// FetchBubblePenalty is the cost of a fetch redirect for a
+	// direct branch whose target was absent from the BTB (computed
+	// at decode, far cheaper than a full flush).
+	FetchBubblePenalty int
+
+	// ResolverInstrs and ResolverLoads model the dynamic linker's
+	// lazy resolution work: the number of ld.so instructions executed
+	// and the number of data touches over the linker's tables.
+	ResolverInstrs int
+	ResolverLoads  int
+
+	// SharedL2, when non-nil, is used as the second-level cache
+	// instead of a private one built from the L2 config — the
+	// organisation of the paper's Xeon E5450, where cores share the
+	// 12 MiB last-level cache.  The smp package uses it to build
+	// multi-core clusters.
+	SharedL2 *cache.Cache
+
+	// Seed drives conditional-branch outcomes and load-address
+	// sweeps.
+	Seed uint64
+}
+
+// DefaultConfig returns a configuration approximating the paper's
+// Xeon E5450 testbed, with the ABTB disabled (base system).
+func DefaultConfig() Config {
+	return Config{
+		Branch: branch.DefaultConfig(),
+		L1I:    cache.Config{Name: "L1I", SizeBytes: 32 << 10, LineBytes: 64, Ways: 8, HitLatency: 0, MissPenalty: 8},
+		L1D:    cache.Config{Name: "L1D", SizeBytes: 32 << 10, LineBytes: 64, Ways: 8, HitLatency: 0, MissPenalty: 8},
+		L2:     cache.Config{Name: "L2", SizeBytes: 12 << 20, LineBytes: 64, Ways: 24, HitLatency: 4, MissPenalty: 180},
+		ITLB:   tlb.Config{Name: "ITLB", Entries: 128, Ways: 4, MissPenalty: 30},
+		DTLB:   tlb.Config{Name: "DTLB", Entries: 256, Ways: 4, MissPenalty: 30},
+
+		MispredictPenalty:  15,
+		FetchBubblePenalty: 3,
+		ResolverInstrs:     240,
+		ResolverLoads:      40,
+	}
+}
+
+// EnhancedConfig returns DefaultConfig with the paper's headline ABTB
+// (256 entries, Bloom-filtered).
+func EnhancedConfig() Config {
+	c := DefaultConfig()
+	a := abtb.DefaultConfig()
+	c.ABTB = &a
+	return c
+}
+
+// Counters is a snapshot of the CPU's measurement state.
+type Counters struct {
+	Instructions uint64 // retired architectural instructions
+	Cycles       uint64
+
+	TrampInstrs uint64 // retired instructions inside PLT sections
+	TrampCalls  uint64 // calls resolving to a PLT slot
+	TrampSkips  uint64 // of those, skipped via ABTB redirect
+
+	Loads, Stores uint64
+
+	Branches    uint64
+	Mispredicts uint64
+	// Mispredict decomposition: conditional direction/target, return,
+	// indirect branch (trampolines, function pointers, resolver), and
+	// call-target redirects (BTB conflicts and ABTB substitutions).
+	MispredCond, MispredRet, MispredIndirect, MispredCall uint64
+	FetchBubbles                                          uint64
+
+	Resolutions uint64 // lazy symbol resolutions executed
+
+	L1IAccesses, L1IMisses   uint64
+	L1DAccesses, L1DMisses   uint64
+	L2Accesses, L2Misses     uint64
+	ITLBAccesses, ITLBMisses uint64
+	DTLBAccesses, DTLBMisses uint64
+
+	BTBEvictions  uint64
+	ABTBRedirects uint64
+	ABTBFlushes   uint64
+}
+
+// Sub returns c - prev, for windowed measurements.
+func (c Counters) Sub(prev Counters) Counters {
+	return Counters{
+		MispredCond:     c.MispredCond - prev.MispredCond,
+		MispredRet:      c.MispredRet - prev.MispredRet,
+		MispredIndirect: c.MispredIndirect - prev.MispredIndirect,
+		MispredCall:     c.MispredCall - prev.MispredCall,
+		Instructions:    c.Instructions - prev.Instructions,
+		Cycles:          c.Cycles - prev.Cycles,
+		TrampInstrs:     c.TrampInstrs - prev.TrampInstrs,
+		TrampCalls:      c.TrampCalls - prev.TrampCalls,
+		TrampSkips:      c.TrampSkips - prev.TrampSkips,
+		Loads:           c.Loads - prev.Loads,
+		Stores:          c.Stores - prev.Stores,
+		Branches:        c.Branches - prev.Branches,
+		Mispredicts:     c.Mispredicts - prev.Mispredicts,
+		FetchBubbles:    c.FetchBubbles - prev.FetchBubbles,
+		Resolutions:     c.Resolutions - prev.Resolutions,
+		L1IAccesses:     c.L1IAccesses - prev.L1IAccesses,
+		L1IMisses:       c.L1IMisses - prev.L1IMisses,
+		L1DAccesses:     c.L1DAccesses - prev.L1DAccesses,
+		L1DMisses:       c.L1DMisses - prev.L1DMisses,
+		L2Accesses:      c.L2Accesses - prev.L2Accesses,
+		L2Misses:        c.L2Misses - prev.L2Misses,
+		ITLBAccesses:    c.ITLBAccesses - prev.ITLBAccesses,
+		ITLBMisses:      c.ITLBMisses - prev.ITLBMisses,
+		DTLBAccesses:    c.DTLBAccesses - prev.DTLBAccesses,
+		DTLBMisses:      c.DTLBMisses - prev.DTLBMisses,
+		BTBEvictions:    c.BTBEvictions - prev.BTBEvictions,
+		ABTBRedirects:   c.ABTBRedirects - prev.ABTBRedirects,
+		ABTBFlushes:     c.ABTBFlushes - prev.ABTBFlushes,
+	}
+}
+
+// CPU executes one linked image.
+type CPU struct {
+	cfg Config
+	img *linker.Image
+
+	l1i, l1d, l2 *cache.Cache
+	itlb, dtlb   *tlb.TLB
+	bp           *branch.Predictor
+	ab           *abtb.ABTB // nil in the base system
+
+	sp uint64
+
+	// Fetch memo: the instruction-index page of the last fetch.
+	fetchPageNum uint64
+	fetchPage    *linker.InstrPage
+
+	// Per-PC dynamic execution counts, kept only for instructions
+	// whose behaviour depends on them (conditional branches and
+	// swept loads/stores).
+	execN map[uint64]uint64
+
+	// Per-trampoline call counts (PLT slot address -> calls),
+	// including skipped ones; feeds Tables 2-3 and Figures 4-5.
+	trampFreq map[uint64]uint64
+
+	// TraceLibCall, when set, is invoked for every call that resolves
+	// to a PLT slot, with the slot address.  The trace package uses
+	// it to record trampoline streams for offline working-set
+	// analysis (Figure 5).
+	TraceLibCall func(slot uint64)
+
+	// TraceStore, when set, is invoked with the address of every
+	// retired store.  The smp package uses it to broadcast coherence
+	// invalidations to the other cores' ABTBs (§3.1).
+	TraceStore func(addr uint64)
+
+	c Counters
+}
+
+// New constructs a CPU for the image.  Configuration errors panic:
+// hardware geometry is fixed by the experiment definitions.
+func New(img *linker.Image, cfg Config) *CPU {
+	l2 := cfg.SharedL2
+	if l2 == nil {
+		l2 = cache.New(cfg.L2, nil)
+	}
+	c := &CPU{
+		cfg:       cfg,
+		img:       img,
+		l2:        l2,
+		l1i:       cache.New(cfg.L1I, l2),
+		l1d:       cache.New(cfg.L1D, l2),
+		itlb:      tlb.New(cfg.ITLB),
+		dtlb:      tlb.New(cfg.DTLB),
+		bp:        branch.New(cfg.Branch),
+		execN:     make(map[uint64]uint64),
+		trampFreq: make(map[uint64]uint64),
+	}
+	if cfg.ABTB != nil {
+		c.ab = abtb.New(*cfg.ABTB)
+	}
+	return c
+}
+
+// Image returns the image the CPU executes.
+func (c *CPU) Image() *linker.Image { return c.img }
+
+// Enhanced reports whether the ABTB mechanism is active.
+func (c *CPU) Enhanced() bool { return c.ab != nil }
+
+// ABTB returns the ABTB, or nil for the base system.
+func (c *CPU) ABTB() *abtb.ABTB { return c.ab }
+
+// RunResult summarises one Run.
+type RunResult struct {
+	Instructions uint64
+	Cycles       uint64
+}
+
+// ErrNoInstruction is returned (wrapped) when execution reaches an
+// address with no decoded instruction — a wild jump or a fall-through
+// off the end of a function.
+var ErrNoInstruction = fmt.Errorf("cpu: execution reached unmapped code")
+
+// Run executes from the entry address until a Halt retires, returning
+// the instructions and cycles consumed by this run.  maxInstrs bounds
+// runaway execution (0 means a generous default).
+func (c *CPU) Run(entry uint64, maxInstrs uint64) (RunResult, error) {
+	if maxInstrs == 0 {
+		maxInstrs = 100_000_000
+	}
+	start := c.c
+	c.sp = c.img.StackTop() - 64
+	pc := entry
+	for {
+		if c.c.Instructions-start.Instructions >= maxInstrs {
+			return RunResult{}, fmt.Errorf("cpu: instruction budget %d exhausted at pc %#x", maxInstrs, pc)
+		}
+		next, halted, err := c.step(pc)
+		if err != nil {
+			return RunResult{}, err
+		}
+		if halted {
+			return RunResult{
+				Instructions: c.c.Instructions - start.Instructions,
+				Cycles:       c.c.Cycles - start.Cycles,
+			}, nil
+		}
+		pc = next
+	}
+}
+
+// RunSymbol resolves a function symbol and runs from it.
+func (c *CPU) RunSymbol(sym string, maxInstrs uint64) (RunResult, error) {
+	entry, ok := c.img.Symbol(sym)
+	if !ok {
+		return RunResult{}, fmt.Errorf("cpu: unknown entry symbol %q", sym)
+	}
+	return c.Run(entry, maxInstrs)
+}
+
+// step retires one instruction (or a call plus a skipped trampoline)
+// and returns the next PC.
+func (c *CPU) step(pc uint64) (next uint64, halted bool, err error) {
+	in := c.fetch(pc)
+	if in == nil {
+		return 0, false, fmt.Errorf("%w: pc %#x", ErrNoInstruction, pc)
+	}
+	size := uint64(in.Size)
+
+	// ---- Fetch ----
+	c.c.Cycles += uint64(c.itlb.AccessRange(pc, size))
+	c.c.Cycles += uint64(c.l1i.AccessRange(pc, size))
+
+	// Branch prediction at fetch.
+	var predicted uint64
+	var predValid bool
+	var predTaken bool
+	switch in.Op {
+	case isa.Call, isa.CallInd, isa.Jmp, isa.JmpMem, isa.Resolve:
+		predicted, predValid = c.bp.PredictTarget(pc)
+		if in.Op.IsCall() {
+			c.bp.PushReturn(pc + size)
+		}
+	case isa.JmpCond:
+		predTaken = c.bp.PredictCond(pc)
+		if predTaken {
+			predicted, predValid = c.bp.PredictTarget(pc)
+		} else {
+			predicted, predValid = pc+size, true
+		}
+	case isa.Ret:
+		predicted, predValid = c.bp.PredictReturn()
+	}
+
+	// ---- Execute ----
+	if c.img.InPLT(pc) {
+		c.c.TrampInstrs++
+	}
+	c.c.Instructions++
+	c.c.Cycles++ // base CPI of 1
+
+	var actual uint64 // resolved next PC for control flow
+	switch in.Op {
+	case isa.Halt:
+		c.retireBreak()
+		c.syncCounters()
+		return 0, true, nil
+
+	case isa.Nop, isa.ALU:
+		// Simple register-only instructions may be trampoline glue
+		// (ARM's address-forming adds) within the pattern window.
+		if c.ab != nil {
+			c.ab.OnRetireOther(pc, in.Size)
+		}
+		return pc + size, false, nil
+
+	case isa.Load:
+		addr := in.EffAddr(pc, c.bumpN(pc))
+		c.dataRead(addr)
+		c.retireBreak()
+		return pc + size, false, nil
+
+	case isa.Store:
+		addr := in.EffAddr(pc, c.bumpN(pc))
+		c.dataWrite(addr, in.Val)
+		c.retireBreak()
+		return pc + size, false, nil
+
+	case isa.Push:
+		c.sp -= 8
+		c.dataWrite(c.sp, in.Val)
+		c.retireBreak()
+		return pc + size, false, nil
+
+	case isa.Call:
+		actual = in.Target
+		c.sp -= 8
+		c.dataWrite(c.sp, pc+size)
+
+	case isa.CallInd:
+		actual = c.dataRead(in.Mem)
+		c.sp -= 8
+		c.dataWrite(c.sp, pc+size)
+
+	case isa.Jmp:
+		actual = in.Target
+
+	case isa.JmpCond:
+		taken := in.CondTaken(pc, c.bumpN(pc), c.cfg.Seed)
+		if taken {
+			actual = in.Target
+		} else {
+			actual = pc + size
+		}
+		c.c.Branches++
+		switch {
+		case taken != predTaken:
+			c.c.Mispredicts++
+			c.c.MispredCond++
+			c.c.Cycles += uint64(c.cfg.MispredictPenalty)
+		case taken && !predValid:
+			// Direction right but no BTB target: redirect at decode.
+			c.c.FetchBubbles++
+			c.c.Cycles += uint64(c.cfg.FetchBubblePenalty)
+		case taken && predicted != actual:
+			c.c.Mispredicts++
+			c.c.MispredCond++
+			c.c.Cycles += uint64(c.cfg.MispredictPenalty)
+		}
+		c.bp.UpdateCond(pc, taken)
+		if taken {
+			c.bp.UpdateTarget(pc, actual)
+		}
+		c.retireBreak()
+		return actual, false, nil
+
+	case isa.JmpMem:
+		actual = c.dataRead(in.Mem)
+
+	case isa.Ret:
+		actual = c.dataRead(c.sp)
+		c.sp += 8
+
+	case isa.Resolve:
+		return c.execResolve(pc, predicted, predValid)
+
+	default:
+		return 0, false, fmt.Errorf("cpu: unexecutable opcode %v at %#x", in.Op, pc)
+	}
+
+	// ---- Retire: branch resolution with the ABTB hook ----
+	effective := actual
+	skipped := false
+	if in.Op.IsCall() {
+		if slot := c.trampSlot(actual); slot != 0 {
+			c.c.TrampCalls++
+			c.trampFreq[slot]++
+			if c.TraceLibCall != nil {
+				c.TraceLibCall(slot)
+			}
+		}
+		if c.ab != nil {
+			if target, hit := c.ab.Lookup(actual); hit {
+				effective = target
+				skipped = true
+				c.c.TrampSkips++
+			}
+		}
+	}
+
+	c.c.Branches++
+	if !predValid || predicted != effective {
+		if (in.Op == isa.Call || in.Op == isa.Jmp) && !skipped {
+			// Direct branches recover at decode unless the ABTB
+			// redirected them somewhere the decoder cannot know.
+			c.c.FetchBubbles++
+			c.c.Cycles += uint64(c.cfg.FetchBubblePenalty)
+		} else {
+			c.c.Mispredicts++
+			c.c.Cycles += uint64(c.cfg.MispredictPenalty)
+			switch {
+			case skipped || in.Op == isa.Call:
+				c.c.MispredCall++
+			case in.Op == isa.Ret:
+				c.c.MispredRet++
+			default:
+				c.c.MispredIndirect++
+			}
+		}
+	}
+	if in.Op != isa.Ret {
+		// Returns are predicted by the RAS, not the BTB.
+		c.bp.UpdateTarget(pc, effective)
+	}
+
+	// ABTB retire-time population (§3.2).  Only indirect *jumps*
+	// qualify as the pattern's second half: an indirect call pushes a
+	// return address, so skipping it would corrupt the call stack —
+	// the hardware distinguishes the opcodes at retire.
+	if c.ab != nil {
+		if in.Op.IsIndirectBranch() {
+			memAddr := uint64(0)
+			if in.Op == isa.JmpMem {
+				memAddr = in.Mem
+			}
+			c.ab.OnRetireIndirectBranch(pc, actual, memAddr)
+		}
+		if in.Op.IsCall() {
+			c.ab.OnRetireCall(actual)
+		} else if !in.Op.IsIndirectBranch() {
+			c.ab.BreakPattern() // direct jumps are never glue
+		}
+	}
+
+	return effective, false, nil
+}
+
+// fetch returns the decoded instruction at pc (nil if unmapped),
+// memoising the containing index page: sequential execution stays on
+// one page for dozens of instructions.
+func (c *CPU) fetch(pc uint64) *isa.Instr {
+	pn := pc >> 12
+	if pn != c.fetchPageNum || c.fetchPage == nil {
+		c.fetchPage = c.img.InstrPageAt(pc)
+		c.fetchPageNum = pn
+		if c.fetchPage == nil {
+			return nil
+		}
+	}
+	return c.fetchPage[pc&4095]
+}
+
+// execResolve models the lazy dynamic linker invocation reached
+// through PLT0 (§2): read the pushed module ID and relocation index,
+// perform the binding work, store the resolved address into the GOT
+// (snooped by the ABTB), and jump to the function.
+func (c *CPU) execResolve(pc, predicted uint64, predValid bool) (uint64, bool, error) {
+	modID := c.dataRead(c.sp)
+	relocIdx := c.dataRead(c.sp + 8)
+	c.sp += 16
+
+	gotAddr, funcAddr, err := c.img.Resolve(modID, relocIdx)
+	if err != nil {
+		return 0, false, err
+	}
+	c.c.Resolutions++
+
+	// The resolver's own footprint: ld.so executes a few hundred
+	// instructions and walks its symbol tables.
+	base, sz := c.img.LinkerData()
+	for i := 0; i < c.cfg.ResolverLoads; i++ {
+		addr := base + isa.DetHash(uint64(relocIdx), uint64(i), modID)%(sz-8)
+		c.dataRead(addr &^ 7)
+	}
+	c.c.Instructions += uint64(c.cfg.ResolverInstrs)
+	c.c.Cycles += uint64(c.cfg.ResolverInstrs)
+
+	// The GOT store that redirects future trampoline executions.
+	c.dataWrite(gotAddr, funcAddr)
+	// In the §3.4 variant there is no Bloom filter watching that
+	// store; the modified resolver executes the architecturally
+	// visible ABTB-invalidate instruction instead.
+	if c.ab != nil && c.ab.Config().ExplicitInvalidate {
+		c.ab.Invalidate()
+		c.c.Instructions++
+		c.c.Cycles++
+	}
+
+	// The resolver's final indirect jump to the bound function; it is
+	// effectively never predicted correctly.
+	c.c.Branches++
+	if !predValid || predicted != funcAddr {
+		c.c.Mispredicts++
+		c.c.MispredIndirect++
+		c.c.Cycles += uint64(c.cfg.MispredictPenalty)
+	}
+	c.bp.UpdateTarget(pc, funcAddr)
+	if c.ab != nil {
+		// Preceded by pushes, so no call→indirect-branch pattern.
+		c.ab.BreakPattern()
+	}
+	return funcAddr, false, nil
+}
+
+// trampSlot returns addr if it is the first instruction of a PLT
+// trampoline, else 0.
+func (c *CPU) trampSlot(addr uint64) uint64 {
+	if c.img.TrampolineSym(addr) != "" {
+		return addr
+	}
+	return 0
+}
+
+// dataRead performs a data-memory read through the D-TLB and D-cache.
+func (c *CPU) dataRead(addr uint64) uint64 {
+	c.c.Loads++
+	c.c.Cycles += uint64(c.dtlb.Access(addr))
+	c.c.Cycles += uint64(c.l1d.Access(addr))
+	return c.img.Memory().Read64(addr)
+}
+
+// dataWrite performs a data-memory write through the D-TLB and
+// D-cache, snooping the ABTB's Bloom filter as the coherence point
+// does (§3.1).
+func (c *CPU) dataWrite(addr uint64, v uint64) {
+	c.c.Stores++
+	c.c.Cycles += uint64(c.dtlb.Access(addr))
+	c.c.Cycles += uint64(c.l1d.Access(addr))
+	c.img.Memory().Write64(addr, v)
+	if c.ab != nil {
+		c.ab.SnoopStore(addr)
+	}
+	if c.TraceStore != nil {
+		c.TraceStore(addr)
+	}
+}
+
+// retireBreak informs the ABTB pattern detector that an instruction
+// that can never be trampoline glue retired.
+func (c *CPU) retireBreak() {
+	if c.ab != nil {
+		c.ab.BreakPattern()
+	}
+}
+
+// bumpN returns the current execution count of pc and increments it.
+func (c *CPU) bumpN(pc uint64) uint64 {
+	n := c.execN[pc]
+	c.execN[pc] = n + 1
+	return n
+}
+
+// ContextSwitch models an OS context switch: untagged structures
+// (TLBs, predictor, and — per §3.3 — the ABTB without ASIDs) are
+// flushed.
+func (c *CPU) ContextSwitch(asid uint64) {
+	c.itlb.Flush()
+	c.dtlb.Flush()
+	c.bp.Flush()
+	if c.ab != nil {
+		c.ab.SwitchContext(asid)
+	}
+}
+
+// InvalidateABTB models the §3.4 explicit-invalidate instruction.
+func (c *CPU) InvalidateABTB() {
+	if c.ab != nil {
+		c.ab.Invalidate()
+	}
+}
+
+// CoherenceInvalidate models an invalidation arriving from the cache
+// coherence subsystem for addr — another core wrote the line.  The
+// paper requires the ABTB's Bloom filter to snoop these exactly like
+// local stores (§3.1: "or an invalidation for such an address is
+// received from the coherence subsystem"), so a GOT update by any
+// core flushes every core's ABTB.  It returns whether a flush
+// occurred.
+func (c *CPU) CoherenceInvalidate(addr uint64) bool {
+	if c.ab == nil {
+		return false
+	}
+	return c.ab.SnoopStore(addr)
+}
+
+// syncCounters folds substructure statistics into the snapshot.
+func (c *CPU) syncCounters() {
+	c.c.L1IAccesses = c.l1i.Accesses()
+	c.c.L1IMisses = c.l1i.Misses()
+	c.c.L1DAccesses = c.l1d.Accesses()
+	c.c.L1DMisses = c.l1d.Misses()
+	c.c.L2Accesses = c.l2.Accesses()
+	c.c.L2Misses = c.l2.Misses()
+	c.c.ITLBAccesses = c.itlb.Accesses()
+	c.c.ITLBMisses = c.itlb.Misses()
+	c.c.DTLBAccesses = c.dtlb.Accesses()
+	c.c.DTLBMisses = c.dtlb.Misses()
+	c.c.BTBEvictions = c.bp.BTBEvictions()
+	if c.ab != nil {
+		c.c.ABTBRedirects = c.ab.Redirects()
+		c.c.ABTBFlushes = c.ab.Flushes()
+	}
+}
+
+// Counters returns a snapshot of all measurement counters.
+func (c *CPU) Counters() Counters {
+	c.syncCounters()
+	return c.c
+}
+
+// TrampFreq returns a copy of the per-trampoline call counts (PLT
+// slot address -> calls, skipped or executed) accumulated since the
+// last ResetStats.
+func (c *CPU) TrampFreq() map[uint64]uint64 {
+	out := make(map[uint64]uint64, len(c.trampFreq))
+	for k, v := range c.trampFreq {
+		out[k] = v
+	}
+	return out
+}
+
+// ResetStats zeroes every measurement counter while preserving all
+// microarchitectural state (cache contents, predictor training, ABTB
+// mappings) and architectural state; used to exclude warmup.
+func (c *CPU) ResetStats() {
+	c.c = Counters{}
+	c.l1i.ResetStats()
+	c.l1d.ResetStats() // resets shared L2 twice; harmless
+	c.itlb.ResetStats()
+	c.dtlb.ResetStats()
+	c.bp.ResetStats()
+	if c.ab != nil {
+		c.ab.ResetStats()
+	}
+	c.trampFreq = make(map[uint64]uint64)
+}

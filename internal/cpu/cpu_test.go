@@ -1,0 +1,453 @@
+package cpu
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/abtb"
+	"repro/internal/linker"
+	"repro/internal/objfile"
+)
+
+// buildProgram links a small app with one library of nFuncs functions;
+// main calls each library function once, then halts.  Every library
+// function stores a distinctive value so architectural effects can be
+// compared across hardware configurations.
+func buildProgram(t *testing.T, nFuncs int, mode linker.BindingMode) *linker.Image {
+	t.Helper()
+	app := objfile.New("app")
+	main := app.NewFunc("main")
+	lib := objfile.New("lib")
+	lib.AddData("out", uint64(nFuncs*8))
+	for i := 0; i < nFuncs; i++ {
+		name := libFuncName(i)
+		lib.NewFunc(name).
+			ALU(3).
+			Store("out", uint64(i*8), 1, uint64(1000+i)).
+			Ret()
+		main.Call(name)
+	}
+	main.Halt()
+	im, err := linker.Link(app, []*objfile.Object{lib}, linker.Options{Mode: mode, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func libFuncName(i int) string {
+	return "libfn" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+}
+
+func run(t *testing.T, c *CPU, times int) {
+	t.Helper()
+	for i := 0; i < times; i++ {
+		if _, err := c.RunSymbol("main", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStraightLineExecution(t *testing.T) {
+	app := objfile.New("app")
+	app.NewFunc("main").ALU(5).Halt()
+	im, err := linker.Link(app, nil, linker.Options{Mode: linker.BindStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(im, DefaultConfig())
+	res, err := c.RunSymbol("main", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions != 6 {
+		t.Errorf("Instructions = %d, want 6", res.Instructions)
+	}
+	if res.Cycles < res.Instructions {
+		t.Errorf("Cycles = %d < Instructions", res.Cycles)
+	}
+}
+
+func TestLazyBindingEndToEnd(t *testing.T) {
+	im := buildProgram(t, 4, linker.BindLazy)
+	c := New(im, DefaultConfig())
+
+	run(t, c, 1)
+	cnt := c.Counters()
+	if cnt.Resolutions != 4 {
+		t.Errorf("Resolutions = %d, want 4 (one per symbol)", cnt.Resolutions)
+	}
+	// After resolution, the GOT holds the function addresses.
+	appMod := im.Modules()[0]
+	for i, sym := range appMod.Imports() {
+		want, _ := im.Symbol(sym)
+		if got := im.Memory().Read64(appMod.GOTSlotAddr(i)); got != want {
+			t.Errorf("GOT[%d] = %#x, want %#x", i, got, want)
+		}
+	}
+	// Library side effects happened.
+	lib := im.Modules()[1]
+	_ = lib
+
+	// Second run: no further resolutions, trampolines execute
+	// directly.
+	before := c.Counters()
+	run(t, c, 1)
+	after := c.Counters()
+	d := after.Sub(before)
+	if d.Resolutions != 0 {
+		t.Errorf("second-run Resolutions = %d, want 0", d.Resolutions)
+	}
+	if d.TrampCalls != 4 {
+		t.Errorf("second-run TrampCalls = %d, want 4", d.TrampCalls)
+	}
+	if d.TrampInstrs != 4 {
+		t.Errorf("second-run TrampInstrs = %d, want 4 (one jmp*m each)", d.TrampInstrs)
+	}
+	if d.TrampSkips != 0 {
+		t.Errorf("base system skipped %d trampolines", d.TrampSkips)
+	}
+}
+
+func TestEnhancedSkipsTrampolines(t *testing.T) {
+	im := buildProgram(t, 4, linker.BindLazy)
+	c := New(im, EnhancedConfig())
+	run(t, c, 3) // resolve, repopulate, skip
+	before := c.Counters()
+	run(t, c, 5)
+	d := c.Counters().Sub(before)
+	if d.TrampCalls != 20 {
+		t.Fatalf("TrampCalls = %d, want 20", d.TrampCalls)
+	}
+	if d.TrampSkips != 20 {
+		t.Errorf("TrampSkips = %d, want 20 (all skipped in steady state)", d.TrampSkips)
+	}
+	if d.TrampInstrs != 0 {
+		t.Errorf("TrampInstrs = %d, want 0 in steady state", d.TrampInstrs)
+	}
+	if d.Resolutions != 0 {
+		t.Errorf("Resolutions = %d", d.Resolutions)
+	}
+}
+
+func TestABTBFlushedByResolution(t *testing.T) {
+	im := buildProgram(t, 4, linker.BindLazy)
+	c := New(im, EnhancedConfig())
+	run(t, c, 1)
+	if c.ABTB().Flushes() < 4 {
+		t.Errorf("ABTB flushes = %d, want >= 4 (one per GOT store)", c.ABTB().Flushes())
+	}
+}
+
+// The core architectural-equivalence claim (§3): the enhanced system
+// executes exactly the same program state transitions; the only
+// instruction-count difference is the skipped trampoline instructions.
+func TestBaseEnhancedArchitecturalEquivalence(t *testing.T) {
+	imBase := buildProgram(t, 8, linker.BindLazy)
+	imEnh := buildProgram(t, 8, linker.BindLazy)
+	base := New(imBase, DefaultConfig())
+	enh := New(imEnh, EnhancedConfig())
+	run(t, base, 10)
+	run(t, enh, 10)
+	cb, ce := base.Counters(), enh.Counters()
+
+	if cb.Instructions-ce.Instructions != ce.TrampSkips {
+		t.Errorf("instruction delta %d != skips %d",
+			cb.Instructions-ce.Instructions, ce.TrampSkips)
+	}
+	// Same memory side effects: every stored value identical.
+	libBase := imBase.Modules()[1]
+	libEnh := imEnh.Modules()[1]
+	if libBase.DataBase != libEnh.DataBase {
+		t.Fatal("layouts differ; comparison invalid")
+	}
+	for a := libBase.GOTEnd; a < libBase.DataEnd; a += 8 {
+		if imBase.Memory().Read64(a) != imEnh.Memory().Read64(a) {
+			t.Errorf("memory divergence at %#x", a)
+		}
+	}
+	// Same resolutions, same library calls.
+	if cb.Resolutions != ce.Resolutions || cb.TrampCalls != ce.TrampCalls {
+		t.Errorf("resolutions %d/%d trampcalls %d/%d",
+			cb.Resolutions, ce.Resolutions, cb.TrampCalls, ce.TrampCalls)
+	}
+}
+
+func TestEnhancedReducesPressure(t *testing.T) {
+	imBase := buildProgram(t, 32, linker.BindLazy)
+	imEnh := buildProgram(t, 32, linker.BindLazy)
+	base := New(imBase, DefaultConfig())
+	enh := New(imEnh, EnhancedConfig())
+	// Warm up, then measure.
+	run(t, base, 5)
+	run(t, enh, 5)
+	base.ResetStats()
+	enh.ResetStats()
+	run(t, base, 50)
+	run(t, enh, 50)
+	cb, ce := base.Counters(), enh.Counters()
+
+	if ce.Cycles >= cb.Cycles {
+		t.Errorf("enhanced cycles %d >= base %d", ce.Cycles, cb.Cycles)
+	}
+	if ce.L1IAccesses >= cb.L1IAccesses {
+		t.Errorf("enhanced L1I accesses %d >= base %d", ce.L1IAccesses, cb.L1IAccesses)
+	}
+	if ce.L1DAccesses >= cb.L1DAccesses {
+		t.Errorf("enhanced L1D accesses %d >= base %d (GOT loads gone)", ce.L1DAccesses, cb.L1DAccesses)
+	}
+	// Steady-state misprediction parity (§3.3): no *more* mispredicts
+	// than base.
+	if ce.Mispredicts > cb.Mispredicts {
+		t.Errorf("enhanced mispredicts %d > base %d", ce.Mispredicts, cb.Mispredicts)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, cfgName := range []string{"base", "enhanced"} {
+		im1 := buildProgram(t, 8, linker.BindLazy)
+		im2 := buildProgram(t, 8, linker.BindLazy)
+		cfg := DefaultConfig()
+		if cfgName == "enhanced" {
+			cfg = EnhancedConfig()
+		}
+		c1, c2 := New(im1, cfg), New(im2, cfg)
+		run(t, c1, 7)
+		run(t, c2, 7)
+		if c1.Counters() != c2.Counters() {
+			t.Errorf("%s: identical runs diverged:\n%+v\n%+v", cfgName, c1.Counters(), c2.Counters())
+		}
+	}
+}
+
+func TestEagerBindingNoResolutions(t *testing.T) {
+	im := buildProgram(t, 4, linker.BindNow)
+	c := New(im, DefaultConfig())
+	run(t, c, 2)
+	cnt := c.Counters()
+	if cnt.Resolutions != 0 {
+		t.Errorf("eager binding resolved %d symbols at runtime", cnt.Resolutions)
+	}
+	if cnt.TrampInstrs == 0 {
+		t.Error("eager binding still executes trampolines; saw none")
+	}
+}
+
+func TestStaticNoTrampolines(t *testing.T) {
+	im := buildProgram(t, 4, linker.BindStatic)
+	c := New(im, DefaultConfig())
+	run(t, c, 2)
+	cnt := c.Counters()
+	if cnt.TrampInstrs != 0 || cnt.TrampCalls != 0 {
+		t.Errorf("static image executed trampolines: %d instrs, %d calls",
+			cnt.TrampInstrs, cnt.TrampCalls)
+	}
+}
+
+func TestPatchedMatchesStaticBehaviour(t *testing.T) {
+	im := buildProgram(t, 4, linker.BindPatched)
+	c := New(im, DefaultConfig())
+	run(t, c, 2)
+	cnt := c.Counters()
+	if cnt.TrampInstrs != 0 {
+		t.Errorf("patched image executed %d trampoline instructions", cnt.TrampInstrs)
+	}
+}
+
+func TestTrampFreq(t *testing.T) {
+	im := buildProgram(t, 3, linker.BindLazy)
+	c := New(im, DefaultConfig())
+	run(t, c, 4)
+	freq := c.TrampFreq()
+	if len(freq) != 3 {
+		t.Fatalf("distinct trampolines = %d, want 3", len(freq))
+	}
+	for slot, n := range freq {
+		if n != 4 {
+			t.Errorf("trampoline %#x count = %d, want 4", slot, n)
+		}
+		if im.TrampolineSym(slot) == "" {
+			t.Errorf("freq key %#x is not a PLT slot", slot)
+		}
+	}
+}
+
+func TestTraceHook(t *testing.T) {
+	im := buildProgram(t, 2, linker.BindLazy)
+	c := New(im, DefaultConfig())
+	var seen []uint64
+	c.TraceLibCall = func(slot uint64) { seen = append(seen, slot) }
+	run(t, c, 3)
+	if len(seen) != 6 {
+		t.Errorf("trace recorded %d calls, want 6", len(seen))
+	}
+}
+
+func TestCallIndThroughPointer(t *testing.T) {
+	app := objfile.New("app")
+	app.AddData("vt", 16)
+	app.InitPtr("vt", 0, "virt")
+	app.NewFunc("main").CallPtr("vt", 0).CallPtr("vt", 0).Halt()
+	lib := objfile.New("lib")
+	lib.AddData("d", 8)
+	lib.NewFunc("virt").Store("d", 0, 1, 42).Ret()
+	im, err := linker.Link(app, []*objfile.Object{lib}, linker.Options{Mode: linker.BindLazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(im, EnhancedConfig())
+	if _, err := c.RunSymbol("main", 0); err != nil {
+		t.Fatal(err)
+	}
+	libMod := im.Modules()[1]
+	addr := libMod.GOTEnd
+	// Data regions are 64-byte aligned after the GOT.
+	addr = (addr + 63) &^ 63
+	if got := im.Memory().Read64(addr); got != 42 {
+		t.Errorf("virtual call side effect = %d, want 42", got)
+	}
+	// Function pointers bypass the PLT: no trampoline calls.
+	if c.Counters().TrampCalls != 0 {
+		t.Errorf("CallInd counted as trampoline call")
+	}
+}
+
+func TestLoopsAndConditionals(t *testing.T) {
+	app := objfile.New("app")
+	f := app.NewFunc("main")
+	f.ALU(2)
+	f.LoopBack(75, 2) // ~4 iterations of the 2 ALUs
+	f.CondSkip(50, 1)
+	f.ALU(1)
+	f.Halt()
+	im, err := linker.Link(app, nil, linker.Options{Mode: linker.BindStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(im, DefaultConfig())
+	res, err := c.RunSymbol("main", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Minimum path: 2 ALU + jcc + jcc + (alu?) + halt >= 5.
+	if res.Instructions < 5 {
+		t.Errorf("Instructions = %d, too few", res.Instructions)
+	}
+	if c.Counters().Branches == 0 {
+		t.Error("no branches counted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	im := buildProgram(t, 2, linker.BindLazy)
+	c := New(im, DefaultConfig())
+	if _, err := c.RunSymbol("nope", 0); err == nil {
+		t.Error("unknown symbol accepted")
+	}
+	if _, err := c.Run(0xdead, 0); !errors.Is(err, ErrNoInstruction) {
+		t.Errorf("wild entry error = %v", err)
+	}
+	// Budget exhaustion.
+	app := objfile.New("app")
+	f := app.NewFunc("main")
+	f.ALU(1)
+	f.LoopBack(100, 1) // infinite loop
+	f.Halt()
+	im2, err := linker.Link(app, nil, linker.Options{Mode: linker.BindStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := New(im2, DefaultConfig())
+	if _, err := c2.RunSymbol("main", 1000); err == nil {
+		t.Error("infinite loop not caught by budget")
+	}
+}
+
+func TestContextSwitchFlushes(t *testing.T) {
+	im := buildProgram(t, 4, linker.BindLazy)
+	c := New(im, EnhancedConfig())
+	run(t, c, 3)
+	if c.ABTB().Len() == 0 {
+		t.Fatal("ABTB empty before switch")
+	}
+	c.ContextSwitch(1)
+	if c.ABTB().Len() != 0 {
+		t.Error("ABTB survived untagged context switch")
+	}
+	// ITLB misses recur after the flush.
+	before := c.Counters()
+	run(t, c, 1)
+	d := c.Counters().Sub(before)
+	if d.ITLBMisses == 0 {
+		t.Error("no ITLB misses after flush")
+	}
+}
+
+func TestInvalidateABTB(t *testing.T) {
+	cfg := DefaultConfig()
+	a := abtb.Config{Entries: 256, Ways: 4, ExplicitInvalidate: true}
+	cfg.ABTB = &a
+	im := buildProgram(t, 4, linker.BindLazy)
+	c := New(im, cfg)
+	run(t, c, 3)
+	if c.ABTB().Len() == 0 {
+		t.Fatal("ABTB empty")
+	}
+	c.InvalidateABTB()
+	if c.ABTB().Len() != 0 {
+		t.Error("explicit invalidate did not clear ABTB")
+	}
+	// Base CPU: both are no-ops.
+	b := New(buildProgram(t, 2, linker.BindLazy), DefaultConfig())
+	b.InvalidateABTB()
+	b.ContextSwitch(1)
+	if b.ABTB() != nil || b.Enhanced() {
+		t.Error("base CPU has an ABTB")
+	}
+}
+
+func TestResetStatsPreservesState(t *testing.T) {
+	im := buildProgram(t, 4, linker.BindLazy)
+	c := New(im, EnhancedConfig())
+	run(t, c, 3)
+	c.ResetStats()
+	if c.Counters().Instructions != 0 {
+		t.Error("counters survived reset")
+	}
+	if c.ABTB().Len() == 0 {
+		t.Error("ABTB contents lost on stats reset")
+	}
+	before := c.Counters()
+	run(t, c, 1)
+	d := c.Counters().Sub(before)
+	// Fully warm: all trampolines skipped right away.
+	if d.TrampSkips != 4 {
+		t.Errorf("post-reset TrampSkips = %d, want 4", d.TrampSkips)
+	}
+}
+
+// In the §3.4 explicit-invalidate variant, stores never flush the
+// ABTB (there is no Bloom filter); instead the modified resolver
+// executes the invalidate instruction after each GOT update, so the
+// mechanism stays architecturally safe without snooping.
+func TestExplicitInvalidateModeFlushSemantics(t *testing.T) {
+	cfg := DefaultConfig()
+	a := abtb.Config{Entries: 256, Ways: 4, ExplicitInvalidate: true}
+	cfg.ABTB = &a
+	im := buildProgram(t, 4, linker.BindLazy)
+	c := New(im, cfg)
+	run(t, c, 3)
+	if c.ABTB().FlushingStores() != 0 {
+		t.Errorf("stores flushed the explicit-invalidate ABTB %d times", c.ABTB().FlushingStores())
+	}
+	if c.ABTB().Flushes() != 4 {
+		t.Errorf("resolver invalidates = %d, want 4 (one per resolution)", c.ABTB().Flushes())
+	}
+	// Steady state still skips everything.
+	c.ResetStats()
+	run(t, c, 2)
+	cnt := c.Counters()
+	if cnt.TrampSkips != cnt.TrampCalls || cnt.TrampSkips == 0 {
+		t.Errorf("steady-state skips %d of %d calls", cnt.TrampSkips, cnt.TrampCalls)
+	}
+}

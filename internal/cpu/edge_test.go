@@ -1,0 +1,212 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/linker"
+	"repro/internal/objfile"
+)
+
+// TestCoherenceInvalidation: a GOT write by another core (delivered
+// as a coherence invalidation) must flush the ABTB, after which the
+// redirect re-learns — multi-core safety of §3.1.
+func TestCoherenceInvalidation(t *testing.T) {
+	im := buildProgram(t, 2, linker.BindLazy)
+	c := New(im, EnhancedConfig())
+	run(t, c, 3)
+	if c.ABTB().Len() == 0 {
+		t.Fatal("ABTB empty")
+	}
+	appMod := im.Modules()[0]
+	// Another core rewrites the first GOT entry.
+	newTarget, _ := im.Symbol(libFuncName(1))
+	im.Memory().Write64(appMod.GOTSlotAddr(0), newTarget)
+	if !c.CoherenceInvalidate(appMod.GOTSlotAddr(0)) {
+		t.Fatal("coherence invalidation of a GOT address did not flush")
+	}
+	if c.ABTB().Len() != 0 {
+		t.Fatal("ABTB survived coherence flush")
+	}
+	// Unrelated invalidations do not flush (no entries -> empty bloom).
+	if c.CoherenceInvalidate(0x1234) {
+		t.Error("empty-filter invalidation flushed")
+	}
+	// Execution follows the rewritten GOT.
+	run(t, c, 2)
+	// On a base CPU the call is a no-op.
+	b := New(buildProgram(t, 2, linker.BindLazy), DefaultConfig())
+	if b.CoherenceInvalidate(0x1234) {
+		t.Error("base CPU reported a flush")
+	}
+}
+
+// TestCallStackDiscipline: deeply nested calls and returns must
+// preserve the architectural stack, and the RAS must mispredict
+// gracefully (not corrupt execution) beyond its depth.
+func TestCallStackDiscipline(t *testing.T) {
+	app := objfile.New("app")
+	const depth = 24 // deeper than the 16-entry RAS
+	for i := 0; i < depth; i++ {
+		f := app.NewFunc(fname(i))
+		f.ALU(1)
+		if i+1 < depth {
+			f.Call(fname(i + 1))
+		}
+		f.Ret()
+	}
+	m := app.NewFunc("main")
+	m.Call(fname(0))
+	m.ALU(1)
+	m.Halt()
+	im, err := linker.Link(app, nil, linker.Options{Mode: linker.BindStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(im, DefaultConfig())
+	res, err := c.RunSymbol("main", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 24 functions x (alu + maybe call + ret) + main's 3.
+	want := uint64(depth*2 + (depth - 1) + 3)
+	if res.Instructions != want {
+		t.Errorf("Instructions = %d, want %d", res.Instructions, want)
+	}
+	// The 8 returns beyond RAS capacity mispredict but execute
+	// correctly (we got here without ErrNoInstruction).
+	if c.Counters().MispredRet == 0 {
+		t.Error("no return mispredicts despite RAS overflow")
+	}
+}
+
+func fname(i int) string { return "fn" + string(rune('a'+i/10)) + string(rune('0'+i%10)) }
+
+// TestRecursion: self-recursive calls through a conditional exercise
+// the stack and RAS under data-dependent depth.
+func TestRecursion(t *testing.T) {
+	app := objfile.New("app")
+	f := app.NewFunc("rec")
+	f.ALU(2)
+	f.CondSkip(40, 1) // 60% chance to recurse
+	f.Call("rec")
+	f.Ret()
+	m := app.NewFunc("main")
+	m.Call("rec")
+	m.Halt()
+	im, err := linker.Link(app, nil, linker.Options{Mode: linker.BindStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(im, DefaultConfig())
+	for i := 0; i < 50; i++ {
+		if _, err := c.RunSymbol("main", 1_000_000); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+}
+
+// TestSweptStores: Store instructions with Span write to varying
+// addresses; the D-cache and memory must both see every effective
+// address.
+func TestSweptStores(t *testing.T) {
+	app := objfile.New("app")
+	app.AddData("buf", 64*8)
+	f := app.NewFunc("main")
+	for i := 0; i < 200; i++ {
+		f.Store("buf", 0, 64, 7)
+	}
+	f.Halt()
+	im, err := linker.Link(app, nil, linker.Options{Mode: linker.BindStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(im, DefaultConfig())
+	if _, err := c.RunSymbol("main", 0); err != nil {
+		t.Fatal(err)
+	}
+	appMod := im.Modules()[0]
+	base := (appMod.GOTEnd + 63) &^ 63 // static: GOTEnd == GOTBase
+	written := 0
+	for s := uint64(0); s < 64; s++ {
+		if im.Memory().Read64(base+s*8) == 7 {
+			written++
+		}
+	}
+	if written < 32 {
+		t.Errorf("only %d/64 slots written by 200 swept stores", written)
+	}
+	if c.Counters().Stores != 200 {
+		t.Errorf("Stores = %d", c.Counters().Stores)
+	}
+}
+
+// TestCountersSubRoundTrip: Sub must be exact for every field.
+func TestCountersSubRoundTrip(t *testing.T) {
+	im := buildProgram(t, 4, linker.BindLazy)
+	c := New(im, EnhancedConfig())
+	run(t, c, 2)
+	mid := c.Counters()
+	run(t, c, 3)
+	end := c.Counters()
+	d := end.Sub(mid)
+	if d.Instructions != end.Instructions-mid.Instructions {
+		t.Error("Sub wrong for Instructions")
+	}
+	if d.TrampSkips != end.TrampSkips-mid.TrampSkips {
+		t.Error("Sub wrong for TrampSkips")
+	}
+	if d.L1IMisses != end.L1IMisses-mid.L1IMisses {
+		t.Error("Sub wrong for L1IMisses")
+	}
+	if d.MispredCond != end.MispredCond-mid.MispredCond {
+		t.Error("Sub wrong for MispredCond")
+	}
+	if d.ABTBRedirects != end.ABTBRedirects-mid.ABTBRedirects {
+		t.Error("Sub wrong for ABTBRedirects")
+	}
+}
+
+// TestResolverStackDiscipline: the lazy resolver consumes exactly the
+// two pushed words, so nested library calls resolve correctly even on
+// the first invocation (call chains through multiple unresolved PLTs).
+func TestResolverStackDiscipline(t *testing.T) {
+	app := objfile.New("app")
+	app.NewFunc("main").Call("outer").Halt()
+	lib1 := objfile.New("lib1")
+	lib1.NewFunc("outer").ALU(1).Call("inner").Ret() // cross-lib call, also unresolved
+	lib2 := objfile.New("lib2")
+	lib2.AddData("d", 8)
+	lib2.NewFunc("inner").Store("d", 0, 1, 99).Ret()
+	im, err := linker.Link(app, []*objfile.Object{lib1, lib2}, linker.Options{Mode: linker.BindLazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(im, EnhancedConfig())
+	// First run: two nested resolutions on one call chain.
+	if _, err := c.RunSymbol("main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Counters().Resolutions != 2 {
+		t.Errorf("Resolutions = %d, want 2", c.Counters().Resolutions)
+	}
+	lib2Mod := im.Modules()[2]
+	if got := im.Memory().Read64((lib2Mod.GOTEnd + 63) &^ 63); got != 99 {
+		t.Errorf("inner side effect = %d, want 99 (stack corrupted?)", got)
+	}
+}
+
+// TestRunResultMatchesCounters: RunResult deltas must agree with the
+// counter snapshots.
+func TestRunResultMatchesCounters(t *testing.T) {
+	im := buildProgram(t, 3, linker.BindLazy)
+	c := New(im, DefaultConfig())
+	before := c.Counters()
+	res, err := c.RunSymbol("main", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.Counters().Sub(before)
+	if res.Instructions != d.Instructions || res.Cycles != d.Cycles {
+		t.Errorf("RunResult %+v != counter delta {%d %d}", res, d.Instructions, d.Cycles)
+	}
+}

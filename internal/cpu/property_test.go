@@ -1,0 +1,241 @@
+package cpu
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/linker"
+	"repro/internal/objfile"
+)
+
+// genRandomProgram builds a random but valid application + libraries:
+// random function counts, bodies mixing ALU/loads/stores/conditionals,
+// random call graphs (app → libs, lib i → lib j>i), function pointers,
+// and occasional ifuncs.  It is the input generator for the
+// cross-configuration property tests below.
+func genRandomProgram(seed uint64) (*objfile.Object, []*objfile.Object) {
+	rng := rand.New(rand.NewPCG(seed, 0xbadc0de))
+
+	nLibs := 1 + rng.IntN(3)
+	libs := make([]*objfile.Object, nLibs)
+	names := make([][]string, nLibs)
+	for i := range libs {
+		lib := objfile.New(fmt.Sprintf("lib%d", i))
+		lib.AddData("d", 4096)
+		n := 2 + rng.IntN(6)
+		names[i] = make([]string, n)
+		for j := 0; j < n; j++ {
+			name := fmt.Sprintf("lib%d_f%d", i, j)
+			names[i][j] = name
+			f := lib.NewFunc(name)
+			emitRandomBody(rng, f, "d")
+			// Cross-library call to a later library.
+			if i+1 < nLibs && rng.IntN(3) == 0 {
+				// Later lib names are deterministic by construction.
+				li := i + 1 + rng.IntN(nLibs-i-1)
+				f.Call(fmt.Sprintf("lib%d_f%d", li, 0))
+			}
+			f.Ret()
+		}
+		// Occasionally export an ifunc over two variants.
+		if n >= 2 && rng.IntN(2) == 0 {
+			lib.DeclareIFunc(fmt.Sprintf("lib%d_ifn", i), names[i][0], names[i][1])
+			names[i] = append(names[i], fmt.Sprintf("lib%d_ifn", i))
+		}
+		libs[i] = lib
+	}
+
+	app := objfile.New("app")
+	app.AddData("heap", 8192)
+	// A vtable slot for indirect calls.
+	app.AddData("vt", 16)
+	app.InitPtr("vt", 0, names[0][0])
+	m := app.NewFunc("main")
+	calls := 3 + rng.IntN(12)
+	for i := 0; i < calls; i++ {
+		switch rng.IntN(5) {
+		case 0:
+			m.CallPtr("vt", 0)
+		default:
+			li := rng.IntN(nLibs)
+			m.Call(names[li][rng.IntN(len(names[li]))])
+		}
+		if rng.IntN(3) == 0 {
+			m.ALU(1 + rng.IntN(6))
+		}
+		if rng.IntN(4) == 0 {
+			m.Load("heap", uint64(rng.IntN(512))*8, uint64(1+rng.IntN(16)))
+		}
+	}
+	m.Halt()
+	return app, libs
+}
+
+func emitRandomBody(rng *rand.Rand, f *objfile.Func, region string) {
+	for n := 1 + rng.IntN(4); n > 0; n-- {
+		switch rng.IntN(4) {
+		case 0:
+			f.ALU(1 + rng.IntN(8))
+		case 1:
+			f.Load(region, uint64(rng.IntN(400))*8, uint64(1+rng.IntN(8)))
+		case 2:
+			f.Store(region, uint64(rng.IntN(400))*8, uint64(1+rng.IntN(8)), rng.Uint64())
+		case 3:
+			f.CondSkip(uint8(rng.IntN(101)), 1)
+			f.ALU(1)
+		}
+	}
+	if rng.IntN(3) == 0 {
+		f.ALU(2)
+		f.LoopBack(uint8(50+rng.IntN(40)), 2)
+	}
+}
+
+// TestPropertyRandomProgramsAllModes: every random program must link
+// and run to completion under every binding mode and both hardware
+// configurations, with deterministic results.
+func TestPropertyRandomProgramsAllModes(t *testing.T) {
+	modes := []linker.BindingMode{linker.BindLazy, linker.BindNow, linker.BindStatic, linker.BindPatched}
+	for seed := uint64(0); seed < 40; seed++ {
+		app, libs := genRandomProgram(seed)
+		for _, mode := range modes {
+			im, err := linker.Link(app, libs, linker.Options{Mode: mode, Seed: seed, IFuncLevel: int(seed % 3)})
+			if err != nil {
+				t.Fatalf("seed %d mode %v: %v", seed, mode, err)
+			}
+			for _, enhanced := range []bool{false, true} {
+				cfg := DefaultConfig()
+				if enhanced {
+					cfg = EnhancedConfig()
+				}
+				cfg.Seed = seed
+				// Fresh image per CPU: lazy GOT state is mutable.
+				im2, err := linker.Link(app, libs, linker.Options{Mode: mode, Seed: seed, IFuncLevel: int(seed % 3)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				_ = im
+				c := New(im2, cfg)
+				for r := 0; r < 3; r++ {
+					if _, err := c.RunSymbol("main", 2_000_000); err != nil {
+						t.Fatalf("seed %d mode %v enhanced=%v run %d: %v",
+							seed, mode, enhanced, r, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyBaseEnhancedEquivalence: for random lazy-linked
+// programs, the enhanced system must (a) produce identical memory
+// side effects, (b) retire exactly TrampSkips fewer instructions,
+// (c) make identical library calls, and (d) mispredict identically on
+// conditional branches.
+func TestPropertyBaseEnhancedEquivalence(t *testing.T) {
+	for seed := uint64(100); seed < 160; seed++ {
+		app, libs := genRandomProgram(seed)
+		opts := linker.Options{Mode: linker.BindLazy, Seed: seed}
+		imB, err := linker.Link(app, libs, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		imE, err := linker.Link(app, libs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgB, cfgE := DefaultConfig(), EnhancedConfig()
+		cfgB.Seed, cfgE.Seed = seed, seed
+		base, enh := New(imB, cfgB), New(imE, cfgE)
+		for r := 0; r < 5; r++ {
+			if _, err := base.RunSymbol("main", 2_000_000); err != nil {
+				t.Fatalf("seed %d base: %v", seed, err)
+			}
+			if _, err := enh.RunSymbol("main", 2_000_000); err != nil {
+				t.Fatalf("seed %d enhanced: %v", seed, err)
+			}
+		}
+		cb, ce := base.Counters(), enh.Counters()
+		if cb.Instructions-ce.Instructions != ce.TrampSkips {
+			t.Errorf("seed %d: instruction delta %d != skips %d",
+				seed, cb.Instructions-ce.Instructions, ce.TrampSkips)
+		}
+		if cb.TrampCalls != ce.TrampCalls || cb.Resolutions != ce.Resolutions {
+			t.Errorf("seed %d: call/resolution divergence", seed)
+		}
+		if cb.MispredCond != ce.MispredCond {
+			t.Errorf("seed %d: conditional mispredicts diverged %d vs %d",
+				seed, cb.MispredCond, ce.MispredCond)
+		}
+		// Identical data side effects in every module's data segment.
+		for mi, mb := range imB.Modules() {
+			me := imE.Modules()[mi]
+			if mb.DataBase != me.DataBase {
+				t.Fatalf("seed %d: layouts diverged", seed)
+			}
+			for a := mb.GOTEnd; a < mb.DataEnd; a += 8 {
+				if imB.Memory().Read64(a) != imE.Memory().Read64(a) {
+					t.Fatalf("seed %d: memory divergence at %#x in %s", seed, a, mb.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyRebindNeverStale: randomly interleave calls and
+// re-bindings of one import between two implementations; after every
+// re-bind, the next call must observe the new implementation, on both
+// systems.  This drives the Bloom-filter/flush machinery through
+// arbitrary schedules — the paper's §3.1 safety argument under attack.
+func TestPropertyRebindNeverStale(t *testing.T) {
+	for seed := uint64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 0x5afe))
+		app := objfile.New("app")
+		app.NewFunc("main").Call("api").Halt()
+		app.NewFunc("bind1").RebindImport("api", "impl1").Halt()
+		app.NewFunc("bind2").RebindImport("api", "impl2").Halt()
+		lib := objfile.New("lib")
+		lib.AddData("out", 8)
+		lib.NewFunc("api").Store("out", 0, 1, 1).Ret() // initial = impl1-ish
+		lib.NewFunc("impl1").Store("out", 0, 1, 1).Ret()
+		lib.NewFunc("impl2").Store("out", 0, 1, 2).Ret()
+
+		for _, enhanced := range []bool{false, true} {
+			im, err := linker.Link(app, []*objfile.Object{lib}, linker.Options{Mode: linker.BindLazy, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig()
+			if enhanced {
+				cfg = EnhancedConfig()
+			}
+			c := New(im, cfg)
+			lib0 := im.Modules()[1]
+			outAddr := (lib0.GOTEnd + 63) &^ 63
+			want := uint64(1)
+			for op := 0; op < 40; op++ {
+				switch rng.IntN(3) {
+				case 0:
+					if _, err := c.RunSymbol("bind1", 0); err != nil {
+						t.Fatal(err)
+					}
+					want = 1
+				case 1:
+					if _, err := c.RunSymbol("bind2", 0); err != nil {
+						t.Fatal(err)
+					}
+					want = 2
+				default:
+					if _, err := c.RunSymbol("main", 0); err != nil {
+						t.Fatal(err)
+					}
+					if got := im.Memory().Read64(outAddr); got != want {
+						t.Fatalf("seed %d enhanced=%v op %d: out = %d, want %d (stale redirect!)",
+							seed, enhanced, op, got, want)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/linker"
+	"repro/internal/objfile"
+)
+
+// rebindProgram builds an app whose "api" import can be re-bound at
+// runtime from api_v1 to api_v2 (dlclose/interposition).  The two
+// implementations leave distinguishable side effects.
+func rebindProgram(t *testing.T, mode linker.BindingMode) *linker.Image {
+	t.Helper()
+	app := objfile.New("app")
+	app.NewFunc("main").Call("api").Halt()
+	app.NewFunc("upgrade").RebindImport("api", "api_v2").Halt()
+
+	lib := objfile.New("lib")
+	lib.AddData("out", 8)
+	lib.NewFunc("api").Store("out", 0, 1, 111).Ret()
+	lib.NewFunc("api_v2").Store("out", 0, 1, 222).Ret()
+	im, err := linker.Link(app, []*objfile.Object{lib}, linker.Options{Mode: mode, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func outValue(im *linker.Image) uint64 {
+	lib := im.Modules()[1]
+	addr := (lib.GOTEnd + 63) &^ 63 // first data region, 64-byte aligned
+	return im.Memory().Read64(addr)
+}
+
+// The paper's §3.3 "GOT entry of library function modified" case, end
+// to end: after a runtime re-bind, both systems must call the new
+// implementation; the enhanced system must flush its stale mapping
+// (Bloom filter hit on the GOT store) and then re-learn the new one.
+func TestRebindEndToEnd(t *testing.T) {
+	for _, tt := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"base", DefaultConfig()},
+		{"enhanced", EnhancedConfig()},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			im := rebindProgram(t, linker.BindLazy)
+			c := New(im, tt.cfg)
+			// Several calls: resolve, then steady state on v1.
+			for i := 0; i < 4; i++ {
+				if _, err := c.RunSymbol("main", 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := outValue(im); got != 111 {
+				t.Fatalf("pre-rebind out = %d, want 111", got)
+			}
+			flushesBefore := uint64(0)
+			if c.Enhanced() {
+				flushesBefore = c.ABTB().Flushes()
+				if c.ABTB().Len() == 0 {
+					t.Fatal("ABTB empty before rebind")
+				}
+			}
+
+			if _, err := c.RunSymbol("upgrade", 0); err != nil {
+				t.Fatal(err)
+			}
+			if c.Enhanced() && c.ABTB().Flushes() == flushesBefore {
+				t.Error("GOT store did not flush the ABTB")
+			}
+
+			// Every subsequent call must land in v2.
+			for i := 0; i < 4; i++ {
+				if _, err := c.RunSymbol("main", 0); err != nil {
+					t.Fatal(err)
+				}
+				if got := outValue(im); got != 222 {
+					t.Fatalf("post-rebind call %d: out = %d, want 222", i, got)
+				}
+			}
+			// The enhanced system re-learns the new mapping and
+			// resumes skipping.
+			if c.Enhanced() {
+				before := c.Counters()
+				if _, err := c.RunSymbol("main", 0); err != nil {
+					t.Fatal(err)
+				}
+				d := c.Counters().Sub(before)
+				if d.TrampSkips != 1 {
+					t.Errorf("post-rebind steady state: skips = %d, want 1", d.TrampSkips)
+				}
+			}
+		})
+	}
+}
+
+// The paper's criticism of its own software emulation (§4): patched
+// call sites bypass the GOT, so re-binding a library silently keeps
+// calling the old code — "removing or updating a library could result
+// in dangling call instruction targets".  The hardware approach above
+// handles the same sequence correctly.
+func TestRebindStaleUnderSoftwarePatching(t *testing.T) {
+	im := rebindProgram(t, linker.BindPatched)
+	c := New(im, DefaultConfig())
+	if _, err := c.RunSymbol("main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunSymbol("upgrade", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunSymbol("main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := outValue(im); got != 111 {
+		t.Fatalf("patched mode after rebind: out = %d (patched call sites cannot retarget; want stale 111)", got)
+	}
+}
+
+func TestRebindEagerMode(t *testing.T) {
+	im := rebindProgram(t, linker.BindNow)
+	c := New(im, EnhancedConfig())
+	if _, err := c.RunSymbol("main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunSymbol("upgrade", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunSymbol("main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := outValue(im); got != 222 {
+		t.Fatalf("eager mode after rebind: out = %d, want 222", got)
+	}
+}
+
+// ifuncProgram: lib exports string routine "strcpy" as an ifunc with
+// a baseline and an SSE-ish variant; both the app and the library
+// itself call it — through the PLT in both cases (§2.4.1).
+func ifuncProgram(t *testing.T, mode linker.BindingMode, level int) *linker.Image {
+	t.Helper()
+	app := objfile.New("app")
+	app.NewFunc("main").Call("strcpy").Call("wrapper").Halt()
+
+	lib := objfile.New("lib")
+	lib.AddData("out", 8)
+	lib.NewFunc("strcpy_baseline").Store("out", 0, 1, 1000).Ret()
+	lib.NewFunc("strcpy_sse").Store("out", 0, 1, 2000).Ret()
+	lib.DeclareIFunc("strcpy", "strcpy_baseline", "strcpy_sse")
+	// The library's own wrapper also calls the ifunc: even this
+	// intra-module call goes through lib's PLT.
+	lib.NewFunc("wrapper").ALU(1).Call("strcpy").Ret()
+
+	im, err := linker.Link(app, []*objfile.Object{lib},
+		linker.Options{Mode: mode, Seed: 5, IFuncLevel: level})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func TestIFuncSelectsVariantByHardwareLevel(t *testing.T) {
+	for _, tt := range []struct {
+		level int
+		want  uint64
+	}{
+		{0, 1000}, {1, 2000}, {9, 2000}, // level clamps to best variant
+	} {
+		im := ifuncProgram(t, linker.BindLazy, tt.level)
+		c := New(im, DefaultConfig())
+		if _, err := c.RunSymbol("main", 0); err != nil {
+			t.Fatal(err)
+		}
+		if got := outValue(im); got != tt.want {
+			t.Errorf("level %d: out = %d, want %d", tt.level, got, tt.want)
+		}
+	}
+}
+
+func TestIFuncCallsGoThroughPLT(t *testing.T) {
+	im := ifuncProgram(t, linker.BindLazy, 1)
+	c := New(im, DefaultConfig())
+	// Warm run resolves; measure the second.
+	if _, err := c.RunSymbol("main", 0); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Counters()
+	if _, err := c.RunSymbol("main", 0); err != nil {
+		t.Fatal(err)
+	}
+	d := c.Counters().Sub(before)
+	// Three trampolined calls per run: app→strcpy, app→wrapper is
+	// a plain external (also via PLT), and lib's own wrapper→strcpy
+	// through lib's PLT (the §2.4.1 point).
+	if d.TrampCalls != 3 {
+		t.Errorf("TrampCalls = %d, want 3", d.TrampCalls)
+	}
+	lib := im.Modules()[1]
+	found := false
+	for _, sym := range lib.Imports() {
+		if sym == "strcpy" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("library's own PLT has no slot for its local ifunc")
+	}
+}
+
+func TestIFuncSkippedByABTB(t *testing.T) {
+	im := ifuncProgram(t, linker.BindLazy, 1)
+	c := New(im, EnhancedConfig())
+	for i := 0; i < 3; i++ {
+		if _, err := c.RunSymbol("main", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := c.Counters()
+	if _, err := c.RunSymbol("main", 0); err != nil {
+		t.Fatal(err)
+	}
+	d := c.Counters().Sub(before)
+	if d.TrampSkips != d.TrampCalls || d.TrampCalls == 0 {
+		t.Errorf("ifunc trampolines not skipped: %d of %d", d.TrampSkips, d.TrampCalls)
+	}
+	if got := outValue(im); got != 2000 {
+		t.Errorf("skipped ifunc produced wrong variant: out = %d", got)
+	}
+}
+
+func TestIFuncStaticModeDirect(t *testing.T) {
+	im := ifuncProgram(t, linker.BindStatic, 1)
+	c := New(im, DefaultConfig())
+	if _, err := c.RunSymbol("main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := outValue(im); got != 2000 {
+		t.Errorf("static ifunc: out = %d, want 2000", got)
+	}
+	if c.Counters().TrampCalls != 0 {
+		t.Error("static link executed trampolines")
+	}
+}

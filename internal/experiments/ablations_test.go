@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Ablations are expensive (each design point is a full simulation);
+// they share the package-level suite's seed but run their own systems.
+
+func TestAblationBloomSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps seven full simulations")
+	}
+	points, err := shared.AblationBloomSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 7 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// The cliff: an undersized filter saturates (about 400 GOT
+	// addresses live in it between flushes) and spuriously flushes on
+	// ordinary stores; a generously sized one never does.
+	smallest, largest := points[0], points[len(points)-1]
+	if smallest.FlushingStores == 0 {
+		t.Errorf("%d-bit filter reported no spurious flushes", smallest.Bits)
+	}
+	if largest.FlushingStores > smallest.FlushingStores/20 {
+		t.Errorf("%d-bit filter still flushes %d times (smallest: %d)",
+			largest.Bits, largest.FlushingStores, smallest.FlushingStores)
+	}
+	if largest.SkipPct <= smallest.SkipPct {
+		t.Errorf("skip rate did not improve with filter size: %.1f%% -> %.1f%%",
+			smallest.SkipPct, largest.SkipPct)
+	}
+	// Monotone non-increasing flush counts as the filter grows.
+	for i := 1; i < len(points); i++ {
+		if points[i].FlushingStores > points[i-1].FlushingStores {
+			t.Errorf("flushing stores rose at %d bits: %d -> %d",
+				points[i].Bits, points[i-1].FlushingStores, points[i].FlushingStores)
+		}
+	}
+	if !strings.Contains(FormatBloomSweep(points), "Bloom") {
+		t.Error("FormatBloomSweep malformed")
+	}
+}
+
+func TestAblationBindingModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs five full simulations")
+	}
+	points, err := shared.AblationBindingModes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]BindingPoint{}
+	for _, p := range points {
+		byLabel[p.Label] = p
+	}
+	base, enhanced := byLabel["base"], byLabel["enhanced"]
+	static, patched, eager := byLabel["static"], byLabel["patched"], byLabel["eager"]
+
+	// The paper's framing: enhanced delivers (nearly) the performance
+	// of static linking.  Allow enhanced to close at least 60% of the
+	// base→static gap.
+	gap := base.MeanUS - static.MeanUS
+	if gap <= 0 {
+		t.Fatalf("static (%.2f) not faster than base (%.2f)", static.MeanUS, base.MeanUS)
+	}
+	// The residual gap is the occasionally-unskipped tail plus the
+	// denser static text layout, which no trampoline-skipping scheme
+	// recovers.
+	closed := base.MeanUS - enhanced.MeanUS
+	if closed < 0.45*gap {
+		t.Errorf("enhanced closes %.1f%% of the static gap, want >= 45%%", closed/gap*100)
+	}
+	// Static and patched have no trampolines; base and eager do.
+	if static.TrampPKI != 0 || patched.TrampPKI != 0 {
+		t.Errorf("static/patched executed trampolines: %.2f / %.2f", static.TrampPKI, patched.TrampPKI)
+	}
+	if base.TrampPKI <= 0 || eager.TrampPKI <= 0 {
+		t.Errorf("base/eager executed no trampolines: %.2f / %.2f", base.TrampPKI, eager.TrampPKI)
+	}
+	if !strings.Contains(FormatBindingModes(points), "static") {
+		t.Error("FormatBindingModes malformed")
+	}
+}
+
+func TestAblationExplicitInvalidate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full simulations")
+	}
+	points, err := shared.AblationExplicitInvalidate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	bloom, explicit := points[0], points[1]
+	// Both variants skip nearly everything in steady state.
+	if bloom.SkipPct < 90 || explicit.SkipPct < 90 {
+		t.Errorf("skip rates %.1f%% / %.1f%%, want > 90%%", bloom.SkipPct, explicit.SkipPct)
+	}
+	// The §3.4 variant is the cheaper hardware.
+	if explicit.StorageBytes >= bloom.StorageBytes {
+		t.Errorf("explicit variant (%dB) not cheaper than bloom (%dB)",
+			explicit.StorageBytes, bloom.StorageBytes)
+	}
+	if !strings.Contains(FormatExplicitInvalidate(points), "explicit") {
+		t.Error("FormatExplicitInvalidate malformed")
+	}
+}
+
+func TestAblationContextSwitch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs six full simulations")
+	}
+	points, err := shared.AblationContextSwitch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("points = %d", len(points))
+	}
+	get := func(label string, every int) ContextSwitchPoint {
+		for _, p := range points {
+			if p.Label == label && p.SwitchEvery == every {
+				return p
+			}
+		}
+		t.Fatalf("missing point %s/%d", label, every)
+		return ContextSwitchPoint{}
+	}
+	// ASID tagging preserves the skip rate under frequent switches;
+	// the flushing design loses it (§3.3).
+	if a, f := get("asid", 1), get("flush", 1); a.SkipPct <= f.SkipPct {
+		t.Errorf("every-request switches: asid %.1f%% <= flush %.1f%%", a.SkipPct, f.SkipPct)
+	}
+	// With rare switches the flushing design recovers.
+	if f1, f16 := get("flush", 1), get("flush", 16); f16.SkipPct <= f1.SkipPct {
+		t.Errorf("flush policy did not recover with rarer switches: %.1f%% vs %.1f%%",
+			f16.SkipPct, f1.SkipPct)
+	}
+	if !strings.Contains(FormatContextSwitch(points), "asid") {
+		t.Error("FormatContextSwitch malformed")
+	}
+}
+
+func TestAblationABTBGeometry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four full simulations")
+	}
+	points, err := shared.AblationABTBGeometry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skip rate grows with live table size, mirroring Figure 5.
+	for i := 1; i < len(points); i++ {
+		if points[i].SkipPct < points[i-1].SkipPct-2 { // small tolerance: live runs have churn
+			t.Errorf("live skip rate fell at %d entries: %.1f%% -> %.1f%%",
+				points[i].Entries, points[i-1].SkipPct, points[i].SkipPct)
+		}
+	}
+	last := points[len(points)-1]
+	if last.SkipPct < 90 {
+		t.Errorf("1024-entry live ABTB skips %.1f%%, want > 90%%", last.SkipPct)
+	}
+	if !strings.Contains(FormatABTBGeometry(points), "Entries") {
+		t.Error("FormatABTBGeometry malformed")
+	}
+}
+
+func TestAblationPLTStyle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four full simulations")
+	}
+	points, err := shared.AblationPLTStyle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+	get := func(style string, enhanced bool) PLTStylePoint {
+		for _, p := range points {
+			if p.Style == style && p.Enhanced == enhanced {
+				return p
+			}
+		}
+		t.Fatalf("missing %s/%v", style, enhanced)
+		return PLTStylePoint{}
+	}
+	x86b, x86e := get("x86", false), get("x86", true)
+	armb, arme := get("arm", false), get("arm", true)
+	// ARM trampolines cost ~3 instructions per call vs 1 on x86.
+	if armb.TrampPKI < 2.2*x86b.TrampPKI {
+		t.Errorf("ARM base trampoline PKI %.2f not ~3x x86's %.2f", armb.TrampPKI, x86b.TrampPKI)
+	}
+	// Both enhanced systems skip nearly everything.
+	if x86e.SkipPct < 90 || arme.SkipPct < 90 {
+		t.Errorf("skip rates %.1f%% / %.1f%%", x86e.SkipPct, arme.SkipPct)
+	}
+	// The ABTB's win is at least as large on ARM (more instructions
+	// eliminated per skip).
+	if arme.ImprovePct < x86e.ImprovePct-0.05 {
+		t.Errorf("ARM improvement %.2f%% < x86 %.2f%%", arme.ImprovePct, x86e.ImprovePct)
+	}
+	if !strings.Contains(FormatPLTStyle(points), "arm") {
+		t.Error("FormatPLTStyle malformed")
+	}
+}
+
+func TestAblationSMP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs six cluster simulations")
+	}
+	points, err := shared.AblationSMP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.Enhanced && p.ImprovePct < -0.3 {
+			t.Errorf("%d cores: enhanced slower by %.2f%%", p.Cores, -p.ImprovePct)
+		}
+	}
+	if !strings.Contains(FormatSMP(points), "Cores") {
+		t.Error("FormatSMP malformed")
+	}
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestApacheMechanismAnatomy pins the microarchitectural anatomy of
+// the headline result on Apache: where the enhanced system's wins and
+// costs come from.  It guards against regressions in the balance this
+// reproduction converged on:
+//
+//   - conditional mispredicts identical (deterministic execution);
+//   - base pays indirect-branch mispredicts on trampolines under BTB
+//     pressure, which the enhanced system eliminates;
+//   - the enhanced system pays call-redirect mispredicts instead, but
+//     fewer, so total mispredicts drop (the paper's Table 4 row);
+//   - nearly all trampoline calls are skipped in steady state;
+//   - the Bloom filter never spuriously flushes in steady state.
+func TestApacheMechanismAnatomy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs tens of millions of instructions")
+	}
+	w := workload.Apache(1)
+	run := func(cfg core.Config) *core.System {
+		sys, err := w.NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := workload.NewDriver(w, sys, 18)
+		if err := d.Warmup(80); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Run(200); err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	base := run(core.Base(1))
+	enh := run(core.Enhanced(1))
+	cb, ce := base.Counters(), enh.Counters()
+
+	t.Logf("base: mispred=%d (cond=%d ind=%d call=%d) bubbles=%d cycles=%d",
+		cb.Mispredicts, cb.MispredCond, cb.MispredIndirect, cb.MispredCall, cb.FetchBubbles, cb.Cycles)
+	t.Logf("enh:  mispred=%d (cond=%d ind=%d call=%d) bubbles=%d cycles=%d skips=%d/%d",
+		ce.Mispredicts, ce.MispredCond, ce.MispredIndirect, ce.MispredCall, ce.FetchBubbles, ce.Cycles,
+		ce.TrampSkips, ce.TrampCalls)
+
+	if cb.MispredCond != ce.MispredCond {
+		t.Errorf("conditional mispredicts diverged: %d vs %d (determinism broken)",
+			cb.MispredCond, ce.MispredCond)
+	}
+	if cb.MispredCall != 0 {
+		t.Errorf("base system has %d call-redirect mispredicts", cb.MispredCall)
+	}
+	if ce.MispredIndirect >= cb.MispredIndirect {
+		t.Errorf("indirect mispredicts not reduced: %d -> %d",
+			cb.MispredIndirect, ce.MispredIndirect)
+	}
+	if ce.Mispredicts >= cb.Mispredicts {
+		t.Errorf("total mispredicts not reduced: %d -> %d", cb.Mispredicts, ce.Mispredicts)
+	}
+	if ce.Cycles >= cb.Cycles {
+		t.Errorf("cycles not reduced: %d -> %d", cb.Cycles, ce.Cycles)
+	}
+	skipRate := float64(ce.TrampSkips) / float64(ce.TrampCalls)
+	if skipRate < 0.9 {
+		t.Errorf("steady-state skip rate %.3f, want > 0.9", skipRate)
+	}
+	if ab := enh.CPU().ABTB(); ab.FlushingStores() != 0 {
+		t.Errorf("%d spurious Bloom-filter flushes in steady state", ab.FlushingStores())
+	}
+}

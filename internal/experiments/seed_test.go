@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+// TestSeedRobustness guards against seed-overfitting: the headline
+// Apache improvement must be positive for several unrelated seeds, not
+// just the documented one.
+func TestSeedRobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several full apache pairs")
+	}
+	for _, seed := range []uint64{2, 5, 11} {
+		s := NewSuite(seed, 0.4)
+		rows, err := s.Speedups()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Workload == "apache" {
+				t.Logf("seed %d: apache improvement %+.2f%%", seed, r.ImprovePct)
+				if r.ImprovePct < 0.3 {
+					t.Errorf("seed %d: apache improvement %.2f%%, want >= 0.3%%", seed, r.ImprovePct)
+				}
+			}
+			if r.ImprovePct < -0.5 {
+				t.Errorf("seed %d: %s regressed %.2f%%", seed, r.Workload, r.ImprovePct)
+			}
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§5), plus the ablations called out in DESIGN.md.
+//
+// Each experiment is a method on Suite returning typed rows and a
+// paper-style textual rendering.  The Suite lazily runs each workload
+// once under the Base configuration and once under Enhanced (the
+// paper's two columns), with identical seeds and request interleaving,
+// and caches the results so that e.g. Table 2, Table 3, Figure 4 and
+// Figure 5 all reuse a single pair of simulations.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// WorkloadSpec binds a workload generator to its measurement budget.
+type WorkloadSpec struct {
+	Name    string
+	Gen     func(seed uint64) *workload.Workload
+	Warm    int // warmup requests before measurement
+	Measure int // measured requests
+}
+
+// Workloads is the evaluation's workload set (§4.4), in the paper's
+// presentation order.
+var Workloads = []WorkloadSpec{
+	{Name: "apache", Gen: workload.Apache, Warm: 80, Measure: 400},
+	{Name: "firefox", Gen: workload.Firefox, Warm: 20, Measure: 150},
+	{Name: "memcached", Gen: workload.Memcached, Warm: 80, Measure: 600},
+	{Name: "mysql", Gen: workload.MySQL, Warm: 40, Measure: 200},
+}
+
+// Suite runs the evaluation.
+type Suite struct {
+	// Seed drives workload generation, layout, and request
+	// interleaving.  The same seed produces bit-identical results.
+	Seed uint64
+
+	// Scale multiplies measurement request counts: 1.0 is the default
+	// budget; smaller values give quick smoke runs, larger values
+	// smoother distributions.
+	Scale float64
+
+	runs map[string]*runData
+}
+
+// NewSuite returns a Suite with the given seed and scale.
+func NewSuite(seed uint64, scale float64) *Suite {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Suite{Seed: seed, Scale: scale, runs: make(map[string]*runData)}
+}
+
+// runData is one workload's matched Base/Enhanced measurement pair.
+type runData struct {
+	spec WorkloadSpec
+	w    *workload.Workload
+
+	base, enh         *core.System
+	baseSamp, enhSamp map[string]*stats.Sample // per request class, µs
+	baseCnt, enhCnt   cpu.Counters
+	baseRec           *trace.Recorder
+}
+
+func (s *Suite) measure(spec WorkloadSpec) int {
+	n := int(float64(spec.Measure) * s.Scale)
+	if n < 20 {
+		n = 20
+	}
+	return n
+}
+
+// run lazily executes the Base/Enhanced pair for a workload.
+func (s *Suite) run(name string) (*runData, error) {
+	if rd, ok := s.runs[name]; ok {
+		return rd, nil
+	}
+	var spec WorkloadSpec
+	found := false
+	for _, ws := range Workloads {
+		if ws.Name == name {
+			spec, found = ws, true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("experiments: unknown workload %q", name)
+	}
+
+	rd := &runData{spec: spec, w: spec.Gen(s.Seed)}
+	var err error
+	if rd.base, err = rd.w.NewSystem(core.Base(s.Seed)); err != nil {
+		return nil, err
+	}
+	if rd.enh, err = rd.w.NewSystem(core.Enhanced(s.Seed)); err != nil {
+		return nil, err
+	}
+
+	n := s.measure(spec)
+	for _, sysCase := range []struct {
+		sys  *core.System
+		samp *map[string]*stats.Sample
+		cnt  *cpu.Counters
+	}{
+		{rd.base, &rd.baseSamp, &rd.baseCnt},
+		{rd.enh, &rd.enhSamp, &rd.enhCnt},
+	} {
+		// Matched interleaving: same driver seed for both systems.
+		d := workload.NewDriver(rd.w, sysCase.sys, s.Seed+17)
+		if err := d.Warmup(spec.Warm); err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", spec.Name, err)
+		}
+		samp, err := d.Run(n)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", spec.Name, err)
+		}
+		*sysCase.samp = samp
+		*sysCase.cnt = sysCase.sys.Counters()
+	}
+	rd.baseRec = rd.base.LifetimeRecorder()
+	s.runs[name] = rd
+	return rd, nil
+}
+
+// all runs every workload pair.
+func (s *Suite) all() ([]*runData, error) {
+	out := make([]*runData, 0, len(Workloads))
+	for _, ws := range Workloads {
+		rd, err := s.run(ws.Name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rd)
+	}
+	return out, nil
+}
+
+// merged returns one sample merging every request class.
+func merged(samp map[string]*stats.Sample) *stats.Sample {
+	out := &stats.Sample{}
+	for _, s := range samp {
+		out.AddAll(s.Values())
+	}
+	return out
+}

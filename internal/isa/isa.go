@@ -1,0 +1,269 @@
+// Package isa defines the instruction-set model executed by the CPU
+// simulator.
+//
+// The model is a compact x86-64-like ISA: variable-length instructions
+// identified by virtual address, with explicit opcodes for the three
+// control-flow shapes the paper cares about — direct calls, indirect
+// calls through memory (function pointers), and indirect jumps through
+// memory (`jmp *(GOT)`, the PLT trampoline).  Everything else that a
+// real program executes is abstracted into ALU, Load and Store
+// instructions whose only architectural effects are the memory
+// addresses they touch; that is all the cache, TLB and branch-predictor
+// models can observe anyway.
+//
+// Dynamic behaviour (conditional-branch outcomes, load/store address
+// variation within a buffer) is a pure function of the instruction
+// address, its per-instruction execution count and a global seed, so a
+// program executes identically under every linker and hardware
+// configuration — the property that makes Base-vs-Enhanced counter
+// comparisons meaningful.
+package isa
+
+import "fmt"
+
+// Op enumerates instruction opcodes.
+type Op uint8
+
+const (
+	// Nop does nothing; used as padding inside PLT slots.
+	Nop Op = iota
+	// ALU is any register-only computation.
+	ALU
+	// Load reads 8 bytes from the effective address.
+	Load
+	// Store writes Val to the effective address.
+	Store
+	// Push stores an immediate to the stack (PLT resolver glue).
+	Push
+	// Call is a direct call to Target; pushes the return address.
+	Call
+	// CallInd is an indirect call: loads the target from the
+	// effective address, then calls it (C-style function pointers,
+	// C++ virtual calls).
+	CallInd
+	// Jmp is a direct unconditional jump to Target.
+	Jmp
+	// JmpCond is a conditional branch to Target, taken with
+	// probability Bias/100, falling through otherwise.
+	JmpCond
+	// JmpMem is an indirect jump through memory: loads the target
+	// from the effective address and jumps.  This is the x86-64 PLT
+	// trampoline, `jmp *disp32(%rip)`.
+	JmpMem
+	// Ret pops the return address and jumps to it.
+	Ret
+	// Resolve is the dynamic linker's lazy resolver: it binds the
+	// pending PLT relocation (communicated by the preceding Push
+	// instructions, per the ELF convention), stores the resolved
+	// function address into the GOT slot, and jumps to the function.
+	// The binding work itself is modelled by the linker package.
+	Resolve
+	// Halt stops execution; request drivers place it at the end of
+	// the entry function.
+	Halt
+
+	opCount
+)
+
+var opNames = [...]string{
+	Nop:     "nop",
+	ALU:     "alu",
+	Load:    "load",
+	Store:   "store",
+	Push:    "push",
+	Call:    "call",
+	CallInd: "call*",
+	Jmp:     "jmp",
+	JmpCond: "jcc",
+	JmpMem:  "jmp*m",
+	Ret:     "ret",
+	Resolve: "resolve",
+	Halt:    "halt",
+}
+
+// String returns the assembler-style mnemonic for the opcode.
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Op) Valid() bool { return op < opCount }
+
+// IsControlFlow reports whether the opcode redirects the PC.
+func (op Op) IsControlFlow() bool {
+	switch op {
+	case Call, CallInd, Jmp, JmpCond, JmpMem, Ret, Resolve:
+		return true
+	}
+	return false
+}
+
+// IsCall reports whether the opcode is a call (pushes a return
+// address).  The ABTB population rule keys on a retired call followed
+// by a retired indirect branch.
+func (op Op) IsCall() bool { return op == Call || op == CallInd }
+
+// IsIndirectBranch reports whether the branch target is computed at
+// run time rather than encoded in the instruction.
+func (op Op) IsIndirectBranch() bool {
+	switch op {
+	case CallInd, JmpMem, Ret, Resolve:
+		return true
+	}
+	return false
+}
+
+// ReadsMemory reports whether executing the opcode performs a data
+// read (and thus a D-TLB translation and D-cache access).
+func (op Op) ReadsMemory() bool {
+	switch op {
+	case Load, CallInd, JmpMem, Ret:
+		return true
+	}
+	return false
+}
+
+// WritesMemory reports whether executing the opcode performs a data
+// write.  Resolve writes the resolved address into the GOT.
+func (op Op) WritesMemory() bool {
+	switch op {
+	case Store, Push, Call, Resolve:
+		return true
+	}
+	return false
+}
+
+// Instr is one decoded instruction.  Instructions live at fixed
+// virtual addresses inside a linked image; the CPU fetches them by
+// address.
+type Instr struct {
+	Op   Op
+	Size uint8 // encoded length in bytes
+	Bias uint8 // JmpCond: taken probability in percent (0..100)
+
+	// Target is the statically encoded destination for Call, Jmp and
+	// JmpCond.
+	Target uint64
+
+	// Mem is the base of the memory operand for Load, Store, CallInd
+	// and JmpMem.  For JmpMem emitted by the linker this is the GOT
+	// slot holding the function pointer.
+	Mem uint64
+
+	// Span is the number of consecutive 8-byte slots over which the
+	// effective address of a Load/Store varies between executions
+	// (data-structure walking).  0 and 1 both mean a fixed address.
+	Span uint64
+
+	// Val is the immediate for Push and the value written by Store.
+	Val uint64
+}
+
+// Validate reports a descriptive error if the instruction is
+// malformed.  The linker validates every instruction it places.
+func (in *Instr) Validate() error {
+	if !in.Op.Valid() {
+		return fmt.Errorf("isa: invalid opcode %d", uint8(in.Op))
+	}
+	if in.Size == 0 {
+		return fmt.Errorf("isa: %v has zero size", in.Op)
+	}
+	if in.Op == JmpCond && in.Bias > 100 {
+		return fmt.Errorf("isa: %v bias %d%% out of range", in.Op, in.Bias)
+	}
+	switch in.Op {
+	case Call, Jmp, JmpCond:
+		if in.Target == 0 {
+			return fmt.Errorf("isa: %v with unresolved target", in.Op)
+		}
+	case Load, Store, CallInd, JmpMem:
+		if in.Mem == 0 {
+			return fmt.Errorf("isa: %v with zero memory operand", in.Op)
+		}
+	}
+	return nil
+}
+
+// EffAddr returns the effective data address of the n-th dynamic
+// execution of the instruction.  Loads and stores with Span > 1 sweep
+// a Span-slot buffer in a deterministic pseudo-random order; all other
+// memory operands are fixed.
+func (in *Instr) EffAddr(pc uint64, n uint64) uint64 {
+	if in.Span <= 1 {
+		return in.Mem
+	}
+	return in.Mem + 8*(DetHash(pc, n, 0x10ad)%in.Span)
+}
+
+// CondTaken reports whether the n-th dynamic execution of a JmpCond at
+// pc is taken, for the given program seed.
+func (in *Instr) CondTaken(pc, n, seed uint64) bool {
+	return DetHash(pc, n, seed)%100 < uint64(in.Bias)
+}
+
+// DetHash deterministically mixes three 64-bit values into one.  It is
+// the source of all "random" dynamic behaviour in the ISA, keeping
+// program execution bit-identical across hardware configurations.
+func DetHash(a, b, c uint64) uint64 {
+	x := a*0x9e3779b97f4a7c15 + b*0xc2b2ae3d27d4eb4f + c + 0x165667b19e3779f9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Typical encoded sizes, mirroring common x86-64 encodings.  The PLT
+// slot layout (16 bytes: 6-byte jmp*m + 5-byte push + 5-byte jmp)
+// matches the ELF x86-64 psABI exactly, which is what gives
+// trampolines their sparse I-cache footprint (4 slots per 64-byte
+// line).
+const (
+	SizeALU     = 4
+	SizeLoad    = 5
+	SizeStore   = 5
+	SizePush    = 5
+	SizeCall    = 5
+	SizeCallInd = 6
+	SizeJmp     = 5
+	SizeJmpCond = 6
+	SizeJmpMem  = 6
+	SizeRet     = 1
+	SizeHalt    = 2
+)
+
+// DefaultSize returns the typical encoded size for an opcode.
+func DefaultSize(op Op) uint8 {
+	switch op {
+	case ALU:
+		return SizeALU
+	case Load:
+		return SizeLoad
+	case Store:
+		return SizeStore
+	case Push:
+		return SizePush
+	case Call:
+		return SizeCall
+	case CallInd:
+		return SizeCallInd
+	case Jmp:
+		return SizeJmp
+	case JmpCond:
+		return SizeJmpCond
+	case JmpMem:
+		return SizeJmpMem
+	case Ret:
+		return SizeRet
+	case Halt:
+		return SizeHalt
+	case Resolve:
+		return SizeJmpMem
+	default:
+		return SizeALU
+	}
+}

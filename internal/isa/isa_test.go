@@ -1,0 +1,187 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	tests := []struct {
+		op   Op
+		want string
+	}{
+		{Nop, "nop"}, {ALU, "alu"}, {Call, "call"}, {CallInd, "call*"},
+		{JmpMem, "jmp*m"}, {Ret, "ret"}, {Resolve, "resolve"}, {Halt, "halt"},
+	}
+	for _, tt := range tests {
+		if got := tt.op.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", tt.op, got, tt.want)
+		}
+	}
+	if got := Op(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("unknown op String = %q", got)
+	}
+	if Op(200).Valid() {
+		t.Error("Op(200) should be invalid")
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	tests := []struct {
+		op                              Op
+		control, call, indirect, rd, wr bool
+	}{
+		{Nop, false, false, false, false, false},
+		{ALU, false, false, false, false, false},
+		{Load, false, false, false, true, false},
+		{Store, false, false, false, false, true},
+		{Push, false, false, false, false, true},
+		{Call, true, true, false, false, true},
+		{CallInd, true, true, true, true, false},
+		{Jmp, true, false, false, false, false},
+		{JmpCond, true, false, false, false, false},
+		{JmpMem, true, false, true, true, false},
+		{Ret, true, false, true, true, false},
+		{Resolve, true, false, true, false, true},
+		{Halt, false, false, false, false, false},
+	}
+	for _, tt := range tests {
+		if got := tt.op.IsControlFlow(); got != tt.control {
+			t.Errorf("%v.IsControlFlow() = %v, want %v", tt.op, got, tt.control)
+		}
+		if got := tt.op.IsCall(); got != tt.call {
+			t.Errorf("%v.IsCall() = %v, want %v", tt.op, got, tt.call)
+		}
+		if got := tt.op.IsIndirectBranch(); got != tt.indirect {
+			t.Errorf("%v.IsIndirectBranch() = %v, want %v", tt.op, got, tt.indirect)
+		}
+		if got := tt.op.ReadsMemory(); got != tt.rd {
+			t.Errorf("%v.ReadsMemory() = %v, want %v", tt.op, got, tt.rd)
+		}
+		if got := tt.op.WritesMemory(); got != tt.wr {
+			t.Errorf("%v.WritesMemory() = %v, want %v", tt.op, got, tt.wr)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		in      Instr
+		wantErr bool
+	}{
+		{"valid alu", Instr{Op: ALU, Size: 4}, false},
+		{"valid call", Instr{Op: Call, Size: 5, Target: 0x400000}, false},
+		{"call without target", Instr{Op: Call, Size: 5}, true},
+		{"jmp without target", Instr{Op: Jmp, Size: 5}, true},
+		{"load without mem", Instr{Op: Load, Size: 5}, true},
+		{"jmpmem without mem", Instr{Op: JmpMem, Size: 6}, true},
+		{"valid jmpmem", Instr{Op: JmpMem, Size: 6, Mem: 0x601000}, false},
+		{"zero size", Instr{Op: ALU}, true},
+		{"bad opcode", Instr{Op: Op(99), Size: 4}, true},
+		{"bias out of range", Instr{Op: JmpCond, Size: 6, Bias: 150, Target: 1}, true},
+		{"valid jcc", Instr{Op: JmpCond, Size: 6, Bias: 70, Target: 0x400100}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.in.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestEffAddrFixed(t *testing.T) {
+	in := Instr{Op: Load, Size: 5, Mem: 0x1000}
+	for n := uint64(0); n < 10; n++ {
+		if got := in.EffAddr(0x400000, n); got != 0x1000 {
+			t.Fatalf("fixed EffAddr(n=%d) = %#x, want 0x1000", n, got)
+		}
+	}
+	in.Span = 1
+	if got := in.EffAddr(0x400000, 3); got != 0x1000 {
+		t.Fatalf("span-1 EffAddr = %#x, want 0x1000", got)
+	}
+}
+
+func TestEffAddrSpan(t *testing.T) {
+	in := Instr{Op: Load, Size: 5, Mem: 0x1000, Span: 64}
+	seen := map[uint64]bool{}
+	for n := uint64(0); n < 1000; n++ {
+		a := in.EffAddr(0x400000, n)
+		if a < 0x1000 || a >= 0x1000+64*8 {
+			t.Fatalf("EffAddr(n=%d) = %#x out of buffer", n, a)
+		}
+		if a%8 != 0 {
+			t.Fatalf("EffAddr(n=%d) = %#x not 8-byte aligned", n, a)
+		}
+		seen[a] = true
+	}
+	if len(seen) < 32 {
+		t.Errorf("only %d distinct addresses over 1000 executions; want spread", len(seen))
+	}
+}
+
+func TestEffAddrDeterministic(t *testing.T) {
+	f := func(pc, n, mem uint64, span uint16) bool {
+		in := Instr{Op: Load, Size: 5, Mem: mem | 8, Span: uint64(span)}
+		return in.EffAddr(pc, n) == in.EffAddr(pc, n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCondTakenBias(t *testing.T) {
+	for _, bias := range []uint8{0, 10, 50, 90, 100} {
+		in := Instr{Op: JmpCond, Size: 6, Bias: bias, Target: 1}
+		taken := 0
+		const n = 20000
+		for i := uint64(0); i < n; i++ {
+			if in.CondTaken(0x400000, i, 42) {
+				taken++
+			}
+		}
+		got := float64(taken) / n * 100
+		want := float64(bias)
+		if got < want-2 || got > want+2 {
+			t.Errorf("bias %d%%: observed %.2f%% taken", bias, got)
+		}
+	}
+}
+
+func TestCondTakenDeterministic(t *testing.T) {
+	in := Instr{Op: JmpCond, Size: 6, Bias: 50, Target: 1}
+	for n := uint64(0); n < 100; n++ {
+		a := in.CondTaken(0x400000, n, 7)
+		b := in.CondTaken(0x400000, n, 7)
+		if a != b {
+			t.Fatalf("CondTaken not deterministic at n=%d", n)
+		}
+	}
+}
+
+func TestDetHashSpreads(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 10000; i++ {
+		seen[DetHash(i, 0, 0)] = true
+	}
+	if len(seen) != 10000 {
+		t.Errorf("DetHash collisions: %d distinct of 10000", len(seen))
+	}
+}
+
+func TestDefaultSizeNonZero(t *testing.T) {
+	for op := Nop; op < opCount; op++ {
+		if DefaultSize(op) == 0 {
+			t.Errorf("DefaultSize(%v) = 0", op)
+		}
+	}
+	// PLT slot arithmetic from the paper (§2.2): 16-byte trampolines,
+	// four per 64-byte cache line.
+	if SizeJmpMem+SizePush+SizeJmp != 16 {
+		t.Errorf("PLT slot = %d bytes, want 16", SizeJmpMem+SizePush+SizeJmp)
+	}
+}

@@ -1,0 +1,136 @@
+package linker
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/objfile"
+)
+
+func TestIFuncSymbolBinding(t *testing.T) {
+	lib := objfile.New("lib")
+	lib.NewFunc("f_v0").ALU(1).Ret()
+	lib.NewFunc("f_v1").ALU(2).Ret()
+	lib.DeclareIFunc("f", "f_v0", "f_v1")
+	app := objfile.New("app")
+	app.NewFunc("main").Call("f").Halt()
+
+	for _, tt := range []struct {
+		level int
+		want  string
+	}{
+		{0, "lib:f_v0"}, {1, "lib:f_v1"}, {7, "lib:f_v1"}, {-1, "lib:f_v0"},
+	} {
+		im, err := Link(app, []*objfile.Object{lib}, Options{Mode: BindLazy, IFuncLevel: tt.level})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr, ok := im.Symbol("f")
+		if !ok {
+			t.Fatal("ifunc symbol unresolved")
+		}
+		if got := im.FuncName(addr); got != tt.want {
+			t.Errorf("level %d: f bound to %q, want %q", tt.level, got, tt.want)
+		}
+	}
+}
+
+func TestIFuncGetsPLTSlotInDefiningModule(t *testing.T) {
+	lib := objfile.New("lib")
+	lib.NewFunc("f_v0").ALU(1).Ret()
+	lib.DeclareIFunc("f", "f_v0")
+	lib.NewFunc("caller").Call("f").Ret()
+	app := objfile.New("app")
+	app.NewFunc("main").Call("caller").Halt()
+
+	im, err := Link(app, []*objfile.Object{lib}, Options{Mode: BindLazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	libMod := im.Modules()[1]
+	if len(libMod.Imports()) != 1 || libMod.Imports()[0] != "f" {
+		t.Fatalf("lib imports = %v, want [f]", libMod.Imports())
+	}
+	if im.TrampolineSym(libMod.PLTSlotAddr(0)) != "f" {
+		t.Error("no trampoline for local ifunc")
+	}
+}
+
+func TestRebindResolution(t *testing.T) {
+	app := objfile.New("app")
+	app.NewFunc("main").Call("api").Halt()
+	app.NewFunc("swap").RebindImport("api", "api2").Halt()
+	lib := objfile.New("lib")
+	lib.NewFunc("api").ALU(1).Ret()
+	lib.NewFunc("api2").ALU(2).Ret()
+
+	im, err := Link(app, []*objfile.Object{lib}, Options{Mode: BindNow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appMod := im.Modules()[0]
+	swapAddr, _ := im.Symbol("swap")
+	in, ok := im.InstrAt(swapAddr)
+	if !ok {
+		t.Fatal("no swap instruction")
+	}
+	if in.Mem != appMod.GOTSlotAddr(0) {
+		t.Errorf("rebind store targets %#x, want GOT slot %#x", in.Mem, appMod.GOTSlotAddr(0))
+	}
+	api2, _ := im.Symbol("api2")
+	if in.Val != api2 {
+		t.Errorf("rebind store value %#x, want api2 %#x", in.Val, api2)
+	}
+}
+
+func TestRebindErrors(t *testing.T) {
+	build := func(got, to string) (*objfile.Object, []*objfile.Object) {
+		app := objfile.New("app")
+		app.NewFunc("main").Call("api").Halt()
+		app.NewFunc("swap").RebindImport(got, to).Halt()
+		lib := objfile.New("lib")
+		lib.NewFunc("api").ALU(1).Ret()
+		lib.NewFunc("api2").ALU(2).Ret()
+		return app, []*objfile.Object{lib}
+	}
+	tests := []struct {
+		name     string
+		mode     BindingMode
+		got, to  string
+		fragment string
+	}{
+		{"static has no GOT", BindStatic, "api", "api2", "static"},
+		{"undefined rebound symbol", BindLazy, "nosuch", "api2", "undefined"},
+		{"undefined target", BindLazy, "api", "ghost", "undefined"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			app, libs := build(tt.got, tt.to)
+			_, err := Link(app, libs, Options{Mode: tt.mode})
+			if err == nil {
+				t.Fatal("link succeeded")
+			}
+			if !strings.Contains(err.Error(), tt.fragment) {
+				t.Errorf("error %q does not mention %q", err, tt.fragment)
+			}
+		})
+	}
+}
+
+func TestRebindImportForcesSlot(t *testing.T) {
+	// A rebind store's GOT symbol gets a PLT/GOT slot even if no call
+	// references it (the slot is what the store writes).
+	app := objfile.New("app")
+	app.NewFunc("main").RebindImport("hook", "impl").Halt()
+	lib := objfile.New("lib")
+	lib.NewFunc("hook").ALU(1).Ret()
+	lib.NewFunc("impl").ALU(2).Ret()
+	im, err := Link(app, []*objfile.Object{lib}, Options{Mode: BindLazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appMod := im.Modules()[0]
+	if len(appMod.Imports()) != 1 || appMod.Imports()[0] != "hook" {
+		t.Fatalf("imports = %v, want [hook]", appMod.Imports())
+	}
+}

@@ -1,0 +1,157 @@
+package linker
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// InstrPage is one page of the decoded-instruction index: the
+// instruction starting at each byte offset, or nil.
+type InstrPage [mem.PageSize]*isa.Instr
+
+// InstrAt returns the decoded instruction at pc.
+func (im *Image) InstrAt(pc uint64) (*isa.Instr, bool) {
+	pg := im.ipages[pc>>mem.PageShift]
+	if pg == nil {
+		return nil, false
+	}
+	in := pg[pc&(mem.PageSize-1)]
+	return in, in != nil
+}
+
+// InstrPageAt returns the instruction-index page containing pc, or
+// nil.  The CPU memoises the page across sequential fetches.
+func (im *Image) InstrPageAt(pc uint64) *InstrPage {
+	return im.ipages[pc>>mem.PageShift]
+}
+
+// Memory returns the image's data memory (GOT, data regions, stack).
+func (im *Image) Memory() *mem.Memory { return im.memory }
+
+// Modules returns the linked modules in load order (executable first).
+func (im *Image) Modules() []*Module { return im.modules }
+
+// Symbol returns the resolved address of a global function symbol.
+func (im *Image) Symbol(name string) (uint64, bool) {
+	a, ok := im.symbols[name]
+	return a, ok
+}
+
+// FuncName returns the "module:function" name of the function starting
+// at addr, or "".
+func (im *Image) FuncName(addr uint64) string { return im.funcName[addr] }
+
+// StackTop returns the initial stack pointer.
+func (im *Image) StackTop() uint64 { return im.stackTop }
+
+// Options returns the link options used.
+func (im *Image) Options() Options { return im.opts }
+
+// Patch returns the call-site patching statistics (BindPatched only).
+func (im *Image) Patch() PatchStats { return im.patch }
+
+// InPLT reports whether addr falls inside any module's PLT section —
+// the test that classifies a retired instruction as trampoline code
+// (Table 2's "instructions in trampoline PKI").
+func (im *Image) InPLT(addr uint64) bool {
+	for _, m := range im.modules {
+		if m.PLTBase != 0 && addr >= m.PLTBase && addr < m.PLTEnd {
+			return true
+		}
+	}
+	return false
+}
+
+// TrampolineSym returns the imported symbol whose trampoline starts at
+// addr ("" if addr is not a PLT slot start).  Distinct-trampoline
+// counting (Table 3) keys on these addresses.
+func (im *Image) TrampolineSym(addr uint64) string { return im.trampolineSym[addr] }
+
+// Trampolines returns the total number of PLT slots in the image
+// (excluding the PLT0 stubs).
+func (im *Image) Trampolines() int { return len(im.trampolineSym) }
+
+// ModuleOf returns the module whose text/PLT/data span contains addr,
+// or nil.
+func (im *Image) ModuleOf(addr uint64) *Module {
+	for _, m := range im.modules {
+		if addr >= m.Base && addr < m.DataEnd {
+			return m
+		}
+	}
+	return nil
+}
+
+// LinkerData returns the base and size of the dynamic linker's own
+// tables (symbol hashes, link maps).  The lazy resolver walks this
+// region, giving resolution a realistic data-cache footprint.
+func (im *Image) LinkerData() (base, size uint64) {
+	return im.linkerDataBase, im.linkerDataSize
+}
+
+// Resolutions returns the number of lazy symbol resolutions performed.
+func (im *Image) Resolutions() uint64 { return im.resolutions }
+
+// Resolve performs a lazy binding: given the module ID and relocation
+// index that the PLT glue pushed, it returns the GOT slot to update
+// and the resolved function address.  The CPU performs the actual GOT
+// store (so that the write flows through the D-cache and the ABTB's
+// store snoop) and then jumps to the function.
+func (im *Image) Resolve(modID, relocIdx uint64) (gotAddr, funcAddr uint64, err error) {
+	if modID >= uint64(len(im.modules)) {
+		return 0, 0, fmt.Errorf("linker: resolve with bad module id %d", modID)
+	}
+	m := im.modules[modID]
+	if relocIdx >= uint64(len(m.imports)) {
+		return 0, 0, fmt.Errorf("linker: resolve %s with bad reloc %d", m.Name, relocIdx)
+	}
+	sym := m.imports[relocIdx]
+	funcAddr, ok := im.symbols[sym]
+	if !ok {
+		return 0, 0, fmt.Errorf("linker: resolve of undefined symbol %q", sym)
+	}
+	im.resolutions++
+	return m.GOTSlotAddr(int(relocIdx)), funcAddr, nil
+}
+
+// BindAll eagerly resolves every GOT slot to its final function
+// address, as the lazy resolver would have after a long-running
+// process touched every import.  The paper measures multi-hour steady
+// state ("we run the experiment for 10 hours at close to peak load"),
+// where resolution traffic is long finished; measurement harnesses
+// call BindAll before their windows so that mid-window resolutions do
+// not flush the ABTB.  It returns the number of slots bound and is a
+// no-op for images whose GOT is already final (eager, patched) or
+// absent (static).
+func (im *Image) BindAll() int {
+	n := 0
+	for _, m := range im.modules {
+		for i, sym := range m.imports {
+			addr := im.symbols[sym]
+			slot := m.GOTSlotAddr(i)
+			if im.memory.Read64(slot) != addr {
+				im.memory.Write64(slot, addr)
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TextBytes returns the total text+PLT footprint of the image in
+// bytes, a code-working-set indicator used by the workload generators
+// to check that synthetic applications exceed the L1I capacity the
+// way the paper's applications do.
+func (im *Image) TextBytes() uint64 {
+	var n uint64
+	for _, m := range im.modules {
+		end := m.TextEnd
+		if m.PLTEnd > end {
+			end = m.PLTEnd
+		}
+		n += end - m.Base
+	}
+	return n
+}

@@ -1,0 +1,100 @@
+// Package mem implements the sparse byte-addressable memory backing a
+// simulated process.
+//
+// Memory is allocated lazily in 4 KiB pages, so images mapped at
+// x86-64-style high addresses (libraries near 0x7f..., executables at
+// 0x400000) cost only what they touch.  The GOT, stack, and workload
+// data buffers all live here; instruction *bytes* are not stored (the
+// CPU fetches decoded instructions from the image by address), but
+// instruction addresses and sizes drive the I-cache and I-TLB models.
+package mem
+
+import "encoding/binary"
+
+// PageSize is the simulated page size in bytes.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// Memory is a sparse, lazily allocated byte memory.  The zero value is
+// ready to use; reads from unallocated pages return zero.
+type Memory struct {
+	pages map[uint64]*[PageSize]byte
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*[PageSize]byte)}
+}
+
+func (m *Memory) page(addr uint64, alloc bool) *[PageSize]byte {
+	if m.pages == nil {
+		if !alloc {
+			return nil
+		}
+		m.pages = make(map[uint64]*[PageSize]byte)
+	}
+	pn := addr >> PageShift
+	p := m.pages[pn]
+	if p == nil && alloc {
+		p = new([PageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// Read8 returns the byte at addr.
+func (m *Memory) Read8(addr uint64) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&(PageSize-1)]
+}
+
+// Write8 stores one byte at addr.
+func (m *Memory) Write8(addr uint64, v byte) {
+	m.page(addr, true)[addr&(PageSize-1)] = v
+}
+
+// Read64 returns the little-endian 64-bit value at addr.  The common
+// aligned, single-page case is fast; cross-page reads fall back to a
+// byte loop.
+func (m *Memory) Read64(addr uint64) uint64 {
+	off := addr & (PageSize - 1)
+	if off <= PageSize-8 {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint64(p[off : off+8])
+	}
+	var v uint64
+	for i := uint64(0); i < 8; i++ {
+		v |= uint64(m.Read8(addr+i)) << (8 * i)
+	}
+	return v
+}
+
+// Write64 stores a little-endian 64-bit value at addr.
+func (m *Memory) Write64(addr uint64, v uint64) {
+	off := addr & (PageSize - 1)
+	if off <= PageSize-8 {
+		binary.LittleEndian.PutUint64(m.page(addr, true)[off:off+8], v)
+		return
+	}
+	for i := uint64(0); i < 8; i++ {
+		m.Write8(addr+i, byte(v>>(8*i)))
+	}
+}
+
+// PagesAllocated returns the number of distinct pages touched by
+// writes.
+func (m *Memory) PagesAllocated() int { return len(m.pages) }
+
+// PageBase returns the base address of the page containing addr.
+func PageBase(addr uint64) uint64 { return addr &^ uint64(PageSize-1) }
+
+// PageNum returns the virtual page number of addr.
+func PageNum(addr uint64) uint64 { return addr >> PageShift }

@@ -1,0 +1,94 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWrite64(t *testing.T) {
+	m := New()
+	m.Write64(0x1000, 0xdeadbeefcafebabe)
+	if got := m.Read64(0x1000); got != 0xdeadbeefcafebabe {
+		t.Fatalf("Read64 = %#x", got)
+	}
+}
+
+func TestUnallocatedReadsZero(t *testing.T) {
+	m := New()
+	if m.Read64(0x7fff12345678) != 0 {
+		t.Error("unallocated Read64 != 0")
+	}
+	if m.Read8(0x42) != 0 {
+		t.Error("unallocated Read8 != 0")
+	}
+	if m.PagesAllocated() != 0 {
+		t.Error("reads should not allocate pages")
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var m Memory
+	if m.Read64(0x1000) != 0 {
+		t.Error("zero-value read != 0")
+	}
+	m.Write64(0x1000, 7)
+	if m.Read64(0x1000) != 7 {
+		t.Error("zero-value write/read failed")
+	}
+}
+
+func TestCrossPage64(t *testing.T) {
+	m := New()
+	addr := uint64(PageSize - 3) // straddles the first page boundary
+	m.Write64(addr, 0x1122334455667788)
+	if got := m.Read64(addr); got != 0x1122334455667788 {
+		t.Fatalf("cross-page Read64 = %#x", got)
+	}
+	if m.PagesAllocated() != 2 {
+		t.Errorf("PagesAllocated = %d, want 2", m.PagesAllocated())
+	}
+}
+
+func TestByteOrder(t *testing.T) {
+	m := New()
+	m.Write64(0, 0x0102030405060708)
+	if m.Read8(0) != 0x08 {
+		t.Errorf("little-endian low byte = %#x, want 0x08", m.Read8(0))
+	}
+	if m.Read8(7) != 0x01 {
+		t.Errorf("little-endian high byte = %#x, want 0x01", m.Read8(7))
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	m := New()
+	f := func(addr, v uint64) bool {
+		addr %= 1 << 40
+		m.Write64(addr, v)
+		return m.Read64(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparseAllocation(t *testing.T) {
+	m := New()
+	m.Write8(0x400000, 1)
+	m.Write8(0x7f0000000000, 1)
+	if got := m.PagesAllocated(); got != 2 {
+		t.Errorf("PagesAllocated = %d, want 2", got)
+	}
+}
+
+func TestPageHelpers(t *testing.T) {
+	if PageBase(0x1234) != 0x1000 {
+		t.Errorf("PageBase(0x1234) = %#x", PageBase(0x1234))
+	}
+	if PageNum(0x1234) != 1 {
+		t.Errorf("PageNum(0x1234) = %d", PageNum(0x1234))
+	}
+	if PageBase(0x1000) != 0x1000 {
+		t.Errorf("PageBase at boundary = %#x", PageBase(0x1000))
+	}
+}

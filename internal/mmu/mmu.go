@@ -1,0 +1,338 @@
+// Package mmu models virtual address spaces: page permissions,
+// copy-on-write sharing across fork, and the x86-64 Linux process
+// layout (executable low, libraries high) with optional ASLR.
+//
+// Two consumers use it.  The linker asks for address-space layout
+// (where to map the executable, each library, the stack and the heap,
+// with or without randomisation).  The §5.5 memory-savings experiment
+// uses fork/COW accounting to quantify how many physical pages a
+// software call-site-patching approach copies in a prefork server —
+// the overhead the paper's hardware mechanism avoids entirely.
+package mmu
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/mem"
+)
+
+// Perm is a page-permission bitmask.
+type Perm uint8
+
+// Page permissions.
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermExec
+)
+
+// String renders the permission in "rwx" form.
+func (p Perm) String() string {
+	b := []byte("---")
+	if p&PermRead != 0 {
+		b[0] = 'r'
+	}
+	if p&PermWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&PermExec != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// PhysMemory tracks simulated physical pages with reference counts, so
+// that COW sharing across processes can be accounted exactly.
+type PhysMemory struct {
+	nextFrame uint64
+	refs      map[uint64]int
+	allocated uint64 // cumulative frames ever allocated
+}
+
+// NewPhysMemory returns an empty physical memory.
+func NewPhysMemory() *PhysMemory {
+	return &PhysMemory{refs: make(map[uint64]int), nextFrame: 1}
+}
+
+// Alloc allocates a new frame with reference count 1.
+func (pm *PhysMemory) Alloc() uint64 {
+	f := pm.nextFrame
+	pm.nextFrame++
+	pm.refs[f] = 1
+	pm.allocated++
+	return f
+}
+
+// Ref increments the reference count of frame f.
+func (pm *PhysMemory) Ref(f uint64) {
+	if pm.refs[f] == 0 {
+		panic(fmt.Sprintf("mmu: Ref of unallocated frame %d", f))
+	}
+	pm.refs[f]++
+}
+
+// Unref decrements the reference count, freeing the frame at zero.
+func (pm *PhysMemory) Unref(f uint64) {
+	c := pm.refs[f]
+	if c == 0 {
+		panic(fmt.Sprintf("mmu: Unref of unallocated frame %d", f))
+	}
+	if c == 1 {
+		delete(pm.refs, f)
+		return
+	}
+	pm.refs[f] = c - 1
+}
+
+// RefCount returns the reference count of frame f (0 if free).
+func (pm *PhysMemory) RefCount(f uint64) int { return pm.refs[f] }
+
+// FramesInUse returns the number of live physical frames.
+func (pm *PhysMemory) FramesInUse() int { return len(pm.refs) }
+
+// BytesInUse returns the live physical footprint in bytes.
+func (pm *PhysMemory) BytesInUse() uint64 {
+	return uint64(len(pm.refs)) * mem.PageSize
+}
+
+// TotalAllocated returns the cumulative number of frames ever
+// allocated (including since-freed ones).
+func (pm *PhysMemory) TotalAllocated() uint64 { return pm.allocated }
+
+// pte is a page-table entry.
+type pte struct {
+	frame uint64
+	perm  Perm
+	cow   bool // write-protected only because the frame is shared
+}
+
+// AddressSpace maps virtual page numbers to physical frames for one
+// process.
+type AddressSpace struct {
+	phys     *PhysMemory
+	pt       map[uint64]pte
+	cowFault uint64 // pages copied due to COW writes
+}
+
+// NewAddressSpace returns an empty address space over phys.
+func NewAddressSpace(phys *PhysMemory) *AddressSpace {
+	return &AddressSpace{phys: phys, pt: make(map[uint64]pte)}
+}
+
+// Map allocates fresh frames for npages pages starting at vaddr (which
+// must be page-aligned) with the given permissions.
+func (as *AddressSpace) Map(vaddr uint64, npages int, perm Perm) error {
+	if vaddr%mem.PageSize != 0 {
+		return fmt.Errorf("mmu: Map at unaligned address %#x", vaddr)
+	}
+	vpn := mem.PageNum(vaddr)
+	for i := uint64(0); i < uint64(npages); i++ {
+		if _, ok := as.pt[vpn+i]; ok {
+			return fmt.Errorf("mmu: page %#x already mapped", (vpn+i)<<mem.PageShift)
+		}
+	}
+	for i := uint64(0); i < uint64(npages); i++ {
+		as.pt[vpn+i] = pte{frame: as.phys.Alloc(), perm: perm}
+	}
+	return nil
+}
+
+// Protect changes the permissions of npages pages starting at vaddr.
+// The pages must already be mapped.  This models mprotect, which the
+// software patching approach must call to unprotect text pages
+// (§2.3's security concern).
+func (as *AddressSpace) Protect(vaddr uint64, npages int, perm Perm) error {
+	vpn := mem.PageNum(vaddr)
+	for i := uint64(0); i < uint64(npages); i++ {
+		e, ok := as.pt[vpn+i]
+		if !ok {
+			return fmt.Errorf("mmu: Protect of unmapped page %#x", (vpn+i)<<mem.PageShift)
+		}
+		e.perm = perm
+		as.pt[vpn+i] = e
+	}
+	return nil
+}
+
+// Translate returns the physical frame for the page containing vaddr,
+// or an error if the page is unmapped.  Permissions are not checked;
+// use Access for permission-checked access.
+func (as *AddressSpace) Translate(vaddr uint64) (uint64, error) {
+	e, ok := as.pt[mem.PageNum(vaddr)]
+	if !ok {
+		return 0, fmt.Errorf("mmu: page fault at %#x (unmapped)", vaddr)
+	}
+	return e.frame, nil
+}
+
+// Mapped reports whether the page containing vaddr is mapped.
+func (as *AddressSpace) Mapped(vaddr uint64) bool {
+	_, ok := as.pt[mem.PageNum(vaddr)]
+	return ok
+}
+
+// Perm returns the permissions of the page containing vaddr (0 if
+// unmapped).
+func (as *AddressSpace) Perm(vaddr uint64) Perm {
+	return as.pt[mem.PageNum(vaddr)].perm
+}
+
+// Write performs a permission-checked write access to the page
+// containing vaddr, applying copy-on-write: a write to a shared COW
+// page allocates a private copy.  It returns whether a page copy
+// happened.
+func (as *AddressSpace) Write(vaddr uint64) (copied bool, err error) {
+	vpn := mem.PageNum(vaddr)
+	e, ok := as.pt[vpn]
+	if !ok {
+		return false, fmt.Errorf("mmu: page fault at %#x (unmapped)", vaddr)
+	}
+	if e.perm&PermWrite == 0 && !e.cow {
+		return false, fmt.Errorf("mmu: write to %s page at %#x", e.perm, vaddr)
+	}
+	// All mappings are MAP_PRIVATE: any write to a frame shared with
+	// another address space copies it, whether the page was marked COW
+	// at fork time or was a read-only shared page made writable by a
+	// later mprotect (the software-patching path of §2.3).
+	if e.cow || as.phys.RefCount(e.frame) > 1 {
+		copied := as.phys.RefCount(e.frame) > 1
+		if copied {
+			as.phys.Unref(e.frame)
+			e.frame = as.phys.Alloc()
+			as.cowFault++
+		}
+		e.cow = false
+		e.perm |= PermWrite
+		as.pt[vpn] = e
+		return copied, nil
+	}
+	return false, nil
+}
+
+// Fork clones the address space.  Writable pages become COW-shared in
+// both parent and child; read-only pages stay plainly shared.  This is
+// the prefork-server mechanism of §5.5.
+func (as *AddressSpace) Fork() *AddressSpace {
+	child := NewAddressSpace(as.phys)
+	for vpn, e := range as.pt {
+		as.phys.Ref(e.frame)
+		if e.perm&PermWrite != 0 {
+			e.cow = true
+			e.perm &^= PermWrite
+			as.pt[vpn] = e
+		}
+		// An already-COW page stays COW in both.
+		child.pt[vpn] = e
+	}
+	return child
+}
+
+// Release unmaps everything, dropping frame references (process exit).
+func (as *AddressSpace) Release() {
+	for vpn, e := range as.pt {
+		as.phys.Unref(e.frame)
+		delete(as.pt, vpn)
+	}
+}
+
+// COWFaults returns the number of pages this address space copied due
+// to writes to COW-shared pages.
+func (as *AddressSpace) COWFaults() uint64 { return as.cowFault }
+
+// PagesMapped returns the number of mapped virtual pages.
+func (as *AddressSpace) PagesMapped() int { return len(as.pt) }
+
+// PrivatePages returns the number of mapped pages whose frame is not
+// shared with any other address space.
+func (as *AddressSpace) PrivatePages() int {
+	n := 0
+	for _, e := range as.pt {
+		if as.phys.RefCount(e.frame) == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Layout chooses virtual addresses for process regions following the
+// conventional x86-64 Linux map: executable text at 0x400000, heap
+// above it, libraries in the 0x7f... region, stack at the top.
+type Layout struct {
+	rng *rand.Rand
+
+	// ASLR enables randomisation of the library base and stack.
+	ASLR bool
+
+	// LowLibraries places libraries just above the heap instead of in
+	// the high mmap region, keeping them within ±2 GiB of the
+	// executable's call sites.  The software-patching evaluation
+	// requires this (§4.3: "custom allocator in glibc to load all
+	// libraries within the 32-bit reach of the patched call
+	// instructions").
+	LowLibraries bool
+
+	nextLib  uint64
+	nextHeap uint64
+}
+
+// Conventional region bases.
+const (
+	TextBase     = 0x400000
+	HeapBase     = 0x2000000
+	LowLibBase   = 0x10000000   // within 2 GiB of TextBase
+	HighLibBase  = 0x7f00000000 // conventional mmap region, far above 2 GiB
+	StackTop     = 0x7ffffffff000
+	aslrLibSpan  = 1 << 28 // 256 MiB of library-base entropy
+	libAlignment = 1 << 16
+)
+
+// NewLayout returns a layout driven by the given seed.
+func NewLayout(seed uint64, aslr, lowLibraries bool) *Layout {
+	return &Layout{
+		rng:          rand.New(rand.NewPCG(seed, 0x1a404)),
+		ASLR:         aslr,
+		LowLibraries: lowLibraries,
+		nextHeap:     HeapBase,
+	}
+}
+
+// ExecBase returns the load address for the main executable.
+func (l *Layout) ExecBase() uint64 { return TextBase }
+
+// NextLibrary returns a page-aligned base address for a library image
+// of the given size.  Successive calls return non-overlapping regions.
+func (l *Layout) NextLibrary(size uint64) uint64 {
+	if l.nextLib == 0 {
+		base := uint64(HighLibBase)
+		if l.LowLibraries {
+			base = LowLibBase
+		}
+		if l.ASLR {
+			base += (l.rng.Uint64() % aslrLibSpan) &^ (libAlignment - 1)
+		}
+		l.nextLib = base
+	}
+	addr := l.nextLib
+	l.nextLib += (size + libAlignment) &^ (libAlignment - 1)
+	if l.ASLR {
+		// Independent per-library gap, as mmap randomisation gives.
+		l.nextLib += (l.rng.Uint64() % (1 << 20)) &^ (mem.PageSize - 1)
+	}
+	return addr
+}
+
+// NextHeap returns a page-aligned heap region of the given size.
+func (l *Layout) NextHeap(size uint64) uint64 {
+	addr := l.nextHeap
+	l.nextHeap += (size + mem.PageSize) &^ (mem.PageSize - 1)
+	return addr
+}
+
+// Stack returns the top-of-stack address.
+func (l *Layout) Stack() uint64 {
+	if l.ASLR {
+		return StackTop - (l.rng.Uint64()%(1<<22))&^15
+	}
+	return StackTop
+}

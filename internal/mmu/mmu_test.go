@@ -1,0 +1,350 @@
+package mmu
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestPermString(t *testing.T) {
+	tests := []struct {
+		p    Perm
+		want string
+	}{
+		{0, "---"},
+		{PermRead, "r--"},
+		{PermRead | PermWrite, "rw-"},
+		{PermRead | PermExec, "r-x"},
+		{PermRead | PermWrite | PermExec, "rwx"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("Perm(%d).String() = %q, want %q", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestMapTranslate(t *testing.T) {
+	pm := NewPhysMemory()
+	as := NewAddressSpace(pm)
+	if err := as.Map(0x400000, 4, PermRead|PermExec); err != nil {
+		t.Fatal(err)
+	}
+	f, err := as.Translate(0x401234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f == 0 {
+		t.Error("Translate returned zero frame")
+	}
+	if _, err := as.Translate(0x500000); err == nil {
+		t.Error("Translate of unmapped page should fail")
+	}
+	if !as.Mapped(0x400000) || as.Mapped(0x404000) {
+		t.Error("Mapped() wrong")
+	}
+	if got := as.Perm(0x400000); got != PermRead|PermExec {
+		t.Errorf("Perm = %v", got)
+	}
+}
+
+func TestMapErrors(t *testing.T) {
+	pm := NewPhysMemory()
+	as := NewAddressSpace(pm)
+	if err := as.Map(0x400001, 1, PermRead); err == nil {
+		t.Error("unaligned Map should fail")
+	}
+	if err := as.Map(0x400000, 2, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Map(0x401000, 1, PermRead); err == nil {
+		t.Error("overlapping Map should fail")
+	}
+	// A failed overlapping Map must not leak partial mappings.
+	if got := pm.FramesInUse(); got != 2 {
+		t.Errorf("FramesInUse = %d, want 2", got)
+	}
+}
+
+func TestWritePermissionDenied(t *testing.T) {
+	pm := NewPhysMemory()
+	as := NewAddressSpace(pm)
+	if err := as.Map(0x400000, 1, PermRead|PermExec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Write(0x400010); err == nil {
+		t.Error("write to r-x page should fault")
+	}
+	// mprotect then write succeeds: the software-patching path.
+	if err := as.Protect(0x400000, 1, PermRead|PermWrite|PermExec); err != nil {
+		t.Fatal(err)
+	}
+	copied, err := as.Write(0x400010)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copied {
+		t.Error("write to private page should not copy")
+	}
+}
+
+func TestProtectUnmapped(t *testing.T) {
+	as := NewAddressSpace(NewPhysMemory())
+	if err := as.Protect(0x400000, 1, PermRead); err == nil {
+		t.Error("Protect of unmapped page should fail")
+	}
+}
+
+func TestForkCOW(t *testing.T) {
+	pm := NewPhysMemory()
+	parent := NewAddressSpace(pm)
+	if err := parent.Map(0x400000, 10, PermRead|PermWrite); err != nil {
+		t.Fatal(err)
+	}
+	base := pm.FramesInUse()
+	child := parent.Fork()
+	if pm.FramesInUse() != base {
+		t.Errorf("fork allocated frames: %d -> %d", base, pm.FramesInUse())
+	}
+	// Parent and child translate to the same frame before any write.
+	pf, _ := parent.Translate(0x400000)
+	cf, _ := child.Translate(0x400000)
+	if pf != cf {
+		t.Error("fork did not share frames")
+	}
+	// Child write copies exactly one page.
+	copied, err := child.Write(0x400008)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !copied {
+		t.Error("COW write did not report a copy")
+	}
+	if pm.FramesInUse() != base+1 {
+		t.Errorf("FramesInUse = %d, want %d", pm.FramesInUse(), base+1)
+	}
+	pf2, _ := parent.Translate(0x400000)
+	cf2, _ := child.Translate(0x400000)
+	if pf2 == cf2 {
+		t.Error("frames still shared after COW write")
+	}
+	if pf2 != pf {
+		t.Error("parent frame changed on child write")
+	}
+	if child.COWFaults() != 1 {
+		t.Errorf("COWFaults = %d, want 1", child.COWFaults())
+	}
+	// Second write to the same page: no further copy.
+	copied, err = child.Write(0x400100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copied {
+		t.Error("second write to copied page reported a copy")
+	}
+}
+
+func TestForkReadOnlySharing(t *testing.T) {
+	pm := NewPhysMemory()
+	parent := NewAddressSpace(pm)
+	if err := parent.Map(0x400000, 100, PermRead|PermExec); err != nil {
+		t.Fatal(err)
+	}
+	children := make([]*AddressSpace, 50)
+	for i := range children {
+		children[i] = parent.Fork()
+	}
+	if pm.FramesInUse() != 100 {
+		t.Errorf("50 forks of r-x pages use %d frames, want 100", pm.FramesInUse())
+	}
+	// Read-only pages must still refuse writes after fork.
+	if _, err := children[0].Write(0x400000); err == nil {
+		t.Error("write to r-x page after fork should fault")
+	}
+}
+
+func TestGrandchildFork(t *testing.T) {
+	pm := NewPhysMemory()
+	p := NewAddressSpace(pm)
+	if err := p.Map(0, 1, PermRead|PermWrite); err != nil {
+		t.Fatal(err)
+	}
+	c := p.Fork()
+	g := c.Fork()
+	if pm.RefCount(mustTranslate(t, g, 0)) != 3 {
+		t.Errorf("refcount = %d, want 3", pm.RefCount(mustTranslate(t, g, 0)))
+	}
+	if _, err := g.Write(0); err != nil {
+		t.Fatal(err)
+	}
+	if pm.FramesInUse() != 2 {
+		t.Errorf("FramesInUse = %d, want 2", pm.FramesInUse())
+	}
+	// Parent and child still share the original.
+	if mustTranslate(t, p, 0) != mustTranslate(t, c, 0) {
+		t.Error("parent/child no longer share after grandchild write")
+	}
+	// Now the child writes: refcount of original drops to 1 (parent).
+	if _, err := c.Write(0); err != nil {
+		t.Fatal(err)
+	}
+	if pm.FramesInUse() != 3 {
+		t.Errorf("FramesInUse = %d, want 3", pm.FramesInUse())
+	}
+	// The parent's page is the last reference; its write must not copy.
+	copied, err := p.Write(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copied {
+		t.Error("sole-owner COW write should not copy")
+	}
+	if pm.FramesInUse() != 3 {
+		t.Errorf("FramesInUse = %d, want 3 after sole-owner write", pm.FramesInUse())
+	}
+}
+
+func mustTranslate(t *testing.T, as *AddressSpace, vaddr uint64) uint64 {
+	t.Helper()
+	f, err := as.Translate(vaddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestRelease(t *testing.T) {
+	pm := NewPhysMemory()
+	p := NewAddressSpace(pm)
+	if err := p.Map(0, 10, PermRead|PermWrite); err != nil {
+		t.Fatal(err)
+	}
+	c := p.Fork()
+	c.Release()
+	if pm.FramesInUse() != 10 {
+		t.Errorf("FramesInUse after child release = %d, want 10", pm.FramesInUse())
+	}
+	p.Release()
+	if pm.FramesInUse() != 0 {
+		t.Errorf("FramesInUse after all released = %d, want 0", pm.FramesInUse())
+	}
+}
+
+func TestPhysMemoryPanics(t *testing.T) {
+	pm := NewPhysMemory()
+	for _, f := range []func(){
+		func() { pm.Ref(999) },
+		func() { pm.Unref(999) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on unallocated frame")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLayoutHighVsLowLibraries(t *testing.T) {
+	high := NewLayout(1, false, false)
+	low := NewLayout(1, false, true)
+	h := high.NextLibrary(1 << 20)
+	l := low.NextLibrary(1 << 20)
+	if h < HighLibBase {
+		t.Errorf("high library at %#x, want >= %#x", h, uint64(HighLibBase))
+	}
+	// Low libraries must be within 2 GiB of the executable (the
+	// rel32 reach constraint from §2.3).
+	if l-TextBase >= 1<<31 {
+		t.Errorf("low library at %#x not within 2GiB of text", l)
+	}
+}
+
+func TestLayoutNoOverlap(t *testing.T) {
+	l := NewLayout(42, true, false)
+	type region struct{ base, end uint64 }
+	var regions []region
+	for i := 0; i < 100; i++ {
+		size := uint64(1<<16 + i*4096)
+		b := l.NextLibrary(size)
+		if b%mem.PageSize != 0 {
+			t.Fatalf("library base %#x not page aligned", b)
+		}
+		regions = append(regions, region{b, b + size})
+	}
+	for i := 1; i < len(regions); i++ {
+		if regions[i].base < regions[i-1].end {
+			t.Fatalf("library %d overlaps previous: %#x < %#x",
+				i, regions[i].base, regions[i-1].end)
+		}
+	}
+}
+
+func TestLayoutASLRVariesWithSeed(t *testing.T) {
+	a := NewLayout(1, true, false).NextLibrary(1 << 20)
+	b := NewLayout(2, true, false).NextLibrary(1 << 20)
+	if a == b {
+		t.Error("ASLR bases identical across seeds")
+	}
+	// Without ASLR, bases are deterministic regardless of seed.
+	c := NewLayout(1, false, false).NextLibrary(1 << 20)
+	d := NewLayout(2, false, false).NextLibrary(1 << 20)
+	if c != d {
+		t.Error("non-ASLR bases differ across seeds")
+	}
+}
+
+func TestLayoutHeapAndStack(t *testing.T) {
+	l := NewLayout(1, false, false)
+	h1 := l.NextHeap(8192)
+	h2 := l.NextHeap(8192)
+	if h2 <= h1 {
+		t.Error("heap regions not increasing")
+	}
+	if l.Stack() != StackTop {
+		t.Errorf("non-ASLR stack = %#x, want %#x", l.Stack(), uint64(StackTop))
+	}
+	la := NewLayout(3, true, false)
+	if la.Stack() == StackTop {
+		t.Error("ASLR stack not randomised")
+	}
+}
+
+func TestPhysMemoryAccounting(t *testing.T) {
+	pm := NewPhysMemory()
+	as := NewAddressSpace(pm)
+	if err := as.Map(0, 3, PermRead|PermWrite); err != nil {
+		t.Fatal(err)
+	}
+	if pm.BytesInUse() != 3*mem.PageSize {
+		t.Errorf("BytesInUse = %d", pm.BytesInUse())
+	}
+	if pm.TotalAllocated() != 3 {
+		t.Errorf("TotalAllocated = %d", pm.TotalAllocated())
+	}
+	if as.PagesMapped() != 3 {
+		t.Errorf("PagesMapped = %d", as.PagesMapped())
+	}
+	if as.PrivatePages() != 3 {
+		t.Errorf("PrivatePages = %d", as.PrivatePages())
+	}
+	child := as.Fork()
+	if as.PrivatePages() != 0 {
+		t.Errorf("PrivatePages after fork = %d, want 0 (all shared)", as.PrivatePages())
+	}
+	if _, err := child.Write(0); err != nil {
+		t.Fatal(err)
+	}
+	if child.PrivatePages() != 1 {
+		t.Errorf("child PrivatePages = %d, want 1", child.PrivatePages())
+	}
+}
+
+func TestLayoutExecBase(t *testing.T) {
+	l := NewLayout(1, false, false)
+	if l.ExecBase() != TextBase {
+		t.Errorf("ExecBase = %#x", l.ExecBase())
+	}
+}

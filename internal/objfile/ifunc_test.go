@@ -1,0 +1,126 @@
+package objfile
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestDeclareIFunc(t *testing.T) {
+	o := New("lib")
+	o.NewFunc("v0").Ret()
+	o.NewFunc("v1").Ret()
+	o.DeclareIFunc("f", "v0", "v1")
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ifn, ok := o.IFuncByName("f")
+	if !ok || len(ifn.Variants) != 2 || ifn.Variants[0] != "v0" {
+		t.Fatalf("IFuncByName = %+v, %v", ifn, ok)
+	}
+	if _, ok := o.IFuncByName("nope"); ok {
+		t.Error("unknown ifunc found")
+	}
+	if !o.Defines("f") {
+		t.Error("object does not define its ifunc")
+	}
+	if len(o.IFuncs()) != 1 {
+		t.Errorf("IFuncs = %d", len(o.IFuncs()))
+	}
+}
+
+func TestDeclareIFuncPanics(t *testing.T) {
+	for _, tt := range []struct {
+		name string
+		f    func()
+	}{
+		{"no variants", func() { New("x").DeclareIFunc("f") }},
+		{"collides with function", func() {
+			o := New("x")
+			o.NewFunc("f").Ret()
+			o.DeclareIFunc("f", "f")
+		}},
+		{"duplicate", func() {
+			o := New("x")
+			o.NewFunc("v").Ret()
+			o.DeclareIFunc("f", "v")
+			o.DeclareIFunc("f", "v")
+		}},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			tt.f()
+		})
+	}
+}
+
+func TestValidateIFuncVariantMissing(t *testing.T) {
+	o := New("lib")
+	o.NewFunc("v0").Ret()
+	o.DeclareIFunc("f", "v0", "ghost")
+	err := o.Validate()
+	if err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Errorf("Validate = %v, want ghost complaint", err)
+	}
+}
+
+func TestExternalsIncludesLocalIFunc(t *testing.T) {
+	o := New("lib")
+	o.NewFunc("v0").Ret()
+	o.DeclareIFunc("f", "v0")
+	o.NewFunc("caller").Call("f").Ret()
+	ext := o.Externals()
+	if len(ext) != 1 || ext[0] != "f" {
+		t.Errorf("Externals = %v, want [f] (local ifunc calls use the PLT)", ext)
+	}
+	// An uncalled ifunc needs no slot.
+	o2 := New("lib2")
+	o2.NewFunc("v0").Ret()
+	o2.DeclareIFunc("g", "v0")
+	if ext := o2.Externals(); len(ext) != 0 {
+		t.Errorf("uncalled ifunc got a slot: %v", ext)
+	}
+}
+
+func TestExternalsIncludesRebindGOTSym(t *testing.T) {
+	o := New("app")
+	o.NewFunc("swap").RebindImport("hook", "impl").Halt()
+	ext := o.Externals()
+	if len(ext) != 1 || ext[0] != "hook" {
+		t.Errorf("Externals = %v, want [hook]", ext)
+	}
+}
+
+func TestRebindImportValidation(t *testing.T) {
+	o := New("app")
+	o.NewFunc("swap").RebindImport("hook", "impl").Halt()
+	if err := o.Validate(); err != nil {
+		t.Fatalf("valid rebind rejected: %v", err)
+	}
+	// A rebind instruction without a target fails validation.
+	bad := New("app2")
+	f := bad.NewFunc("swap")
+	f.Body = append(f.Body, TInstr{Op: isa.Store, GOTSym: "hook"})
+	f.Halt()
+	if err := bad.Validate(); err == nil {
+		t.Error("rebind without target validated")
+	}
+}
+
+func TestRebindImportPanics(t *testing.T) {
+	for _, tt := range []struct{ got, to string }{{"", "x"}, {"x", ""}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			New("x").NewFunc("f").RebindImport(tt.got, tt.to)
+		}()
+	}
+}

@@ -1,0 +1,22 @@
+package setassoc
+
+import "testing"
+
+func BenchmarkLookupHit(b *testing.B) {
+	t := New[uint64](64, 4)
+	for k := uint64(0); k < 256; k++ {
+		t.Insert(k, k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Lookup(uint64(i) % 256)
+	}
+}
+
+func BenchmarkInsertEvict(b *testing.B) {
+	t := New[uint64](64, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Insert(uint64(i), uint64(i))
+	}
+}

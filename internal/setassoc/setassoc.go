@@ -1,0 +1,171 @@
+// Package setassoc implements a generic set-associative, LRU-replaced
+// lookup table — the storage organisation shared by every hardware
+// structure in the simulator: caches, TLBs, the BTB and the ABTB.
+//
+// Keys are 64-bit values (addresses or page numbers).  The set index
+// is taken from the low bits of the key and the full key is stored as
+// the tag, so aliasing between distinct keys never produces a false
+// hit; conflict behaviour (the paper's concern for BTB pressure) comes
+// from set overflow, exactly as in hardware.
+package setassoc
+
+import "fmt"
+
+type entry[V any] struct {
+	valid bool
+	key   uint64
+	val   V
+	lru   uint64
+}
+
+// Table is a set-associative table mapping uint64 keys to values of
+// type V.  Construct with New.
+type Table[V any] struct {
+	sets    int
+	ways    int
+	mask    uint64
+	entries []entry[V]
+	tick    uint64
+
+	lookups   uint64
+	hits      uint64
+	evictions uint64
+}
+
+// New returns a table with the given geometry.  sets must be a power
+// of two; both arguments must be positive.  It panics otherwise, since
+// geometry is fixed hardware configuration.
+func New[V any](sets, ways int) *Table[V] {
+	if sets <= 0 || ways <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("setassoc: invalid geometry sets=%d ways=%d", sets, ways))
+	}
+	return &Table[V]{
+		sets:    sets,
+		ways:    ways,
+		mask:    uint64(sets - 1),
+		entries: make([]entry[V], sets*ways),
+	}
+}
+
+// Sets returns the number of sets.
+func (t *Table[V]) Sets() int { return t.sets }
+
+// Ways returns the associativity.
+func (t *Table[V]) Ways() int { return t.ways }
+
+// Entries returns the total capacity in entries.
+func (t *Table[V]) Entries() int { return t.sets * t.ways }
+
+func (t *Table[V]) set(key uint64) []entry[V] {
+	s := int(key & t.mask)
+	return t.entries[s*t.ways : (s+1)*t.ways]
+}
+
+// Lookup returns the value stored for key and whether it was present,
+// updating LRU state and hit/miss counters on the way.
+func (t *Table[V]) Lookup(key uint64) (V, bool) {
+	t.lookups++
+	set := t.set(key)
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			t.tick++
+			set[i].lru = t.tick
+			t.hits++
+			return set[i].val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Peek returns the value for key without updating LRU state or
+// counters.  Used by retire-time checks that must not perturb the
+// structure.
+func (t *Table[V]) Peek(key uint64) (V, bool) {
+	set := t.set(key)
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			return set[i].val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Insert stores val under key, replacing the LRU way of the set if the
+// key is not already present.  It reports whether a valid, different
+// entry was evicted.
+func (t *Table[V]) Insert(key uint64, val V) (evicted bool) {
+	t.tick++
+	set := t.set(key)
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			set[i].val = val
+			set[i].lru = t.tick
+			return false
+		}
+		if !set[i].valid {
+			victim = i
+			// Prefer an invalid way but keep scanning for the key.
+			continue
+		}
+		if set[victim].valid && set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	evicted = set[victim].valid
+	if evicted {
+		t.evictions++
+	}
+	set[victim] = entry[V]{valid: true, key: key, val: val, lru: t.tick}
+	return evicted
+}
+
+// Invalidate removes key if present, reporting whether it was.
+func (t *Table[V]) Invalidate(key uint64) bool {
+	set := t.set(key)
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			set[i] = entry[V]{}
+			return true
+		}
+	}
+	return false
+}
+
+// Clear invalidates every entry (flush).  Statistics are preserved.
+func (t *Table[V]) Clear() {
+	for i := range t.entries {
+		t.entries[i] = entry[V]{}
+	}
+}
+
+// Len returns the number of valid entries.
+func (t *Table[V]) Len() int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Lookups returns the number of Lookup calls.
+func (t *Table[V]) Lookups() uint64 { return t.lookups }
+
+// Hits returns the number of Lookup calls that hit.
+func (t *Table[V]) Hits() uint64 { return t.hits }
+
+// Misses returns the number of Lookup calls that missed.
+func (t *Table[V]) Misses() uint64 { return t.lookups - t.hits }
+
+// Evictions returns the number of valid entries replaced by Insert.
+func (t *Table[V]) Evictions() uint64 { return t.evictions }
+
+// ResetStats zeroes the hit/miss/eviction counters, keeping contents.
+// Used to exclude warmup from measurement windows.
+func (t *Table[V]) ResetStats() {
+	t.lookups, t.hits, t.evictions = 0, 0, 0
+}

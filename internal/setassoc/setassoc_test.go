@@ -1,0 +1,211 @@
+package setassoc
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicInsertLookup(t *testing.T) {
+	tb := New[string](4, 2)
+	tb.Insert(0x10, "a")
+	v, ok := tb.Lookup(0x10)
+	if !ok || v != "a" {
+		t.Fatalf("Lookup = %q, %v", v, ok)
+	}
+	if _, ok := tb.Lookup(0x20); ok {
+		t.Error("absent key hit")
+	}
+	if tb.Lookups() != 2 || tb.Hits() != 1 || tb.Misses() != 1 {
+		t.Errorf("counters = %d/%d/%d", tb.Lookups(), tb.Hits(), tb.Misses())
+	}
+}
+
+func TestInsertUpdatesInPlace(t *testing.T) {
+	tb := New[int](1, 2)
+	tb.Insert(1, 10)
+	if ev := tb.Insert(1, 20); ev {
+		t.Error("update reported eviction")
+	}
+	v, _ := tb.Lookup(1)
+	if v != 20 {
+		t.Errorf("value = %d, want 20", v)
+	}
+	if tb.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tb.Len())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	tb := New[int](1, 2) // fully associative, 2 entries
+	tb.Insert(1, 1)
+	tb.Insert(2, 2)
+	tb.Lookup(1) // make 2 the LRU
+	if ev := tb.Insert(3, 3); !ev {
+		t.Error("expected eviction")
+	}
+	if _, ok := tb.Lookup(2); ok {
+		t.Error("LRU entry 2 should have been evicted")
+	}
+	if _, ok := tb.Lookup(1); !ok {
+		t.Error("MRU entry 1 was evicted")
+	}
+	if tb.Evictions() != 1 {
+		t.Errorf("Evictions = %d, want 1", tb.Evictions())
+	}
+}
+
+func TestSetIsolation(t *testing.T) {
+	tb := New[int](4, 1)
+	// Keys 0..3 land in different sets and must not evict each other.
+	for k := uint64(0); k < 4; k++ {
+		tb.Insert(k, int(k))
+	}
+	for k := uint64(0); k < 4; k++ {
+		if v, ok := tb.Lookup(k); !ok || v != int(k) {
+			t.Errorf("key %d: %d, %v", k, v, ok)
+		}
+	}
+	// Key 4 conflicts with key 0 only.
+	tb.Insert(4, 4)
+	if _, ok := tb.Lookup(0); ok {
+		t.Error("key 0 should have been evicted by key 4")
+	}
+	if _, ok := tb.Lookup(1); !ok {
+		t.Error("key 1 should have survived")
+	}
+}
+
+func TestPeekDoesNotPerturb(t *testing.T) {
+	tb := New[int](1, 2)
+	tb.Insert(1, 1)
+	tb.Insert(2, 2)
+	lk := tb.Lookups()
+	// Peek at 1 must not make it MRU nor bump counters.
+	if v, ok := tb.Peek(1); !ok || v != 1 {
+		t.Fatal("Peek failed")
+	}
+	if tb.Lookups() != lk {
+		t.Error("Peek bumped lookup counter")
+	}
+	tb.Insert(3, 3) // should evict LRU = 1 (Peek must not have refreshed it)
+	if _, ok := tb.Peek(1); ok {
+		t.Error("Peek refreshed LRU state")
+	}
+	if _, ok := tb.Peek(9); ok {
+		t.Error("Peek of absent key hit")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	tb := New[int](2, 2)
+	tb.Insert(4, 4)
+	if !tb.Invalidate(4) {
+		t.Error("Invalidate of present key returned false")
+	}
+	if tb.Invalidate(4) {
+		t.Error("Invalidate of absent key returned true")
+	}
+	if _, ok := tb.Lookup(4); ok {
+		t.Error("invalidated key still present")
+	}
+}
+
+func TestClear(t *testing.T) {
+	tb := New[int](4, 4)
+	for k := uint64(0); k < 16; k++ {
+		tb.Insert(k, 1)
+	}
+	if tb.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", tb.Len())
+	}
+	tb.Clear()
+	if tb.Len() != 0 {
+		t.Errorf("Len after Clear = %d", tb.Len())
+	}
+	for k := uint64(0); k < 16; k++ {
+		if _, ok := tb.Lookup(k); ok {
+			t.Fatalf("key %d survived Clear", k)
+		}
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	tb := New[int](1, 1)
+	tb.Insert(1, 1)
+	tb.Lookup(1)
+	tb.Lookup(2)
+	tb.ResetStats()
+	if tb.Lookups() != 0 || tb.Hits() != 0 || tb.Misses() != 0 || tb.Evictions() != 0 {
+		t.Error("ResetStats did not zero counters")
+	}
+	if v, ok := tb.Lookup(1); !ok || v != 1 {
+		t.Error("ResetStats dropped contents")
+	}
+}
+
+func TestGeometryPanics(t *testing.T) {
+	for _, g := range []struct{ sets, ways int }{{0, 1}, {1, 0}, {3, 2}, {-4, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", g.sets, g.ways)
+				}
+			}()
+			New[int](g.sets, g.ways)
+		}()
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	f := func(keys []uint64) bool {
+		tb := New[uint64](8, 2)
+		for _, k := range keys {
+			tb.Insert(k, k)
+		}
+		return tb.Len() <= tb.Entries()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertedValueRetrievable(t *testing.T) {
+	// Property: immediately after Insert(k,v), Lookup(k) returns v.
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0))
+		tb := New[uint64](4, 4)
+		for i := 0; i < 200; i++ {
+			k := rng.Uint64() % 64
+			tb.Insert(k, k*3)
+			if v, ok := tb.Lookup(k); !ok || v != k*3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkingSetWithinWaysAlwaysHits(t *testing.T) {
+	// A working set no larger than the associativity of one set must
+	// never miss after warmup — the LRU guarantee.
+	tb := New[int](1, 4)
+	keys := []uint64{10, 20, 30, 40}
+	for _, k := range keys {
+		tb.Insert(k, 1)
+	}
+	tb.ResetStats()
+	for round := 0; round < 100; round++ {
+		for _, k := range keys {
+			if _, ok := tb.Lookup(k); !ok {
+				t.Fatalf("miss on %d within-capacity working set", k)
+			}
+		}
+	}
+	if tb.Misses() != 0 {
+		t.Errorf("misses = %d, want 0", tb.Misses())
+	}
+}

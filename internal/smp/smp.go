@@ -1,0 +1,166 @@
+// Package smp assembles multi-core clusters running a threaded server
+// — the execution model of the paper's Memcached, MySQL and Firefox
+// workloads (§5.5: "multithreaded server software shares code pages
+// across threads").
+//
+// A Cluster is N cores executing one linked image: one address space,
+// one GOT, one shared last-level cache (the Xeon E5450's 12 MiB L2),
+// with private L1s, TLBs, branch predictors and ABTBs per core.
+// Because the GOT is shared, a lazy resolution (or a runtime
+// re-binding) performed by one core changes the linkage every core
+// sees; the paper's §3.1 requires the ABTB to be flushed not only by
+// local retired stores but also by "an invalidation for such an
+// address received from the coherence subsystem".  The cluster wires
+// exactly that: every core's GOT-region stores are broadcast to the
+// other cores' ABTB Bloom filters as coherence invalidations.
+//
+// Requests are served round-robin across cores (an idealised
+// accept-queue); execution is interleaved at request granularity,
+// which is faithful enough for steady-state counter and latency
+// comparisons since the architectural interaction between threads in
+// these workloads flows through the GOT and the shared cache only.
+package smp
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/linker"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Cluster is a multi-core system over one shared image.
+type Cluster struct {
+	img   *linker.Image
+	l2    *cache.Cache
+	cores []*cpu.CPU
+
+	gotRanges [][2]uint64
+}
+
+// New builds an n-core cluster running the workload's image under the
+// given system configuration.  The configuration's L2 becomes the
+// shared last-level cache.
+func New(w *workload.Workload, cfg core.Config, n int) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("smp: need at least one core")
+	}
+	img, err := linker.Link(w.App, w.Libs, cfg.Linking)
+	if err != nil {
+		return nil, fmt.Errorf("smp: %w", err)
+	}
+	c := &Cluster{img: img, l2: cache.New(cfg.Hardware.L2, nil)}
+	for _, m := range img.Modules() {
+		if m.GOTBase != m.GOTEnd {
+			c.gotRanges = append(c.gotRanges, [2]uint64{m.GOTBase, m.GOTEnd})
+		}
+	}
+	for i := 0; i < n; i++ {
+		hw := cfg.Hardware
+		hw.SharedL2 = c.l2
+		if hw.ABTB != nil {
+			a := *hw.ABTB // private ABTB per core
+			hw.ABTB = &a
+		}
+		c.cores = append(c.cores, cpu.New(img, hw))
+	}
+	// Coherence: GOT-region stores by one core invalidate the line in
+	// every other core, reaching their ABTB Bloom filters.  Private
+	// traffic (stacks, heap buffers) stays core-local: in hardware
+	// those lines are not present in other cores' caches, so no
+	// invalidation is generated for them.
+	for i, src := range c.cores {
+		i := i
+		src.TraceStore = func(addr uint64) {
+			if !c.inGOT(addr) {
+				return
+			}
+			for j, dst := range c.cores {
+				if j != i {
+					dst.CoherenceInvalidate(addr)
+				}
+			}
+		}
+	}
+	return c, nil
+}
+
+func (c *Cluster) inGOT(addr uint64) bool {
+	for _, r := range c.gotRanges {
+		if addr >= r[0] && addr < r[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// Cores returns the cluster's cores.
+func (c *Cluster) Cores() []*cpu.CPU { return c.cores }
+
+// Image returns the shared image.
+func (c *Cluster) Image() *linker.Image { return c.img }
+
+// L2 returns the shared last-level cache.
+func (c *Cluster) L2() *cache.Cache { return c.l2 }
+
+// Warmup pre-binds the GOT and serves n requests round-robin, then
+// clears measurement state on every core.
+func (c *Cluster) Warmup(entry string, n int) error {
+	c.img.BindAll()
+	for i := 0; i < n; i++ {
+		if _, err := c.cores[i%len(c.cores)].RunSymbol(entry, 0); err != nil {
+			return fmt.Errorf("smp: warmup %d: %w", i, err)
+		}
+	}
+	for _, core := range c.cores {
+		core.ResetStats()
+	}
+	c.l2.ResetStats()
+	return nil
+}
+
+// Serve distributes n requests round-robin across cores and returns
+// the per-request latencies in microseconds.
+func (c *Cluster) Serve(entry string, n int) (*stats.Sample, error) {
+	sample := &stats.Sample{}
+	for i := 0; i < n; i++ {
+		res, err := c.cores[i%len(c.cores)].RunSymbol(entry, 0)
+		if err != nil {
+			return nil, fmt.Errorf("smp: request %d: %w", i, err)
+		}
+		sample.Add(core.Micros(res.Cycles))
+	}
+	return sample, nil
+}
+
+// Counters returns the sum of all cores' counters.  Shared-L2
+// statistics appear once (the paper aggregates performance counters
+// "across all cores that run the processes under study", §4.2).
+func (c *Cluster) Counters() cpu.Counters {
+	var total cpu.Counters
+	for _, core := range c.cores {
+		cc := core.Counters()
+		total.Instructions += cc.Instructions
+		total.Cycles += cc.Cycles
+		total.TrampInstrs += cc.TrampInstrs
+		total.TrampCalls += cc.TrampCalls
+		total.TrampSkips += cc.TrampSkips
+		total.Loads += cc.Loads
+		total.Stores += cc.Stores
+		total.Branches += cc.Branches
+		total.Mispredicts += cc.Mispredicts
+		total.Resolutions += cc.Resolutions
+		total.L1IMisses += cc.L1IMisses
+		total.L1DMisses += cc.L1DMisses
+		total.ITLBMisses += cc.ITLBMisses
+		total.DTLBMisses += cc.DTLBMisses
+		total.ABTBRedirects += cc.ABTBRedirects
+		total.ABTBFlushes += cc.ABTBFlushes
+	}
+	total.L2Accesses = c.l2.Accesses()
+	total.L2Misses = c.l2.Misses()
+	return total
+}

@@ -1,0 +1,200 @@
+package smp
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/objfile"
+	"repro/internal/workload"
+)
+
+// tinyWorkload: a threaded server with one request type and a
+// rebindable import.
+func tinyWorkload() *workload.Workload {
+	app := objfile.New("server")
+	app.NewFunc("handle").ALU(4).Call("encode").Call("hash").Halt()
+	app.NewFunc("upgrade").RebindImport("encode", "encode_v2").Halt()
+	lib := objfile.New("lib")
+	lib.AddData("out", 16)
+	lib.NewFunc("encode").Store("out", 0, 1, 1).Ret()
+	lib.NewFunc("encode_v2").Store("out", 0, 1, 2).Ret()
+	lib.NewFunc("hash").ALU(6).Ret()
+	return &workload.Workload{
+		Name: "tiny", App: app, Libs: []*objfile.Object{lib},
+		Classes: []workload.RequestClass{{Name: "R", Entry: "handle", Weight: 1}},
+	}
+}
+
+func TestClusterBasics(t *testing.T) {
+	cl, err := New(tinyWorkload(), core.Enhanced(1), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Cores()) != 4 {
+		t.Fatalf("cores = %d", len(cl.Cores()))
+	}
+	if err := cl.Warmup("handle", 16); err != nil {
+		t.Fatal(err)
+	}
+	sample, err := cl.Serve("handle", 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sample.N() != 40 {
+		t.Fatalf("N = %d", sample.N())
+	}
+	c := cl.Counters()
+	if c.TrampCalls != 80 { // 2 library calls x 40 requests
+		t.Errorf("TrampCalls = %d, want 80", c.TrampCalls)
+	}
+	// Warm steady state: every core's ABTB skips everything.
+	if c.TrampSkips != c.TrampCalls {
+		t.Errorf("skips %d of %d", c.TrampSkips, c.TrampCalls)
+	}
+	if c.Resolutions != 0 {
+		t.Errorf("resolutions after pre-bound warmup = %d", c.Resolutions)
+	}
+	if _, err := New(tinyWorkload(), core.Base(1), 0); err == nil {
+		t.Error("zero-core cluster accepted")
+	}
+}
+
+// Threads share one GOT: a single lazy resolution serves all cores.
+func TestSharedGOTResolvesOnce(t *testing.T) {
+	cl, err := New(tinyWorkload(), core.Base(1), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No pre-binding: run requests directly on all cores.
+	for i := 0; i < 8; i++ {
+		if _, err := cl.Cores()[i%4].RunSymbol("handle", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cl.Counters().Resolutions; got != 2 {
+		t.Errorf("Resolutions = %d, want 2 (encode and hash, once each, shared GOT)", got)
+	}
+}
+
+// The §3.1 coherence requirement, end to end: core 0 re-binds the
+// shared GOT; every other core's ABTB must be flushed by the
+// broadcast invalidation, and their next calls must reach the new
+// implementation.
+func TestRebindBroadcastsAcrossCores(t *testing.T) {
+	w := tinyWorkload()
+	cl, err := New(w, core.Enhanced(1), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Warmup("handle", 16); err != nil {
+		t.Fatal(err)
+	}
+	// All cores warm and skipping.
+	for i, c := range cl.Cores() {
+		if c.ABTB().Len() == 0 {
+			t.Fatalf("core %d ABTB empty after warmup", i)
+		}
+	}
+	outAddr := (cl.Image().Modules()[1].GOTEnd + 63) &^ 63
+	if _, err := cl.Cores()[1].RunSymbol("handle", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.Image().Memory().Read64(outAddr); got != 1 {
+		t.Fatalf("pre-rebind out = %d", got)
+	}
+
+	// Core 0 re-binds encode.
+	if _, err := cl.Cores()[0].RunSymbol("upgrade", 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cl.Cores() {
+		if c.ABTB().Len() != 0 {
+			t.Errorf("core %d ABTB not flushed by coherence invalidation", i)
+		}
+	}
+	// Every core now reaches the new implementation.
+	for i := 1; i < 4; i++ {
+		if _, err := cl.Cores()[i].RunSymbol("handle", 0); err != nil {
+			t.Fatal(err)
+		}
+		if got := cl.Image().Memory().Read64(outAddr); got != 2 {
+			t.Fatalf("core %d called stale implementation: out = %d", i, got)
+		}
+	}
+}
+
+// Ordinary private stores (stacks, buffers) must NOT generate
+// cross-core ABTB flushes.
+func TestPrivateStoresDoNotBroadcast(t *testing.T) {
+	cl, err := New(tinyWorkload(), core.Enhanced(1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Warmup("handle", 8); err != nil {
+		t.Fatal(err)
+	}
+	before := make([]uint64, 2)
+	for i, c := range cl.Cores() {
+		before[i] = c.ABTB().Flushes()
+	}
+	// Serve plenty of requests: lots of stack stores, zero GOT writes.
+	if _, err := cl.Serve("handle", 50); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cl.Cores() {
+		if c.ABTB().Flushes() != before[i] {
+			t.Errorf("core %d flushed %d times on private traffic",
+				i, c.ABTB().Flushes()-before[i])
+		}
+	}
+}
+
+// Cores share the last-level cache: running the same code on N cores
+// must not multiply L2 misses by N (constructive sharing of text and
+// shared data).
+func TestSharedL2ConstructiveSharing(t *testing.T) {
+	w := workload.Memcached(1)
+	missesFor := func(n int) uint64 {
+		cl, err := New(w, core.Base(1), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Warmup("handle_GET", 4*n); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Serve("handle_GET", 60); err != nil {
+			t.Fatal(err)
+		}
+		return cl.Counters().L2Misses
+	}
+	one := missesFor(1)
+	four := missesFor(4)
+	if four > one*2 {
+		t.Errorf("4-core L2 misses %d vs 1-core %d: no constructive sharing", four, one)
+	}
+}
+
+// A cluster of enhanced cores beats a cluster of base cores on the
+// same workload — the single-core result carries over.
+func TestClusterEnhancedFaster(t *testing.T) {
+	w := workload.Memcached(1)
+	run := func(cfg core.Config) float64 {
+		cl, err := New(w, cfg, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Warmup("handle_GET", 40); err != nil {
+			t.Fatal(err)
+		}
+		s, err := cl.Serve("handle_GET", 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Mean()
+	}
+	base := run(core.Base(1))
+	enh := run(core.Enhanced(1))
+	if enh >= base {
+		t.Errorf("enhanced cluster mean %.2fus >= base %.2fus", enh, base)
+	}
+}

@@ -1,0 +1,291 @@
+// Package stats provides the measurement primitives used by the
+// reproduction harness: streaming summaries, fixed-bucket histograms,
+// empirical CDFs and percentile tables.
+//
+// The paper reports three kinds of artefacts built from per-request
+// latencies: cumulative distribution functions (Apache, MySQL),
+// histograms of the dominant peak (Memcached), and percentile tables
+// (MySQL).  This package implements all three over plain float64
+// samples so that every workload driver can share them.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates streaming moments of a series of observations.
+// The zero value is ready to use.
+type Summary struct {
+	n        int
+	sum      float64
+	sumSq    float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 || x < s.min {
+		s.min = x
+	}
+	if s.n == 0 || x > s.max {
+		s.max = x
+	}
+	s.n++
+	s.sum += x
+	s.sumSq += x * x
+}
+
+// N returns the number of observations recorded.
+func (s *Summary) N() int { return s.n }
+
+// Sum returns the sum of all observations.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean, or 0 for an empty summary.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min returns the smallest observation, or 0 for an empty summary.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 for an empty summary.
+func (s *Summary) Max() float64 { return s.max }
+
+// Variance returns the population variance, or 0 for fewer than two
+// observations.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sumSq/float64(s.n) - m*m
+	if v < 0 { // guard against floating-point cancellation
+		return 0
+	}
+	return v
+}
+
+// StdDev returns the population standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Sample is a growable collection of observations supporting exact
+// order statistics.  The zero value is ready to use.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// AddAll records every observation in xs.
+func (s *Sample) AddAll(xs []float64) {
+	s.xs = append(s.xs, xs...)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks.  It returns 0 for an empty
+// sample.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	rank := p / 100 * float64(len(s.xs)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := rank - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// TrimOutliers returns a copy of the sample with observations above the
+// given percentile removed.  The paper omits 5-6 outliers per 10,000
+// Apache requests caused by measurement perturbation; the workload
+// drivers use this to mirror that filtering.
+func (s *Sample) TrimOutliers(pctl float64) *Sample {
+	cut := s.Percentile(pctl)
+	out := &Sample{}
+	for _, x := range s.xs {
+		if x <= cut {
+			out.Add(x)
+		}
+	}
+	return out
+}
+
+// Values returns the observations in ascending order.  The returned
+// slice is owned by the sample and must not be modified.
+func (s *Sample) Values() []float64 {
+	s.sort()
+	return s.xs
+}
+
+// CDFPoint is one point of an empirical cumulative distribution:
+// Fraction of observations were <= Value.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64
+}
+
+// CDF returns the empirical CDF of the sample evaluated at up to
+// points evenly spaced ranks.  It returns nil for an empty sample.
+func (s *Sample) CDF(points int) []CDFPoint {
+	if len(s.xs) == 0 || points <= 0 {
+		return nil
+	}
+	s.sort()
+	if points > len(s.xs) {
+		points = len(s.xs)
+	}
+	out := make([]CDFPoint, points)
+	for i := 0; i < points; i++ {
+		// Rank of the sample this point represents, from the first
+		// to the last observation inclusive.
+		rank := (i + 1) * len(s.xs) / points
+		if rank < 1 {
+			rank = 1
+		}
+		out[i] = CDFPoint{
+			Value:    s.xs[rank-1],
+			Fraction: float64(rank) / float64(len(s.xs)),
+		}
+	}
+	return out
+}
+
+// Histogram counts observations in equal-width buckets over
+// [Lo, Hi).  Observations outside the range are counted in Under/Over.
+type Histogram struct {
+	Lo, Hi  float64
+	Counts  []int
+	Under   int
+	Over    int
+	total   int
+	samples Summary
+}
+
+// NewHistogram returns a histogram with the given number of
+// equal-width buckets covering [lo, hi).  It panics if hi <= lo or
+// buckets < 1, which would indicate a programming error in the caller.
+func NewHistogram(lo, hi float64, buckets int) *Histogram {
+	if hi <= lo {
+		panic(fmt.Sprintf("stats: invalid histogram range [%v, %v)", lo, hi))
+	}
+	if buckets < 1 {
+		panic("stats: histogram needs at least one bucket")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, buckets)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	h.samples.Add(x)
+	if x < h.Lo {
+		h.Under++
+		return
+	}
+	if x >= h.Hi {
+		h.Over++
+		return
+	}
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if i >= len(h.Counts) { // guard against floating-point edge
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+}
+
+// Total returns the number of observations recorded, including
+// out-of-range ones.
+func (h *Histogram) Total() int { return h.total }
+
+// Mean returns the mean of all recorded observations.
+func (h *Histogram) Mean() float64 { return h.samples.Mean() }
+
+// BucketCenter returns the midpoint value of bucket i.
+func (h *Histogram) BucketCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Fraction returns the fraction of in-range observations in bucket i.
+func (h *Histogram) Fraction(i int) float64 {
+	in := h.total - h.Under - h.Over
+	if in == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(in)
+}
+
+// PeakBucket returns the index of the most populated bucket.
+func (h *Histogram) PeakBucket() int {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+		_ = c
+	}
+	return best
+}
+
+// PerKilo expresses count per thousand units of base, the "per kilo
+// instruction" (PKI) normalisation used throughout the paper's tables.
+func PerKilo(count, base uint64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return float64(count) / float64(base) * 1000
+}
+
+// PercentDelta returns the relative improvement of enhanced over base
+// in percent; positive means enhanced is smaller (better, for
+// latencies and miss counts).
+func PercentDelta(base, enhanced float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - enhanced) / base * 100
+}

@@ -1,0 +1,305 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasic(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatalf("zero summary not zero: %+v", s)
+	}
+	for _, x := range []float64{3, 1, 4, 1, 5} {
+		s.Add(x)
+	}
+	if s.N() != 5 {
+		t.Errorf("N = %d, want 5", s.N())
+	}
+	if got, want := s.Sum(), 14.0; got != want {
+		t.Errorf("Sum = %v, want %v", got, want)
+	}
+	if got, want := s.Mean(), 2.8; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("Min/Max = %v/%v, want 1/5", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryVariance(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if got, want := s.Variance(), 4.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if got, want := s.StdDev(), 2.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+}
+
+func TestSummaryVarianceSingleton(t *testing.T) {
+	var s Summary
+	s.Add(42)
+	if s.Variance() != 0 {
+		t.Errorf("Variance of singleton = %v, want 0", s.Variance())
+	}
+}
+
+func TestSamplePercentile(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 100}, {50, 50.5}, {25, 25.75}, {90, 90.1},
+	}
+	for _, tt := range tests {
+		if got := s.Percentile(tt.p); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestSampleEmptyPercentile(t *testing.T) {
+	var s Sample
+	if s.Percentile(50) != 0 {
+		t.Error("empty sample percentile should be 0")
+	}
+	if s.CDF(10) != nil {
+		t.Error("empty sample CDF should be nil")
+	}
+	if s.Mean() != 0 {
+		t.Error("empty sample mean should be 0")
+	}
+}
+
+func TestSamplePercentileMonotone(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			s.Add(x)
+		}
+		pa := math.Mod(math.Abs(a), 100)
+		pb := math.Mod(math.Abs(b), 100)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return s.Percentile(pa) <= s.Percentile(pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	var s Sample
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 1000; i++ {
+		s.Add(rng.NormFloat64()*10 + 100)
+	}
+	cdf := s.CDF(50)
+	if len(cdf) != 50 {
+		t.Fatalf("CDF length = %d, want 50", len(cdf))
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Value < cdf[i-1].Value {
+			t.Errorf("CDF values not monotone at %d: %v < %v", i, cdf[i].Value, cdf[i-1].Value)
+		}
+		if cdf[i].Fraction <= cdf[i-1].Fraction {
+			t.Errorf("CDF fractions not strictly increasing at %d", i)
+		}
+	}
+	last := cdf[len(cdf)-1]
+	if last.Fraction != 1 {
+		t.Errorf("final CDF fraction = %v, want 1", last.Fraction)
+	}
+}
+
+func TestCDFMorePointsThanSamples(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{1, 2, 3})
+	cdf := s.CDF(10)
+	if len(cdf) != 3 {
+		t.Fatalf("CDF length = %d, want clamped to 3", len(cdf))
+	}
+}
+
+func TestTrimOutliers(t *testing.T) {
+	var s Sample
+	for i := 0; i < 9999; i++ {
+		s.Add(100)
+	}
+	s.Add(1e9) // one gross outlier
+	trimmed := s.TrimOutliers(99.9)
+	if trimmed.N() != 9999 {
+		t.Errorf("trimmed N = %d, want 9999", trimmed.N())
+	}
+	if trimmed.Percentile(100) != 100 {
+		t.Errorf("outlier survived trim: max = %v", trimmed.Percentile(100))
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Errorf("bucket %d count = %d, want 1", i, c)
+		}
+	}
+	if h.Under != 0 || h.Over != 0 {
+		t.Errorf("Under/Over = %d/%d, want 0/0", h.Under, h.Over)
+	}
+	if h.Total() != 10 {
+		t.Errorf("Total = %d, want 10", h.Total())
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(-1)
+	h.Add(10) // hi is exclusive
+	h.Add(11)
+	if h.Under != 1 {
+		t.Errorf("Under = %d, want 1", h.Under)
+	}
+	if h.Over != 2 {
+		t.Errorf("Over = %d, want 2", h.Over)
+	}
+}
+
+func TestHistogramPeakAndFraction(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for i := 0; i < 70; i++ {
+		h.Add(45) // bucket 4
+	}
+	for i := 0; i < 30; i++ {
+		h.Add(85) // bucket 8
+	}
+	if got := h.PeakBucket(); got != 4 {
+		t.Errorf("PeakBucket = %d, want 4", got)
+	}
+	if got, want := h.Fraction(4), 0.7; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Fraction(4) = %v, want %v", got, want)
+	}
+	if got, want := h.BucketCenter(4), 45.0; got != want {
+		t.Errorf("BucketCenter(4) = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, tt := range []struct {
+		name   string
+		lo, hi float64
+		n      int
+	}{
+		{"inverted range", 10, 0, 5},
+		{"empty range", 5, 5, 5},
+		{"zero buckets", 0, 10, 0},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			NewHistogram(tt.lo, tt.hi, tt.n)
+		})
+	}
+}
+
+func TestHistogramFractionSumsToOne(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		if n == 0 {
+			return true
+		}
+		rng := rand.New(rand.NewPCG(seed, 0))
+		h := NewHistogram(0, 1, 7)
+		for i := 0; i < int(n); i++ {
+			h.Add(rng.Float64())
+		}
+		sum := 0.0
+		for i := range h.Counts {
+			sum += h.Fraction(i)
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerKilo(t *testing.T) {
+	if got := PerKilo(5, 1000); got != 5 {
+		t.Errorf("PerKilo(5,1000) = %v, want 5", got)
+	}
+	if got := PerKilo(1, 0); got != 0 {
+		t.Errorf("PerKilo with zero base = %v, want 0", got)
+	}
+	if got := PerKilo(1223, 100000); math.Abs(got-12.23) > 1e-12 {
+		t.Errorf("PerKilo(1223,100000) = %v, want 12.23", got)
+	}
+}
+
+func TestPercentDelta(t *testing.T) {
+	if got := PercentDelta(100, 96); math.Abs(got-4) > 1e-12 {
+		t.Errorf("PercentDelta(100,96) = %v, want 4", got)
+	}
+	if got := PercentDelta(0, 5); got != 0 {
+		t.Errorf("PercentDelta with zero base = %v, want 0", got)
+	}
+	if got := PercentDelta(100, 104); math.Abs(got+4) > 1e-12 {
+		t.Errorf("PercentDelta(100,104) = %v, want -4", got)
+	}
+}
+
+func TestSampleValuesSorted(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{3, 1, 2})
+	vs := s.Values()
+	if len(vs) != 3 || vs[0] != 1 || vs[2] != 3 {
+		t.Errorf("Values = %v", vs)
+	}
+	if s.Mean() != 2 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+}
+
+func TestHistogramMeanAndErrorPaths(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(2)
+	h.Add(4)
+	if got := h.Mean(); got != 3 {
+		t.Errorf("Mean = %v", got)
+	}
+	// Fraction with only out-of-range observations.
+	h2 := NewHistogram(0, 1, 2)
+	h2.Add(5)
+	if h2.Fraction(0) != 0 {
+		t.Error("Fraction with no in-range samples should be 0")
+	}
+}
+
+func TestCDFZeroPoints(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	if s.CDF(0) != nil {
+		t.Error("CDF(0) should be nil")
+	}
+}

@@ -1,0 +1,100 @@
+package tlb
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func small() *TLB {
+	return New(Config{Name: "t", Entries: 8, Ways: 2, MissPenalty: 30})
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{"ok", Config{Entries: 8, Ways: 2}, false},
+		{"zero entries", Config{Ways: 2}, true},
+		{"zero ways", Config{Entries: 8}, true},
+		{"npot sets", Config{Entries: 12, Ways: 2}, true},
+		{"indivisible", Config{Entries: 9, Ways: 2}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.cfg.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	tb := small()
+	if pen := tb.Access(0x400123); pen != 30 {
+		t.Errorf("cold access penalty = %d, want 30", pen)
+	}
+	if pen := tb.Access(0x400fff); pen != 0 {
+		t.Errorf("same-page access penalty = %d, want 0", pen)
+	}
+	if pen := tb.Access(0x401000); pen != 30 {
+		t.Errorf("next-page access penalty = %d, want 30", pen)
+	}
+	if tb.Misses() != 2 || tb.Accesses() != 3 {
+		t.Errorf("misses/accesses = %d/%d, want 2/3", tb.Misses(), tb.Accesses())
+	}
+}
+
+func TestAccessRange(t *testing.T) {
+	tb := small()
+	// 16 bytes ending on a page boundary straddle two pages.
+	pen := tb.AccessRange(mem.PageSize-8, 16)
+	if pen != 60 {
+		t.Errorf("straddling penalty = %d, want 60", pen)
+	}
+	if pen := tb.AccessRange(0, 0); pen != 0 {
+		t.Errorf("zero-size re-access penalty = %d, want 0", pen)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	tb := small()
+	tb.Access(0x400000)
+	tb.Flush()
+	if pen := tb.Access(0x400000); pen != 30 {
+		t.Error("entry survived Flush")
+	}
+}
+
+func TestCapacityConflicts(t *testing.T) {
+	tb := small() // 4 sets x 2 ways
+	// 3 pages mapping to the same set (vpn stride = set count = 4).
+	pages := []uint64{0, 4, 8}
+	for _, p := range pages {
+		tb.Access(p << mem.PageShift)
+	}
+	// Page 0 was LRU and must have been evicted.
+	if pen := tb.Access(0); pen == 0 {
+		t.Error("conflicting page still resident")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	i, d := DefaultITLB(), DefaultDTLB()
+	if err := i.Config().Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := d.Config().Validate(); err != nil {
+		t.Error(err)
+	}
+	if i.Config().Entries >= d.Config().Entries {
+		t.Error("expected D-TLB larger than I-TLB")
+	}
+	i.Access(0x1000)
+	i.ResetStats()
+	if i.Accesses() != 0 {
+		t.Error("ResetStats did not zero counters")
+	}
+}

@@ -1,0 +1,132 @@
+package trace
+
+// LRU stack-distance analysis (Mattson et al.): for each access in the
+// trampoline stream, the stack distance is the number of *distinct*
+// trampolines touched since the previous access to the same one.  An
+// access hits a fully-associative LRU table of N entries exactly when
+// its stack distance is <= N, so one pass over the trace yields the
+// entire Figure 5 curve, and the curve's knees are the "ABTB working
+// sets" the paper reads out of the figure (§5.3).
+//
+// The classic O(N log N) algorithm: keep the last-access time of every
+// key and a Fenwick tree over timestamps marking which timestamps are
+// the *most recent* access of some key; the stack distance of an
+// access is the count of marked timestamps after the key's previous
+// access.
+
+// fenwick is a binary indexed tree over [1, n] supporting point update
+// and prefix sum.
+type fenwick struct {
+	tree []int
+}
+
+func newFenwick(n int) *fenwick {
+	return &fenwick{tree: make([]int, n+1)}
+}
+
+// add adds delta at position i (1-based).
+func (f *fenwick) add(i, delta int) {
+	for ; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// sum returns the prefix sum over [1, i].
+func (f *fenwick) sum(i int) int {
+	s := 0
+	for ; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// StackDistances returns the histogram of LRU stack distances of the
+// recorded trampoline stream: dist[d] is the number of accesses at
+// stack distance d (d >= 1), and cold is the number of first-ever
+// accesses (infinite distance).  The histogram is truncated at the
+// number of distinct trampolines, the largest possible distance.
+func (r *Recorder) StackDistances() (dist []uint64, cold uint64) {
+	n := len(r.seq)
+	if n == 0 {
+		return nil, 0
+	}
+	dist = make([]uint64, r.Distinct()+1)
+	last := make(map[uint64]int, r.Distinct())
+	ft := newFenwick(n)
+	for t, key := range r.seq {
+		if prev, seen := last[key]; seen {
+			// Distinct keys accessed strictly after prev: marked
+			// timestamps in (prev+1, t] using 1-based positions.
+			d := ft.sum(t) - ft.sum(prev+1)
+			// The key itself sits at distance d+1 in the LRU stack.
+			d++
+			if d >= len(dist) {
+				d = len(dist) - 1
+			}
+			dist[d]++
+			ft.add(prev+1, -1)
+		} else {
+			cold++
+		}
+		last[key] = t
+		ft.add(t+1, 1)
+	}
+	return dist, cold
+}
+
+// SkipCurveFromDistances computes SkipCurve analytically from one
+// stack-distance pass: an access hits an N-entry LRU table iff its
+// stack distance is <= N.  Equivalent to (and validated against)
+// SkipCurve's explicit replay, but one pass serves every size.
+func (r *Recorder) SkipCurveFromDistances(sizes []int) []float64 {
+	if len(r.seq) == 0 {
+		out := make([]float64, len(sizes))
+		return out
+	}
+	dist, _ := r.StackDistances()
+	// Cumulative hits by table size.
+	cum := make([]uint64, len(dist))
+	var running uint64
+	for d := 1; d < len(dist); d++ {
+		running += dist[d]
+		cum[d] = running
+	}
+	out := make([]float64, len(sizes))
+	total := float64(len(r.seq))
+	for i, n := range sizes {
+		if n <= 0 {
+			continue
+		}
+		if n >= len(cum) {
+			n = len(cum) - 1
+		}
+		out[i] = float64(cum[n]) / total
+	}
+	return out
+}
+
+// WorkingSet returns the smallest fully-associative table size whose
+// skip ratio reaches frac of the skip ratio of an unbounded table —
+// the paper's "ABTB working set" reading of Figure 5's knees.
+func (r *Recorder) WorkingSet(frac float64) int {
+	if len(r.seq) == 0 {
+		return 0
+	}
+	dist, _ := r.StackDistances()
+	var total uint64
+	for d := 1; d < len(dist); d++ {
+		total += dist[d]
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(frac * float64(total))
+	var running uint64
+	for d := 1; d < len(dist); d++ {
+		running += dist[d]
+		if running >= target {
+			return d
+		}
+	}
+	return len(dist) - 1
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestFenwick(t *testing.T) {
+	f := newFenwick(10)
+	f.add(3, 1)
+	f.add(7, 2)
+	if got := f.sum(2); got != 0 {
+		t.Errorf("sum(2) = %d", got)
+	}
+	if got := f.sum(3); got != 1 {
+		t.Errorf("sum(3) = %d", got)
+	}
+	if got := f.sum(10); got != 3 {
+		t.Errorf("sum(10) = %d", got)
+	}
+	f.add(3, -1)
+	if got := f.sum(10); got != 2 {
+		t.Errorf("after removal sum(10) = %d", got)
+	}
+}
+
+func TestStackDistancesSimple(t *testing.T) {
+	r := NewRecorder(0)
+	// Stream: A B A  -> A cold, B cold, A at distance 2 (B between).
+	r.Record(1)
+	r.Record(2)
+	r.Record(1)
+	dist, cold := r.StackDistances()
+	if cold != 2 {
+		t.Errorf("cold = %d, want 2", cold)
+	}
+	if dist[2] != 1 {
+		t.Errorf("dist[2] = %d, want 1", dist[2])
+	}
+	// Immediate repeat: distance 1.
+	r2 := NewRecorder(0)
+	r2.Record(5)
+	r2.Record(5)
+	d2, c2 := r2.StackDistances()
+	if c2 != 1 || d2[1] != 1 {
+		t.Errorf("repeat: dist=%v cold=%d", d2, c2)
+	}
+}
+
+func TestStackDistancesEmpty(t *testing.T) {
+	r := NewRecorder(0)
+	dist, cold := r.StackDistances()
+	if dist != nil || cold != 0 {
+		t.Error("empty recorder produced distances")
+	}
+	if got := r.SkipCurveFromDistances([]int{4}); got[0] != 0 {
+		t.Error("empty curve nonzero")
+	}
+	if r.WorkingSet(0.9) != 0 {
+		t.Error("empty working set nonzero")
+	}
+}
+
+// The central equivalence: the analytic curve from one stack-distance
+// pass must match the explicit LRU replay at every size.
+func TestSkipCurveFromDistancesMatchesReplay(t *testing.T) {
+	sizes := []int{1, 2, 3, 4, 8, 16, 32, 64, 128}
+	check := func(seed uint64, keys int, accesses int) {
+		rng := rand.New(rand.NewPCG(seed, 0))
+		r := NewRecorder(0)
+		for i := 0; i < accesses; i++ {
+			// Mix of zipf-ish hot keys and bursts.
+			k := uint64(rng.ExpFloat64() * float64(keys) / 4)
+			reps := 1 + rng.IntN(4)
+			for j := 0; j < reps; j++ {
+				r.Record(k)
+			}
+		}
+		replay := r.SkipCurve(sizes)
+		analytic := r.SkipCurveFromDistances(sizes)
+		for i := range sizes {
+			if math.Abs(replay[i]-analytic[i]) > 1e-12 {
+				t.Fatalf("seed %d size %d: replay %.6f != analytic %.6f",
+					seed, sizes[i], replay[i], analytic[i])
+			}
+		}
+	}
+	for seed := uint64(0); seed < 8; seed++ {
+		check(seed, 50, 2000)
+	}
+	check(99, 5, 100)
+	check(100, 300, 5000)
+}
+
+func TestSkipCurveEquivalenceProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		r := NewRecorder(0)
+		for _, k := range raw {
+			r.Record(uint64(k % 16))
+		}
+		sizes := []int{1, 2, 4, 8, 16, 32}
+		a := r.SkipCurve(sizes)
+		b := r.SkipCurveFromDistances(sizes)
+		for i := range sizes {
+			if math.Abs(a[i]-b[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkingSet(t *testing.T) {
+	r := NewRecorder(0)
+	// 4 keys round-robin in bursts of 3: hits are mostly distance 1,
+	// with one distance-4 hit per rotation.
+	for round := 0; round < 100; round++ {
+		for k := uint64(0); k < 4; k++ {
+			r.Record(k)
+			r.Record(k)
+			r.Record(k)
+		}
+	}
+	// Two thirds of hits (the in-burst repeats) need only 1 entry.
+	if ws := r.WorkingSet(0.6); ws != 1 {
+		t.Errorf("WorkingSet(0.6) = %d, want 1", ws)
+	}
+	// Capturing everything needs the full rotation of 4.
+	if ws := r.WorkingSet(1.0); ws != 4 {
+		t.Errorf("WorkingSet(1.0) = %d, want 4", ws)
+	}
+}

@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpu"
+	"repro/internal/linker"
+	"repro/internal/objfile"
+)
+
+func TestRecorderCounts(t *testing.T) {
+	r := NewRecorder(0)
+	for i := 0; i < 5; i++ {
+		r.Record(100)
+	}
+	r.Record(200)
+	if r.Total() != 6 {
+		t.Errorf("Total = %d, want 6", r.Total())
+	}
+	if r.Distinct() != 2 {
+		t.Errorf("Distinct = %d, want 2", r.Distinct())
+	}
+	ranked := r.Ranked()
+	if len(ranked) != 2 || ranked[0].Slot != 100 || ranked[0].Count != 5 {
+		t.Errorf("Ranked = %v", ranked)
+	}
+	if ranked[1].Count != 1 {
+		t.Errorf("Ranked[1] = %v", ranked[1])
+	}
+}
+
+func TestRankedDescending(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0))
+		r := NewRecorder(0)
+		for i := 0; i < 500; i++ {
+			r.Record(rng.Uint64() % 20)
+		}
+		ranked := r.Ranked()
+		for i := 1; i < len(ranked); i++ {
+			if ranked[i].Count > ranked[i-1].Count {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	r := NewRecorder(3)
+	for i := uint64(0); i < 10; i++ {
+		r.Record(i)
+	}
+	if !r.Truncated() {
+		t.Error("not truncated")
+	}
+	if r.Total() != 10 || r.Distinct() != 10 {
+		t.Error("freq counting must be exact despite truncation")
+	}
+}
+
+func TestSkipRatioSmallWorkingSet(t *testing.T) {
+	r := NewRecorder(0)
+	// 4 trampolines round-robin, 100 rounds.
+	for round := 0; round < 100; round++ {
+		for s := uint64(0); s < 4; s++ {
+			r.Record(s)
+		}
+	}
+	// Size >= 4: everything but the 4 cold misses hits.
+	want := float64(400-4) / 400
+	if got := r.SkipRatio(4); got != want {
+		t.Errorf("SkipRatio(4) = %v, want %v", got, want)
+	}
+	if got := r.SkipRatio(1000); got != want {
+		t.Errorf("SkipRatio(1000) = %v, want %v", got, want)
+	}
+	// Size 3 with a cyclic pattern of 4: LRU always evicts the next
+	// needed entry — zero hits.
+	if got := r.SkipRatio(3); got != 0 {
+		t.Errorf("SkipRatio(3) = %v, want 0 (LRU worst case)", got)
+	}
+	if got := r.SkipRatio(0); got != 0 {
+		t.Errorf("SkipRatio(0) = %v", got)
+	}
+}
+
+func TestSkipCurveMonotone(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	r := NewRecorder(0)
+	for i := 0; i < 20000; i++ {
+		// Zipf-ish: favour low slots.
+		s := uint64(rng.ExpFloat64() * 30)
+		r.Record(s)
+	}
+	sizes := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	curve := r.SkipCurve(sizes)
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1] {
+			t.Errorf("skip curve not monotone at %d: %v < %v", sizes[i], curve[i], curve[i-1])
+		}
+	}
+	if curve[len(curve)-1] <= 0.9 {
+		t.Errorf("large-table skip ratio = %v, want > 0.9", curve[len(curve)-1])
+	}
+}
+
+func TestLRUBasics(t *testing.T) {
+	l := newLRU(2)
+	if l.touch(1) {
+		t.Error("cold touch hit")
+	}
+	if !l.touch(1) {
+		t.Error("warm touch missed")
+	}
+	l.touch(2)
+	l.touch(3) // evicts 1 (LRU after the refresh order 1,2)
+	if l.touch(1) {
+		t.Error("evicted key hit")
+	}
+	// Now cache = {3, 1} (2 was LRU and evicted by reinserting 1).
+	if !l.touch(3) {
+		t.Error("key 3 lost")
+	}
+}
+
+func TestAttachEndToEnd(t *testing.T) {
+	app := objfile.New("app")
+	m := app.NewFunc("main")
+	lib := objfile.New("lib")
+	for i := 0; i < 3; i++ {
+		name := "f" + string(rune('0'+i))
+		lib.NewFunc(name).ALU(1).Ret()
+		m.Call(name)
+	}
+	m.Halt()
+	im, err := linker.Link(app, []*objfile.Object{lib}, linker.Options{Mode: linker.BindLazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(im, cpu.DefaultConfig())
+	r := NewRecorder(0)
+	r.Attach(c)
+	for i := 0; i < 5; i++ {
+		if _, err := c.RunSymbol("main", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Total() != 15 {
+		t.Errorf("Total = %d, want 15", r.Total())
+	}
+	if r.Distinct() != 3 {
+		t.Errorf("Distinct = %d, want 3", r.Distinct())
+	}
+	// Steady state: each trampoline hits after its first call.
+	if got := r.SkipRatio(16); got != float64(15-3)/15 {
+		t.Errorf("SkipRatio = %v", got)
+	}
+}

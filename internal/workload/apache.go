@@ -1,0 +1,194 @@
+// Apache web server serving the SPECweb 2009 request mix (§4.4).
+//
+// Structure calibrated against the paper's measurements of the real
+// server: the highest library-call density of the four workloads
+// (Table 2: 12.23 trampoline instructions PKI), ~500 distinct
+// trampolines (Table 3) spread over many libraries, a steep
+// rank/frequency curve (Figure 4: a specific set of library calls per
+// request), and the largest instruction-cache footprint (Table 4).
+
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/objfile"
+)
+
+// apacheClassNames are the SPECweb request types plotted in Figure 6.
+var apacheClassNames = []string{"Index", "Search", "Catalog", "Product", "FileCatalog", "File"}
+
+// Apache generates the Apache/SPECweb workload.
+func Apache(seed uint64) *Workload {
+	rng := rand.New(rand.NewPCG(seed, 0xa9ac4e))
+
+	// The shared-library bundle of a mod_php Apache: sizes loosely
+	// proportional to the real libraries' exported-and-used surface.
+	// Per-library data stays small (library state is mostly compact;
+	// the D-cache traffic of the real server is dominated by request
+	// buffers), and bodies are branchy mid-size functions.
+	libSpecs := []libParams{
+		{name: "libc", nFuncs: 130, ifuncs: 10, dataBytes: 8 << 10, bodyALU: [2]int{18, 48},
+			bodyLoads: [2]int{1, 4}, loadSpan: 4, stores: 1, condEvery: 11, condBias: 90,
+			loopPct: 10, loopIters: 60, crossCalls: 0},
+		{name: "libphp", nFuncs: 110, dataBytes: 12 << 10, bodyALU: [2]int{22, 56},
+			bodyLoads: [2]int{1, 5}, loadSpan: 4, stores: 1, condEvery: 10, condBias: 89,
+			loopPct: 15, loopIters: 65, crossCalls: 30, crossPct: 30},
+		{name: "libssl", nFuncs: 70, dataBytes: 8 << 10, bodyALU: [2]int{26, 64},
+			bodyLoads: [2]int{1, 3}, loadSpan: 4, stores: 1, condEvery: 12, condBias: 92,
+			loopPct: 20, loopIters: 68, crossCalls: 16, crossPct: 30},
+		{name: "libapr", nFuncs: 64, dataBytes: 8 << 10, bodyALU: [2]int{16, 40},
+			bodyLoads: [2]int{1, 4}, loadSpan: 4, stores: 1, condEvery: 11, condBias: 90,
+			loopPct: 8, loopIters: 60, crossCalls: 18, crossPct: 30},
+		{name: "libaprutil", nFuncs: 52, dataBytes: 8 << 10, bodyALU: [2]int{16, 40},
+			bodyLoads: [2]int{1, 3}, loadSpan: 4, stores: 0, condEvery: 11, condBias: 90,
+			loopPct: 8, loopIters: 60, crossCalls: 14, crossPct: 28},
+		{name: "libpcre", nFuncs: 40, dataBytes: 8 << 10, bodyALU: [2]int{24, 56},
+			bodyLoads: [2]int{1, 4}, loadSpan: 4, stores: 0, condEvery: 9, condBias: 88,
+			loopPct: 25, loopIters: 70, crossCalls: 6, crossPct: 25},
+		{name: "libz", nFuncs: 30, dataBytes: 8 << 10, bodyALU: [2]int{28, 64},
+			bodyLoads: [2]int{1, 4}, loadSpan: 4, stores: 1, condEvery: 10, condBias: 89,
+			loopPct: 30, loopIters: 72, crossCalls: 4, crossPct: 25},
+		{name: "libxml", nFuncs: 64, dataBytes: 8 << 10, bodyALU: [2]int{20, 48},
+			bodyLoads: [2]int{1, 4}, loadSpan: 4, stores: 1, condEvery: 11, condBias: 90,
+			loopPct: 12, loopIters: 62, crossCalls: 16, crossPct: 30},
+	}
+	libs, funcsByLib := genLibraryBundle(rng, libSpecs)
+
+	app := buildApacheApp(rng, funcsByLib)
+
+	classes := make([]RequestClass, len(apacheClassNames))
+	weights := []float64{3, 2, 2, 2, 1, 2} // Index-heavy, as SPECweb is
+	for i, name := range apacheClassNames {
+		classes[i] = RequestClass{Name: name, Entry: "handle_" + name, Weight: weights[i]}
+	}
+	return &Workload{Name: "apache", App: app, Libs: libs, Classes: classes}
+}
+
+// genLibraryBundle generates each library, wiring cross-library calls
+// from earlier libraries into later ones (an acyclic call graph, so
+// simulated call depth stays bounded).
+func genLibraryBundle(rng *rand.Rand, specs []libParams) (libs []*objfile.Object, funcsByLib [][]string) {
+	// Pre-compute every library's function names so earlier libraries
+	// can call later ones.
+	allNames := make([][]string, len(specs))
+	for i, p := range specs {
+		names := make([]string, p.nFuncs)
+		for j := range names {
+			names[j] = fmt.Sprintf("%s_fn%03d", p.name, j)
+		}
+		allNames[i] = names
+	}
+	for i, p := range specs {
+		var crossTargets []string
+		for j := i + 1; j < len(specs); j++ {
+			crossTargets = append(crossTargets, allNames[j]...)
+		}
+		lib, names := genLib(rng, p, crossTargets)
+		libs = append(libs, lib)
+		funcsByLib = append(funcsByLib, names)
+	}
+	return libs, funcsByLib
+}
+
+// buildApacheApp builds the server binary: per-class request handlers
+// over a shared set of helpers and a tiered library-call surface.
+func buildApacheApp(rng *rand.Rand, funcsByLib [][]string) *objfile.Object {
+	app := objfile.New("httpd")
+	app.AddData("req", 16<<10)
+	app.AddData("conn", 16<<10)
+
+	// Flatten the library surface and carve it into tiers.
+	var pool []string
+	for _, names := range funcsByLib {
+		pool = append(pool, names...)
+	}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+
+	// The paper's Figure 4 shows steep cutoffs for Apache: "a very
+	// specific set of library calls was made for every request
+	// serviced".  Every request traverses one shared pipeline -- as
+	// real SPECweb request types share the httpd+php code path and
+	// differ mainly in data -- calling a large fixed set of library
+	// functions (the hottest in long bursts, the rest in short ones),
+	// plus a small per-class section and a rare tail.  The shared
+	// pipeline also concentrates the BTB working set the way real
+	// servers do: call sites repeat every request, so only trampoline
+	// pressure (which the ABTB removes) produces BTB misses.
+	const (
+		nSharedHot   = 44  // every request, long bursts
+		nSharedFixed = 170 // every request, short bursts
+		nClassFixed  = 15  // per class, every request of the class
+		nClassWarm   = 9   // per class, occasionally
+		nClassCold   = 8   // per class, rare
+		warmPct      = 3
+		coldPct      = 1
+		nSteps       = 110 // shared server step functions (I$ footprint)
+	)
+	take := func(n int) []string {
+		if n > len(pool) {
+			panic("workload: apache pool exhausted")
+		}
+		out := pool[:n]
+		pool = pool[n:]
+		return out
+	}
+
+	// App-internal helpers: direct calls, contributing app text.
+	parse := app.NewFunc("parse_request")
+	emitBody(parse, rng, bodySpec{region: "req", regionLen: 16 << 10, alu: 60,
+		loads: 10, span: 4, stores: 2, condEvery: 8, condBias: 88})
+	parse.Ret()
+	logf := app.NewFunc("log_access")
+	emitBody(logf, rng, bodySpec{region: "conn", regionLen: 16 << 10, alu: 30,
+		loads: 4, span: 4, stores: 3, condEvery: 8, condBias: 90})
+	logf.Ret()
+
+	// The shared library-call pipeline.
+	pipe := app.NewFunc("request_pipeline")
+	pad := func(f *objfile.Func) {
+		f.ALU(8 + rng.IntN(8))
+		f.Load("req", uint64(rng.Uint64()%(12<<10))&^7, 4)
+	}
+	emitTieredCalls(pipe, rng, []tier{
+		{names: take(nSharedHot), pct: 100, maxBurst: 32, zipf: true},
+		{names: take(nSharedFixed), pct: 100, maxBurst: 4},
+	}, pad)
+	pipe.Ret()
+
+	// Shared server steps: header handling, content generation,
+	// filters.  Their combined text (~70 KiB) exceeds the L1I, giving
+	// Apache the largest instruction-cache footprint of the four
+	// workloads (Table 4), as every request walks most of it.
+	stepNames := make([]string, nSteps)
+	for i := range stepNames {
+		stepNames[i] = fmt.Sprintf("httpd_step%03d", i)
+		step := app.NewFunc(stepNames[i])
+		emitBody(step, rng, bodySpec{region: "conn", regionLen: 16 << 10,
+			alu: 110 + rng.IntN(80), loads: 5, span: 4, stores: 1,
+			condEvery: 12, condBias: 90})
+		step.Ret()
+	}
+
+	for ci, class := range apacheClassNames {
+		h := app.NewFunc("handle_" + class)
+		h.Call("parse_request")
+		h.Call("request_pipeline")
+		// Request types execute overlapping prefixes of the server
+		// steps; longer prefixes make heavier request types.
+		for i := 0; i < 60+ci*10; i++ {
+			h.Call(stepNames[i])
+		}
+		emitTieredCalls(h, rng, []tier{
+			{names: take(nClassFixed), pct: 100, maxBurst: 4},
+			{names: take(nClassWarm), pct: warmPct, maxBurst: 4},
+			{names: take(nClassCold), pct: coldPct},
+		}, pad)
+		// Response assembly kernel over the request buffer.
+		emitKernel(h, rng, "req", 16<<10, 18, 8, 75)
+		h.Call("log_access")
+		h.Halt()
+	}
+	return app
+}

@@ -1,0 +1,140 @@
+// Firefox running the Peacekeeper browser benchmark (§4.4).
+//
+// Calibration targets from the paper: 2457 distinct trampolines
+// (Table 3 — the widest library surface of all workloads) exercised
+// *infrequently* (Table 2: only 0.72 trampoline instructions PKI,
+// "execution is dominated by small computation kernels"), a shallow
+// rank/frequency curve (Figure 4), the lowest cache/TLB pressure of
+// the four workloads (Table 4), and Peacekeeper category scores that
+// improve by ~1-3% (Table 5).
+
+package workload
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/objfile"
+)
+
+// firefoxClasses mirror Table 5's Peacekeeper categories.
+var firefoxClasses = []string{"Rendering", "Canvas", "Data", "DOM", "TextParsing"}
+
+// Firefox generates the Firefox/Peacekeeper workload.
+func Firefox(seed uint64) *Workload {
+	rng := rand.New(rand.NewPCG(seed, 0xf1ef0c5))
+
+	libSpecs := []libParams{
+		{name: "libglib", nFuncs: 220, ifuncs: 8, dataBytes: 256 << 10, bodyALU: [2]int{12, 30},
+			bodyLoads: [2]int{1, 4}, loadSpan: 24, stores: 1, condEvery: 7, condBias: 84,
+			loopPct: 5, loopIters: 55, crossCalls: 80, crossPct: 45},
+		{name: "libgtk", nFuncs: 260, dataBytes: 256 << 10, bodyALU: [2]int{12, 32},
+			bodyLoads: [2]int{1, 4}, loadSpan: 24, stores: 1, condEvery: 7, condBias: 84,
+			loopPct: 5, loopIters: 55, crossCalls: 110, crossPct: 45},
+		{name: "libcairo", nFuncs: 180, dataBytes: 512 << 10, bodyALU: [2]int{16, 40},
+			bodyLoads: [2]int{2, 5}, loadSpan: 48, stores: 1, condEvery: 8, condBias: 86,
+			loopPct: 20, loopIters: 72, crossCalls: 70, crossPct: 45},
+		{name: "libpango", nFuncs: 120, dataBytes: 128 << 10, bodyALU: [2]int{14, 36},
+			bodyLoads: [2]int{1, 4}, loadSpan: 24, stores: 1, condEvery: 7, condBias: 85,
+			loopPct: 10, loopIters: 65, crossCalls: 50, crossPct: 45},
+		{name: "libfreetype", nFuncs: 110, dataBytes: 256 << 10, bodyALU: [2]int{18, 44},
+			bodyLoads: [2]int{2, 5}, loadSpan: 32, stores: 1, condEvery: 7, condBias: 84,
+			loopPct: 20, loopIters: 70, crossCalls: 30, crossPct: 40},
+		{name: "libx11", nFuncs: 160, dataBytes: 128 << 10, bodyALU: [2]int{12, 30},
+			bodyLoads: [2]int{1, 3}, loadSpan: 16, stores: 1, condEvery: 8, condBias: 88,
+			loopPct: 5, loopIters: 55, crossCalls: 50, crossPct: 45},
+		{name: "libnss", nFuncs: 170, dataBytes: 256 << 10, bodyALU: [2]int{18, 44},
+			bodyLoads: [2]int{2, 5}, loadSpan: 32, stores: 1, condEvery: 7, condBias: 82,
+			loopPct: 12, loopIters: 65, crossCalls: 60, crossPct: 45},
+		{name: "libnspr", nFuncs: 120, dataBytes: 128 << 10, bodyALU: [2]int{12, 30},
+			bodyLoads: [2]int{1, 4}, loadSpan: 16, stores: 1, condEvery: 8, condBias: 86,
+			loopPct: 5, loopIters: 55, crossCalls: 40, crossPct: 45},
+		{name: "libsqlite", nFuncs: 150, dataBytes: 1 << 20, bodyALU: [2]int{16, 40},
+			bodyLoads: [2]int{2, 6}, loadSpan: 96, stores: 1, condEvery: 6, condBias: 78,
+			loopPct: 12, loopIters: 65, crossCalls: 40, crossPct: 45},
+		{name: "libstdcppff", nFuncs: 150, dataBytes: 256 << 10, bodyALU: [2]int{12, 32},
+			bodyLoads: [2]int{1, 4}, loadSpan: 24, stores: 1, condEvery: 7, condBias: 84,
+			loopPct: 5, loopIters: 55, crossCalls: 50, crossPct: 45},
+		{name: "libcff", nFuncs: 260, dataBytes: 512 << 10, bodyALU: [2]int{14, 36},
+			bodyLoads: [2]int{2, 5}, loadSpan: 32, stores: 1, condEvery: 7, condBias: 84,
+			loopPct: 8, loopIters: 60, crossCalls: 0},
+	}
+	libs, funcsByLib := genLibraryBundle(rng, libSpecs)
+
+	app := objfile.New("firefox")
+	app.AddData("dom", 4<<20)
+	app.AddData("canvas", 8<<20)
+	app.AddData("strings", 2<<20)
+
+	var pool []string
+	for _, names := range funcsByLib {
+		pool = append(pool, names...)
+	}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+
+	const (
+		nSharedHot = 8
+		nClassHot  = 6
+		nClassWarm = 200 // shallow curve: a wide moderately-used middle
+		nClassCold = 135
+		warmPct    = 6
+		coldPct    = 3
+	)
+	take := func(n int) []string {
+		if n > len(pool) {
+			panic("workload: firefox pool exhausted")
+		}
+		out := pool[:n]
+		pool = pool[n:]
+		return out
+	}
+	sharedHot := take(nSharedHot)
+
+	// kernel emits a hot computation loop: the "small computation
+	// kernels" that dominate browser benchmark execution.  High
+	// iteration counts give code reuse (low I-cache pressure) and
+	// predictable branches (low misprediction rate).
+	kernel := func(f *objfile.Func, region string, regionLen uint64, iters uint8) {
+		start := len(f.Body)
+		f.ALU(20)
+		f.Load(region, uint64(rng.Uint64()%(regionLen-8192))&^7, 16)
+		f.ALU(16)
+		f.Store(region, uint64(rng.Uint64()%(regionLen-8192))&^7, 16, rng.Uint64())
+		f.ALU(8)
+		f.LoopBack(iters, len(f.Body)-start)
+	}
+
+	regions := map[string]uint64{"dom": 4 << 20, "canvas": 8 << 20, "strings": 2 << 20}
+	regionFor := map[string]string{
+		"Rendering": "canvas", "Canvas": "canvas", "Data": "strings",
+		"DOM": "dom", "TextParsing": "strings",
+	}
+
+	for _, class := range firefoxClasses {
+		h := app.NewFunc("handle_" + class)
+		region := regionFor[class]
+		regionLen := regions[region]
+
+		// Shared hot functions are called in bursts with a medium
+		// kernel between calls; class-specific hot functions get a
+		// long kernel each, keeping trampoline density below 1 PKI.
+		medium := func(f *objfile.Func) { kernel(f, region, regionLen, 98) }
+		long := func(f *objfile.Func) { kernel(f, region, regionLen, 99) }
+		emitTieredCalls(h, rng, []tier{
+			{names: sharedHot, pct: 100, maxBurst: 12, zipf: true},
+		}, medium)
+		emitTieredCalls(h, rng, []tier{
+			{names: take(nClassHot), pct: 100},
+			{names: take(nClassWarm), pct: warmPct, maxBurst: 6},
+			{names: take(nClassCold), pct: coldPct},
+		}, long)
+		kernel(h, region, regionLen, 99)
+		kernel(h, region, regionLen, 98)
+		h.Halt()
+	}
+
+	classes := make([]RequestClass, len(firefoxClasses))
+	for i, name := range firefoxClasses {
+		classes[i] = RequestClass{Name: name, Entry: "handle_" + name, Weight: 1}
+	}
+	return &Workload{Name: "firefox", App: app, Libs: libs, Classes: classes}
+}

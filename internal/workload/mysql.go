@@ -1,0 +1,143 @@
+// MySQL serving TPC-C New Order and Payment transactions via
+// OLTP-Bench (§4.4).
+//
+// Calibration targets from the paper: 1611 distinct trampolines
+// (Table 3 — the largest import surface of the server workloads),
+// 5.56 trampoline instructions PKI (Table 2), the highest branch
+// misprediction rate of the four workloads (Table 4: 14.44 PKI), and
+// response-time percentiles that improve by ~1% under the enhanced
+// system (Table 6 / Figure 8).
+
+package workload
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/objfile"
+)
+
+// MySQL generates the MySQL/TPC-C workload with New Order and Payment
+// transaction classes.
+func MySQL(seed uint64) *Workload {
+	rng := rand.New(rand.NewPCG(seed, 0x301a9d))
+
+	libSpecs := []libParams{
+		{name: "libpthread", nFuncs: 90, dataBytes: 8 << 10, bodyALU: [2]int{12, 30},
+			bodyLoads: [2]int{1, 4}, loadSpan: 6, stores: 1, condEvery: 7, condBias: 78,
+			loopPct: 5, loopIters: 55, crossCalls: 40, crossPct: 60},
+		{name: "libcrypto", nFuncs: 260, dataBytes: 16 << 10, bodyALU: [2]int{22, 52},
+			bodyLoads: [2]int{2, 5}, loadSpan: 8, stores: 1, condEvery: 6, condBias: 74,
+			loopPct: 18, loopIters: 68, crossCalls: 90, crossPct: 55},
+		{name: "libssl", nFuncs: 130, dataBytes: 12 << 10, bodyALU: [2]int{18, 44},
+			bodyLoads: [2]int{2, 5}, loadSpan: 8, stores: 1, condEvery: 6, condBias: 75,
+			loopPct: 10, loopIters: 60, crossCalls: 70, crossPct: 55},
+		{name: "libstdcpp", nFuncs: 220, dataBytes: 16 << 10, bodyALU: [2]int{14, 38},
+			bodyLoads: [2]int{2, 6}, loadSpan: 8, stores: 1, condEvery: 6, condBias: 72,
+			loopPct: 8, loopIters: 60, crossCalls: 110, crossPct: 50},
+		{name: "libz", nFuncs: 50, dataBytes: 12 << 10, bodyALU: [2]int{24, 56},
+			bodyLoads: [2]int{2, 6}, loadSpan: 8, stores: 1, condEvery: 7, condBias: 78,
+			loopPct: 25, loopIters: 70, crossCalls: 20, crossPct: 50},
+		{name: "libaio", nFuncs: 30, dataBytes: 8 << 10, bodyALU: [2]int{12, 28},
+			bodyLoads: [2]int{1, 3}, loadSpan: 4, stores: 1, condEvery: 8, condBias: 82,
+			loopPct: 0, crossCalls: 12, crossPct: 60},
+		{name: "libc", nFuncs: 320, ifuncs: 12, dataBytes: 16 << 10, bodyALU: [2]int{14, 40},
+			bodyLoads: [2]int{2, 5}, loadSpan: 8, stores: 1, condEvery: 6, condBias: 74,
+			loopPct: 10, loopIters: 62, crossCalls: 0},
+	}
+	libs, funcsByLib := genLibraryBundle(rng, libSpecs)
+
+	app := objfile.New("mysqld")
+	app.AddData("bufferpool", 24<<20)
+	app.AddData("logbuf", 256<<10)
+	app.AddData("session", 64<<10)
+
+	var pool []string
+	for _, names := range funcsByLib {
+		pool = append(pool, names...)
+	}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+
+	const (
+		nSharedHot = 64
+		nClassHot  = 26
+		nClassWarm = 260
+		nClassCold = 180
+		warmPct    = 4
+		coldPct    = 3
+	)
+	take := func(n int) []string {
+		if n > len(pool) {
+			panic("workload: mysql pool exhausted")
+		}
+		out := pool[:n]
+		pool = pool[n:]
+		return out
+	}
+	sharedHot := take(nSharedHot)
+
+	// SQL parse and B-tree walk helpers: branch-heavy app code (the
+	// paper's highest misprediction rate) over the buffer pool.
+	parse := app.NewFunc("parse_sql")
+	emitBody(parse, rng, bodySpec{region: "session", regionLen: 64 << 10, alu: 160,
+		loads: 20, span: 8, stores: 2, condEvery: 5, condBias: 70})
+	parse.Ret()
+	btree := app.NewFunc("btree_walk")
+	emitBody(btree, rng, bodySpec{region: "bufferpool", regionLen: 24 << 20, alu: 40,
+		loads: 6, span: 2048, stores: 0, condEvery: 5, condBias: 70})
+	// Leaf scan: sweeps a 512 KiB buffer-pool window, missing the L1D
+	// most iterations (the paper's 8.5 PKI D-cache rate).
+	emitKernel(btree, rng, "bufferpool", 24<<20, 50, 32768, 96)
+	btree.Ret()
+	row := app.NewFunc("process_row")
+	emitKernel(row, rng, "session", 64<<10, 60, 8, 98)
+	row.Ret()
+	wal := app.NewFunc("log_write")
+	emitBody(wal, rng, bodySpec{region: "logbuf", regionLen: 256 << 10, alu: 30,
+		loads: 4, span: 32, stores: 6, condEvery: 8, condBias: 85})
+	wal.Ret()
+
+	for _, class := range []struct {
+		name    string
+		queries int // b-tree probes per transaction (New Order reads more)
+	}{
+		{name: "NewOrder", queries: 10},
+		{name: "Payment", queries: 4},
+	} {
+		h := app.NewFunc("handle_" + class.name)
+		h.Call("parse_sql")
+		for q := 0; q < class.queries; q++ {
+			h.Call("btree_walk")
+			h.Call("process_row")
+		}
+
+		pad := func(f *objfile.Func) {
+			f.ALU(3 + rng.IntN(4))
+			f.Load("session", uint64(rng.Uint64()%(48<<10))&^7, 8)
+			f.CondSkip(55, 1)
+			f.ALU(2)
+		}
+		emitTieredCalls(h, rng, []tier{
+			{names: sharedHot, pct: 100, maxBurst: 12, zipf: true},
+			{names: take(nClassHot), pct: 100, maxBurst: 4, zipf: true},
+			{names: take(nClassWarm), pct: warmPct, maxBurst: 3},
+			{names: take(nClassCold), pct: coldPct},
+		}, pad)
+
+		// Commit path: log serialisation kernel.
+		emitKernel(h, rng, "logbuf", 256<<10, 50, 32, 98)
+		h.Call("log_write")
+		h.Halt()
+	}
+
+	return &Workload{
+		Name: "mysql",
+		App:  app,
+		Libs: libs,
+		Classes: []RequestClass{
+			// TPC-C mix: New Order 45%, Payment 43% of transactions;
+			// the paper presents only these two.
+			{Name: "NewOrder", Entry: "handle_NewOrder", Weight: 45},
+			{Name: "Payment", Entry: "handle_Payment", Weight: 43},
+		},
+	}
+}

@@ -1,0 +1,326 @@
+package workload
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/objfile"
+)
+
+// generators under test, smallest first for cheap structural checks.
+var generators = []struct {
+	name string
+	gen  func(uint64) *Workload
+}{
+	{"memcached", Memcached},
+	{"apache", Apache},
+	{"mysql", MySQL},
+	{"firefox", Firefox},
+}
+
+func TestGeneratorsProduceValidWorkloads(t *testing.T) {
+	for _, g := range generators {
+		t.Run(g.name, func(t *testing.T) {
+			w := g.gen(1)
+			if w.Name != g.name {
+				t.Errorf("Name = %q", w.Name)
+			}
+			if err := w.App.Validate(); err != nil {
+				t.Errorf("app invalid: %v", err)
+			}
+			for _, lib := range w.Libs {
+				if err := lib.Validate(); err != nil {
+					t.Errorf("lib %s invalid: %v", lib.Name(), err)
+				}
+			}
+			if len(w.Classes) < 2 {
+				t.Errorf("only %d request classes", len(w.Classes))
+			}
+			for _, c := range w.Classes {
+				if w.App.Func(c.Entry) == nil {
+					t.Errorf("class %s entry %q not defined in app", c.Name, c.Entry)
+				}
+				if c.Weight <= 0 {
+					t.Errorf("class %s weight %v", c.Name, c.Weight)
+				}
+			}
+		})
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, g := range generators {
+		a, b := g.gen(3), g.gen(3)
+		if len(a.App.Funcs()) != len(b.App.Funcs()) {
+			t.Errorf("%s: function counts differ across identical seeds", g.name)
+		}
+		// Same seed must produce identical instruction streams.
+		fa, fb := a.App.Funcs()[0], b.App.Funcs()[0]
+		if len(fa.Body) != len(fb.Body) {
+			t.Fatalf("%s: first function body lengths differ", g.name)
+		}
+		for i := range fa.Body {
+			if fa.Body[i] != fb.Body[i] {
+				t.Fatalf("%s: body diverges at %d", g.name, i)
+			}
+		}
+	}
+}
+
+func TestWorkloadClassLookup(t *testing.T) {
+	w := Memcached(1)
+	c, err := w.Class("GET")
+	if err != nil || c.Entry != "handle_GET" {
+		t.Errorf("Class(GET) = %+v, %v", c, err)
+	}
+	if _, err := w.Class("DELETE"); err == nil {
+		t.Error("unknown class found")
+	}
+}
+
+func TestDriverMixRespectsWeights(t *testing.T) {
+	w := Memcached(1) // GET:SET = 9:1
+	sys, err := w.NewSystem(core.Base(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDriver(w, sys, 4)
+	if err := d.Warmup(10); err != nil {
+		t.Fatal(err)
+	}
+	samp, err := d.Run(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gets, sets := samp["GET"].N(), samp["SET"].N()
+	if gets+sets != 300 {
+		t.Fatalf("total = %d", gets+sets)
+	}
+	ratio := float64(gets) / float64(sets)
+	if ratio < 5 || ratio > 16 {
+		t.Errorf("GET:SET ratio = %.1f, want ~9", ratio)
+	}
+	if d.System() != sys || d.Workload() != w {
+		t.Error("driver accessors broken")
+	}
+}
+
+func TestDriverDeterministicInterleaving(t *testing.T) {
+	w := Memcached(1)
+	counts := func(seed uint64) (int, int) {
+		sys, err := w.NewSystem(core.Base(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := NewDriver(w, sys, seed)
+		if err := d.Warmup(5); err != nil {
+			t.Fatal(err)
+		}
+		s, err := d.Run(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s["GET"].N(), s["SET"].N()
+	}
+	g1, s1 := counts(7)
+	g2, s2 := counts(7)
+	if g1 != g2 || s1 != s2 {
+		t.Errorf("same driver seed produced different mixes: %d/%d vs %d/%d", g1, s1, g2, s2)
+	}
+}
+
+func TestTierBurstSchedule(t *testing.T) {
+	zipf := tier{maxBurst: 16, zipf: true}
+	wantZipf := []int{16, 16, 16, 16, 8, 8, 8, 8, 4, 4, 4, 4, 2, 2, 2, 2, 1, 1}
+	for r, want := range wantZipf {
+		if got := zipf.burstAt(r); got != want {
+			t.Errorf("zipf burstAt(%d) = %d, want %d", r, got, want)
+		}
+	}
+	uniform := tier{maxBurst: 4}
+	for r := 0; r < 30; r++ {
+		if got := uniform.burstAt(r); got != 4 {
+			t.Errorf("uniform burstAt(%d) = %d, want 4", r, got)
+		}
+	}
+	none := tier{}
+	if got := none.burstAt(0); got != 1 {
+		t.Errorf("zero-burst tier burstAt = %d, want 1", got)
+	}
+}
+
+func TestEmitTieredCallsStructure(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	o := objfile.New("x")
+	f := o.NewFunc("h")
+	emitTieredCalls(f, rng, []tier{
+		{names: []string{"a", "b"}, pct: 100},         // plain calls
+		{names: []string{"c"}, pct: 100, maxBurst: 4}, // burst loop
+		{names: []string{"d"}, pct: 40},               // gated
+		{names: []string{"e"}, pct: 40, maxBurst: 3},  // gated burst
+		{names: []string{"f1", "f2", "f3"}, pct: 2},   // nested cold gates
+	}, nil)
+	f.Halt()
+	if err := o.Validate(); err != nil {
+		t.Fatalf("emitted structure invalid: %v", err)
+	}
+	var calls, conds, loops int
+	for _, in := range f.Body {
+		switch in.Op {
+		case isa.Call:
+			calls++
+		case isa.JmpCond:
+			if in.Rel < 0 {
+				loops++
+			} else {
+				conds++
+			}
+		}
+	}
+	if calls != 8 {
+		t.Errorf("call sites = %d, want 8", calls)
+	}
+	if loops != 2 { // one per burst
+		t.Errorf("burst loops = %d, want 2", loops)
+	}
+	if conds < 4 { // gates for d, e, and the cold block
+		t.Errorf("gates = %d, want >= 4", conds)
+	}
+}
+
+func TestEmitBodyRespectsRegion(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	o := objfile.New("x")
+	o.AddData("r", 1024)
+	f := o.NewFunc("g")
+	emitBody(f, rng, bodySpec{region: "r", regionLen: 1024, alu: 30, loads: 8,
+		span: 4, stores: 3, condEvery: 5, condBias: 80})
+	f.Ret()
+	if err := o.Validate(); err != nil {
+		t.Fatalf("emitBody produced invalid code: %v", err)
+	}
+	// Span larger than the region is clamped rather than invalid.
+	f2 := o.NewFunc("g2")
+	emitBody(f2, rng, bodySpec{region: "r", regionLen: 1024, alu: 4, loads: 2,
+		span: 100000, stores: 1})
+	f2.Ret()
+	if err := o.Validate(); err != nil {
+		t.Fatalf("oversized span not clamped: %v", err)
+	}
+}
+
+func TestEmitBodyWithLoop(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	o := objfile.New("x")
+	o.AddData("r", 4096)
+	f := o.NewFunc("g")
+	emitBody(f, rng, bodySpec{region: "r", regionLen: 4096, alu: 12, loads: 2,
+		span: 2, loop: true, loopIters: 70})
+	f.Ret()
+	if err := o.Validate(); err != nil {
+		t.Fatalf("looped body invalid: %v", err)
+	}
+	found := false
+	for _, in := range f.Body {
+		if in.Op == isa.JmpCond && in.Rel < 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no backward branch emitted for loop")
+	}
+}
+
+func TestEmitKernelStructure(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	o := objfile.New("x")
+	o.AddData("r", 1<<20)
+	f := o.NewFunc("k")
+	emitKernel(f, rng, "r", 1<<20, 20, 64, 95)
+	f.Ret()
+	if err := o.Validate(); err != nil {
+		t.Fatalf("kernel invalid: %v", err)
+	}
+	last := f.Body[len(f.Body)-2] // before Ret
+	if last.Op != isa.JmpCond || last.Rel >= 0 {
+		t.Errorf("kernel does not end in a backward branch: %+v", last)
+	}
+}
+
+func TestGenLibShape(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	lib, names := genLib(rng, libParams{
+		name: "libx", nFuncs: 10, dataBytes: 8192, bodyALU: [2]int{4, 10},
+		bodyLoads: [2]int{1, 3}, loadSpan: 4, stores: 1, condEvery: 5, condBias: 80,
+		loopPct: 50, loopIters: 60, crossCalls: 3, crossPct: 50, ifuncs: 2,
+	}, []string{"ext_target"})
+	if err := lib.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 12 { // 10 functions + 2 ifuncs
+		t.Fatalf("names = %d, want 12", len(names))
+	}
+	if len(lib.IFuncs()) != 2 {
+		t.Errorf("ifuncs = %d", len(lib.IFuncs()))
+	}
+	// Cross targets create externals.
+	ext := lib.Externals()
+	hasCross := false
+	for _, e := range ext {
+		if e == "ext_target" {
+			hasCross = true
+		}
+	}
+	if !hasCross {
+		t.Errorf("no cross-library import emitted: %v", ext)
+	}
+}
+
+func TestDriverWarmupPreBinds(t *testing.T) {
+	w := Memcached(1)
+	sys, err := w.NewSystem(core.Base(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDriver(w, sys, 1)
+	if err := d.Warmup(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Counters().Resolutions; got != 0 {
+		t.Errorf("measurement window saw %d lazy resolutions; warmup must pre-bind", got)
+	}
+}
+
+func TestDriverPerturbationProducesOutliers(t *testing.T) {
+	w := Memcached(1)
+	sys, err := w.NewSystem(core.Enhanced(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDriver(w, sys, 4)
+	d.PerturbEvery = 40
+	if err := d.Warmup(30); err != nil {
+		t.Fatal(err)
+	}
+	samp, err := d.Run(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := samp["GET"]
+	// Perturbed requests run cold: the max should stand clearly above
+	// the median, and trimming the top 2.5% should pull the max down
+	// substantially more than it moves the median.
+	p50, max := get.Percentile(50), get.Percentile(100)
+	if max < p50*1.3 {
+		t.Errorf("no visible outliers: p50=%.2f max=%.2f", p50, max)
+	}
+	trimmed := get.TrimOutliers(97.5)
+	if trimmed.Percentile(100) >= max {
+		t.Errorf("trimming did not remove the outlier tail")
+	}
+}
