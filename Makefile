@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check race bench-runner all
+
+all: check
+
+# Tier-1 verification: vet, build, full test suite.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+
+# Race-detector pass over the concurrent subsystems: the job engine,
+# the service, and the concurrency tests of the runner-backed
+# experiment suite.  (The experiments package's full artefact tests
+# are single-threaded and ~10x slower under race, so only the
+# concurrent-path tests run here; `make check` covers the rest.)
+race:
+	$(GO) test -race -timeout 20m ./internal/runner/... ./cmd/dlsimd/...
+	$(GO) test -race -timeout 20m -run 'TestSuiteParallelMatchesSequential|TestSuiteConcurrentUse' ./internal/experiments/
+
+# Sequential vs parallel full-suite wall-clock (results feed
+# BENCH_runner.json).
+bench-runner:
+	$(GO) test -run '^$$' -bench 'BenchmarkSuite(Sequential|Parallel)$$' -benchtime 1x ./internal/experiments/

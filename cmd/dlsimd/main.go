@@ -1,0 +1,60 @@
+// Command dlsimd is a long-running simulation service: an HTTP JSON
+// front end over the internal/runner job engine.  Clients submit
+// simulation jobs (workload × config × seed), poll for typed results,
+// and read pool/cache statistics; identical submissions are coalesced
+// and served from the content-addressed result cache, so each
+// distinct simulation runs at most once per process lifetime.
+//
+// Usage:
+//
+//	dlsimd [-addr :8344] [-workers N] [-job-timeout 5m]
+//
+// API:
+//
+//	POST /v1/jobs      submit a job; body {"workload":"apache",
+//	                   "config":"enhanced","seed":1,"scale":0.5};
+//	                   returns the job id (202, or 200 when coalesced)
+//	GET  /v1/jobs/{id} job state, and the result once done
+//	GET  /v1/stats     pool depth, cache hits/misses, job latency
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/runner"
+)
+
+func main() {
+	addr := flag.String("addr", ":8344", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
+	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "per-job simulation timeout (0 = none)")
+	flag.Parse()
+
+	pool := runner.New(runner.Options{Workers: *workers, JobTimeout: *jobTimeout})
+	defer pool.Close()
+
+	srv := &http.Server{Addr: *addr, Handler: newServer(pool)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Printf("dlsimd: serving on %s (workers=%d)\n", *addr, pool.Workers())
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "dlsimd:", err)
+		os.Exit(1)
+	}
+}

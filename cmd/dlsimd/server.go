@@ -1,0 +1,207 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/stats"
+)
+
+// server is the dlsimd HTTP front end over a runner pool.
+type server struct {
+	pool    *runner.Runner
+	started time.Time
+	mux     *http.ServeMux
+}
+
+// newServer wires the v1 API onto the pool.
+func newServer(pool *runner.Runner) *server {
+	s := &server{pool: pool, started: time.Now(), mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON renders v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// errorJSON is the error envelope of every non-2xx response.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// submitResponse answers POST /v1/jobs.
+type submitResponse struct {
+	ID     string          `json:"id"`
+	Key    string          `json:"key"`
+	State  runner.JobState `json:"state"`
+	Cached bool            `json:"cached"`
+	Spec   runner.JobSpec  `json:"spec"`
+}
+
+// handleSubmit validates and enqueues a job, returning its ID for
+// polling.  Submitting an already-known spec is idempotent: the
+// existing job's ID comes back with cached=true.
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec runner.JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
+		return
+	}
+	job, reused, err := s.pool.Submit(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	status := http.StatusAccepted
+	if reused {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, submitResponse{
+		ID:     job.ID,
+		Key:    job.Key,
+		State:  job.State(),
+		Cached: reused,
+		Spec:   job.Spec,
+	})
+}
+
+// classJSON summarises one request class's latency sample.
+type classJSON struct {
+	N      int     `json:"n"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P95US  float64 `json:"p95_us"`
+	P99US  float64 `json:"p99_us"`
+}
+
+// resultJSON is the wire form of a completed job's Result.
+type resultJSON struct {
+	WallMS   float64 `json:"wall_ms"`
+	CacheHit bool    `json:"cache_hit"`
+
+	Instructions uint64 `json:"instructions"`
+	Cycles       uint64 `json:"cycles"`
+	TrampInstrs  uint64 `json:"tramp_instrs"`
+	TrampCalls   uint64 `json:"tramp_calls"`
+	TrampSkips   uint64 `json:"tramp_skips"`
+	Resolutions  uint64 `json:"resolutions"`
+
+	PKI struct {
+		TrampInstrs float64 `json:"tramp_instrs"`
+		L1IMisses   float64 `json:"l1i_misses"`
+		ITLBMisses  float64 `json:"itlb_misses"`
+		L1DMisses   float64 `json:"l1d_misses"`
+		DTLBMisses  float64 `json:"dtlb_misses"`
+		Mispredicts float64 `json:"mispredicts"`
+	} `json:"pki"`
+
+	DistinctTrampolines int    `json:"distinct_trampolines"`
+	LibCalls            uint64 `json:"lib_calls"`
+
+	Classes map[string]classJSON `json:"classes"`
+}
+
+// jobResponse answers GET /v1/jobs/{id}.
+type jobResponse struct {
+	ID     string          `json:"id"`
+	Key    string          `json:"key"`
+	State  runner.JobState `json:"state"`
+	Spec   runner.JobSpec  `json:"spec"`
+	Error  string          `json:"error,omitempty"`
+	Result *resultJSON     `json:"result,omitempty"`
+}
+
+// handleJob reports a job's state and, once done, its result.
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.pool.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	resp := jobResponse{ID: job.ID, Key: job.Key, State: job.State(), Spec: job.Spec}
+	if res, err, done := job.Result(); done {
+		if err != nil {
+			resp.Error = err.Error()
+		} else {
+			resp.Result = marshalResult(res)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// marshalResult flattens a Result into its wire form.  The cached
+// Result's samples are pre-sorted and immutable, so percentile reads
+// here are safe under concurrent requests.
+func marshalResult(res *runner.Result) *resultJSON {
+	out := &resultJSON{
+		WallMS:              float64(res.Wall) / float64(time.Millisecond),
+		CacheHit:            res.CacheHit,
+		Instructions:        res.Counters.Instructions,
+		Cycles:              res.Counters.Cycles,
+		TrampInstrs:         res.Counters.TrampInstrs,
+		TrampCalls:          res.Counters.TrampCalls,
+		TrampSkips:          res.Counters.TrampSkips,
+		Resolutions:         res.Counters.Resolutions,
+		DistinctTrampolines: res.Trace.Distinct(),
+		LibCalls:            res.Trace.Total(),
+		Classes:             make(map[string]classJSON, len(res.Samples)),
+	}
+	out.PKI.TrampInstrs = res.PKI.TrampInstrs
+	out.PKI.L1IMisses = res.PKI.L1IMisses
+	out.PKI.ITLBMisses = res.PKI.ITLBMisses
+	out.PKI.L1DMisses = res.PKI.L1DMisses
+	out.PKI.DTLBMisses = res.PKI.DTLBMisses
+	out.PKI.Mispredicts = res.PKI.Mispredicts
+	for class, sample := range res.Samples {
+		out.Classes[class] = summariseClass(sample)
+	}
+	return out
+}
+
+func summariseClass(s *stats.Sample) classJSON {
+	return classJSON{
+		N:      s.N(),
+		MeanUS: s.Mean(),
+		P50US:  s.Percentile(50),
+		P95US:  s.Percentile(95),
+		P99US:  s.Percentile(99),
+	}
+}
+
+// statsResponse answers GET /v1/stats.
+type statsResponse struct {
+	runner.Stats
+	UptimeS   float64             `json:"uptime_s"`
+	Workloads []string            `json:"workloads"`
+	Configs   []runner.ConfigKind `json:"configs"`
+}
+
+// handleStats reports pool depth, cache effectiveness and job latency.
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		Stats:     s.pool.Stats(),
+		UptimeS:   time.Since(s.started).Seconds(),
+		Workloads: runner.WorkloadNames(),
+		Configs:   runner.ConfigKinds(),
+	})
+}

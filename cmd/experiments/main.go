@@ -4,20 +4,24 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-scale F] [-only LIST] [-ablations]
+//	experiments [-seed N] [-scale F] [-only LIST] [-ablations] [-workers N]
 //
 // -scale multiplies the measured request counts (0.25 for a quick
 // smoke run, 2 for smoother distributions); -only selects a
-// comma-separated subset of artefacts (e.g. "table2,figure5").
+// comma-separated subset of artefacts (e.g. "table2,figure5");
+// -workers sizes the simulation pool the suite fans out on (0 means
+// one worker per CPU).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -25,9 +29,12 @@ func main() {
 	scale := flag.Float64("scale", 1, "request-count multiplier")
 	only := flag.String("only", "", "comma-separated artefacts (table2,table3,table4,table5,table6,figure4,figure5,figure6,figure7,figure8,memory,speedups)")
 	ablations := flag.Bool("ablations", false, "also run ablations A1-A5 (slow)")
+	workers := flag.Int("workers", 0, "simulation pool size (0 = one per CPU)")
 	flag.Parse()
 
-	s := experiments.NewSuite(*seed, *scale)
+	pool := runner.New(runner.Options{Workers: *workers})
+	defer pool.Close()
+	s := experiments.NewSuiteWithRunner(*seed, *scale, pool)
 	want := map[string]bool{}
 	for _, name := range strings.Split(*only, ",") {
 		if name = strings.TrimSpace(name); name != "" {
@@ -178,6 +185,26 @@ func main() {
 				return experiments.FormatSMP(p), nil
 			}},
 		)
+	}
+
+	// Reject unknown -only names up front instead of silently printing
+	// nothing (e.g. a typo like "tabel2").
+	valid := map[string]bool{}
+	names := make([]string, 0, len(arts))
+	for _, a := range arts {
+		valid[a.name] = true
+		names = append(names, a.name)
+	}
+	sort.Strings(names)
+	for name := range want {
+		if !valid[name] {
+			fmt.Fprintf(os.Stderr, "experiments: unknown artefact %q in -only\n", name)
+			if strings.HasPrefix(name, "ablation") && !*ablations {
+				fmt.Fprintf(os.Stderr, "experiments: ablations require the -ablations flag\n")
+			}
+			fmt.Fprintf(os.Stderr, "experiments: valid artefacts: %s\n", strings.Join(names, ", "))
+			os.Exit(2)
+		}
 	}
 
 	for _, a := range arts {

@@ -15,6 +15,15 @@
 //	          bound dynamic linking is measured against)
 //	Patched   the software emulation of §4.3: call sites rewritten to
 //	          direct calls, ASLR off, libraries within rel32 reach
+//
+// # Concurrency
+//
+// The package holds no mutable package-level state: linking and
+// simulation read their inputs and write only into the System being
+// built or driven.  Independent Systems may therefore be constructed
+// and run concurrently from different goroutines — the guarantee
+// internal/runner's worker pool is built on.  A single System is NOT
+// safe for concurrent use; drive each System from one goroutine.
 package core
 
 import (
@@ -118,7 +127,10 @@ type System struct {
 }
 
 // NewSystem links the program under the configuration and prepares a
-// CPU with attached trampoline-trace recorders.
+// CPU with attached trampoline-trace recorders.  NewSystem does not
+// mutate app or libs, so concurrent NewSystem calls — even over the
+// same objects — are safe; the returned System itself must be driven
+// from a single goroutine.
 func NewSystem(app *objfile.Object, libs []*objfile.Object, cfg Config) (*System, error) {
 	img, err := linker.Link(app, libs, cfg.Linking)
 	if err != nil {

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// TestSuiteParallelMatchesSequential renders the same artefacts from a
+// single-worker (sequential) suite and a multi-worker suite and
+// requires byte-identical output: fanning the evaluation out across
+// the pool must not perturb any printed number.
+func TestSuiteParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full workload matrix twice")
+	}
+	render := func(s *Suite) string {
+		sp, err := s.Speedups()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t2, err := s.Table2()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t3, err := s.Table3()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatSpeedups(sp) + FormatTable2(t2) + FormatTable3(t3)
+	}
+
+	seq := NewSuiteWithRunner(1, 0.05, runner.New(runner.Options{Workers: 1}))
+	defer seq.Runner().Close()
+	par := NewSuiteWithRunner(1, 0.05, runner.New(runner.Options{Workers: 8}))
+	defer par.Runner().Close()
+
+	seqOut := render(seq)
+	parOut := render(par)
+	if seqOut != parOut {
+		t.Errorf("parallel output differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seqOut, parOut)
+	}
+}
+
+// TestSuiteConcurrentUse hammers one Suite from many goroutines (the
+// scenario the old unguarded runs map raced on) and checks that the
+// runner deduplicated every pair: four workloads, two configs, eight
+// simulations total, no matter how many callers asked.
+func TestSuiteConcurrentUse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full workload matrix")
+	}
+	s := NewSuiteWithRunner(1, 0.05, runner.New(runner.Options{Workers: 8}))
+	defer s.Runner().Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 4; i++ {
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Table2(); err != nil {
+				errs <- err
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if _, err := s.Speedups(); err != nil {
+				errs <- err
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if _, err := s.Figure4(); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := s.Runner().Stats()
+	if st.CacheMisses != 8 {
+		t.Errorf("cache misses = %d, want 8 (one simulation per workload/config)", st.CacheMisses)
+	}
+	if st.Completed != 8 || st.Failed != 0 {
+		t.Errorf("completed=%d failed=%d, want 8/0", st.Completed, st.Failed)
+	}
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// benchSuite measures full-suite wall-clock (all four workloads'
+// Base/Enhanced pairs, the simulations behind every table and figure)
+// at scale 0.25 through a pool of the given width.
+func benchSuite(b *testing.B, workers int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := runner.New(runner.Options{Workers: workers})
+		s := NewSuiteWithRunner(1, 0.25, r)
+		if _, err := s.Speedups(); err != nil {
+			b.Fatal(err)
+		}
+		r.Close()
+	}
+}
+
+// BenchmarkSuiteSequential is the historical one-core path: every
+// simulation runs back to back on a single worker.
+func BenchmarkSuiteSequential(b *testing.B) { benchSuite(b, 1) }
+
+// BenchmarkSuiteParallel fans the eight simulations out across a
+// machine-sized pool; the speedup over BenchmarkSuiteSequential is
+// recorded in BENCH_runner.json.
+func BenchmarkSuiteParallel(b *testing.B) { benchSuite(b, 0) }

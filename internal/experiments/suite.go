@@ -7,36 +7,42 @@
 // paper's two columns), with identical seeds and request interleaving,
 // and caches the results so that e.g. Table 2, Table 3, Figure 4 and
 // Figure 5 all reuse a single pair of simulations.
+//
+// Simulations execute through an internal/runner pool, so a Suite
+// fans its Base/Enhanced pairs out across cores: artefacts that need
+// every workload (Table 2, Speedups, ...) submit all eight jobs up
+// front and the pool runs as many concurrently as it has workers.
+// Results are bit-identical to the historical sequential path — the
+// runner executes exactly the same generation/link/warmup/measure
+// sequence per job (see TestRunnerDeterminism).
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
-	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 // WorkloadSpec binds a workload generator to its measurement budget.
-type WorkloadSpec struct {
-	Name    string
-	Gen     func(seed uint64) *workload.Workload
-	Warm    int // warmup requests before measurement
-	Measure int // measured requests
-}
+// It aliases the runner's registry entry type.
+type WorkloadSpec = runner.WorkloadSpec
 
 // Workloads is the evaluation's workload set (§4.4), in the paper's
-// presentation order.
-var Workloads = []WorkloadSpec{
-	{Name: "apache", Gen: workload.Apache, Warm: 80, Measure: 400},
-	{Name: "firefox", Gen: workload.Firefox, Warm: 20, Measure: 150},
-	{Name: "memcached", Gen: workload.Memcached, Warm: 80, Measure: 600},
-	{Name: "mysql", Gen: workload.MySQL, Warm: 40, Measure: 200},
-}
+// presentation order (the runner's registry).
+var Workloads = runner.Workloads
 
 // Suite runs the evaluation.
+//
+// Suite is safe for concurrent use: the lazy run cache is guarded by
+// a mutex, and concurrent requests for the same workload pair are
+// coalesced by the runner's singleflight cache so each simulation
+// executes exactly once.
 type Suite struct {
 	// Seed drives workload generation, layout, and request
 	// interleaving.  The same seed produces bit-identical results.
@@ -47,90 +53,114 @@ type Suite struct {
 	// smoother distributions.
 	Scale float64
 
+	mu   sync.Mutex
 	runs map[string]*runData
+	pool *runner.Runner
 }
 
-// NewSuite returns a Suite with the given seed and scale.
+// NewSuite returns a Suite with the given seed and scale, executing
+// on a private runner pool sized to the machine.
 func NewSuite(seed uint64, scale float64) *Suite {
+	return NewSuiteWithRunner(seed, scale, runner.New(runner.Options{}))
+}
+
+// NewSuiteWithRunner returns a Suite submitting its simulations to r,
+// so several suites (or a suite and a dlsimd service) can share one
+// pool and result cache.
+func NewSuiteWithRunner(seed uint64, scale float64, r *runner.Runner) *Suite {
 	if scale <= 0 {
 		scale = 1
 	}
-	return &Suite{Seed: seed, Scale: scale, runs: make(map[string]*runData)}
+	return &Suite{Seed: seed, Scale: scale, runs: make(map[string]*runData), pool: r}
 }
+
+// Runner returns the pool the suite submits simulations to.
+func (s *Suite) Runner() *runner.Runner { return s.pool }
 
 // runData is one workload's matched Base/Enhanced measurement pair.
 type runData struct {
 	spec WorkloadSpec
 	w    *workload.Workload
 
-	base, enh         *core.System
 	baseSamp, enhSamp map[string]*stats.Sample // per request class, µs
 	baseCnt, enhCnt   cpu.Counters
 	baseRec           *trace.Recorder
 }
 
 func (s *Suite) measure(spec WorkloadSpec) int {
-	n := int(float64(spec.Measure) * s.Scale)
+	scale := s.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	n := int(float64(spec.Measure) * scale)
 	if n < 20 {
 		n = 20
 	}
 	return n
 }
 
-// run lazily executes the Base/Enhanced pair for a workload.
+// pair returns the workload's Base/Enhanced job specs.
+func (s *Suite) pair(name string) [2]runner.JobSpec {
+	return runner.PairSpecs(name, s.Seed, s.Scale)
+}
+
+// run lazily executes the Base/Enhanced pair for a workload through
+// the runner pool.  Both jobs are submitted before either is waited
+// on, so a pair occupies two workers at once.
 func (s *Suite) run(name string) (*runData, error) {
+	s.mu.Lock()
 	if rd, ok := s.runs[name]; ok {
+		s.mu.Unlock()
 		return rd, nil
 	}
-	var spec WorkloadSpec
-	found := false
-	for _, ws := range Workloads {
-		if ws.Name == name {
-			spec, found = ws, true
-			break
-		}
-	}
-	if !found {
+	s.mu.Unlock()
+
+	if _, ok := runner.WorkloadByName(name); !ok {
 		return nil, fmt.Errorf("experiments: unknown workload %q", name)
 	}
+	specs := s.pair(name)
+	results, err := s.pool.RunAll(context.Background(), specs[:])
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", name, err)
+	}
+	base, enh := results[0], results[1]
 
-	rd := &runData{spec: spec, w: spec.Gen(s.Seed)}
-	var err error
-	if rd.base, err = rd.w.NewSystem(core.Base(s.Seed)); err != nil {
-		return nil, err
-	}
-	if rd.enh, err = rd.w.NewSystem(core.Enhanced(s.Seed)); err != nil {
-		return nil, err
+	rd := &runData{
+		spec:     s.specOf(name),
+		w:        base.Workload,
+		baseSamp: base.Samples,
+		enhSamp:  enh.Samples,
+		baseCnt:  base.Counters,
+		enhCnt:   enh.Counters,
+		baseRec:  base.Trace,
 	}
 
-	n := s.measure(spec)
-	for _, sysCase := range []struct {
-		sys  *core.System
-		samp *map[string]*stats.Sample
-		cnt  *cpu.Counters
-	}{
-		{rd.base, &rd.baseSamp, &rd.baseCnt},
-		{rd.enh, &rd.enhSamp, &rd.enhCnt},
-	} {
-		// Matched interleaving: same driver seed for both systems.
-		d := workload.NewDriver(rd.w, sysCase.sys, s.Seed+17)
-		if err := d.Warmup(spec.Warm); err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", spec.Name, err)
-		}
-		samp, err := d.Run(n)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", spec.Name, err)
-		}
-		*sysCase.samp = samp
-		*sysCase.cnt = sysCase.sys.Counters()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prior, ok := s.runs[name]; ok {
+		// A concurrent caller got here first; the runner deduplicated
+		// the simulations, so both runData views are identical — keep
+		// the first for pointer stability.
+		return prior, nil
 	}
-	rd.baseRec = rd.base.LifetimeRecorder()
 	s.runs[name] = rd
 	return rd, nil
 }
 
-// all runs every workload pair.
+// specOf returns the registry entry for a known workload name.
+func (s *Suite) specOf(name string) WorkloadSpec {
+	ws, _ := runner.WorkloadByName(name)
+	return ws
+}
+
+// all runs every workload pair, fanning the whole matrix out across
+// the runner pool before collecting any result.
 func (s *Suite) all() ([]*runData, error) {
+	for _, spec := range runner.SuiteSpecs(s.Seed, s.Scale) {
+		if _, _, err := s.pool.Submit(spec); err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+	}
 	out := make([]*runData, 0, len(Workloads))
 	for _, ws := range Workloads {
 		rd, err := s.run(ws.Name)

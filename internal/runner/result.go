@@ -1,0 +1,63 @@
+package runner
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Result is the typed outcome of one completed job.
+//
+// A Result is immutable after the job completes: the Runner shares one
+// Result value between every submitter of the same spec, and its
+// samples are pre-sorted so that concurrent percentile reads are safe.
+// Callers must not Add observations to its samples or Record into its
+// trace; derive fresh samples (TrimOutliers, AddAll into a new Sample)
+// for any further aggregation.
+type Result struct {
+	// Spec is the normalized job spec (defaults resolved, scale
+	// folded into Measure).
+	Spec JobSpec
+
+	// Key is the spec's canonical content-address; ID is its short
+	// form used by the HTTP API.
+	Key string
+	ID  string
+
+	// Counters is the CPU counter snapshot over the measurement
+	// window, and PKI its per-kilo-instruction normalisation.
+	Counters cpu.Counters
+	PKI      core.PKI
+
+	// Samples holds per-request-class latencies in microseconds for
+	// the measured window.
+	Samples map[string]*stats.Sample
+
+	// Trace is the lifetime trampoline recorder (warmup included),
+	// the paper's whole-run pintool view (Table 3, Figures 4-5).
+	Trace *trace.Recorder
+
+	// Workload is the generated application bundle the job simulated;
+	// its Classes describe the request mix behind Samples.
+	Workload *workload.Workload
+
+	// Wall is how long the simulation took on the worker.
+	Wall time.Duration
+
+	// CacheHit reports whether this submission was answered without
+	// starting a new simulation (served from cache or coalesced onto
+	// an in-flight identical job).
+	CacheHit bool
+}
+
+// freeze pre-sorts every sample so later concurrent reads (Percentile,
+// Values, CDF) never mutate shared state.
+func (r *Result) freeze() {
+	for _, s := range r.Samples {
+		s.Values()
+	}
+}

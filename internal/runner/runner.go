@@ -1,0 +1,421 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// Options configures a Runner.
+type Options struct {
+	// Workers is the maximum number of jobs simulating concurrently.
+	// Zero means runtime.NumCPU().
+	Workers int
+
+	// JobTimeout bounds each job's simulation time.  Zero means no
+	// per-job timeout.
+	JobTimeout time.Duration
+}
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+// Job lifecycle states.
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+)
+
+// Job is a handle on one submitted (possibly shared) simulation.
+type Job struct {
+	// ID is the short content-derived identifier; Spec the normalized
+	// spec; Key the canonical content-address.
+	ID   string
+	Key  string
+	Spec JobSpec
+
+	done chan struct{}
+
+	mu       sync.Mutex
+	state    JobState
+	result   *Result
+	err      error
+	started  time.Time
+	finished time.Time
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done returns a channel closed when the job completes or fails.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the job's outcome once complete.  The boolean is
+// false while the job is still queued or running.
+func (j *Job) Result() (*Result, error, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone && j.state != StateFailed {
+		return nil, nil, false
+	}
+	return j.result, j.err, true
+}
+
+// Wait blocks until the job completes, the context is cancelled, or
+// the runner shuts down, and returns a copy of the job's Result with
+// CacheHit reflecting whether this submission reused prior work.
+func (j *Job) Wait(ctx context.Context) (Result, error) {
+	select {
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	case <-j.done:
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return Result{}, j.err
+	}
+	return *j.result, nil
+}
+
+func (j *Job) complete(res *Result, err error) {
+	j.mu.Lock()
+	if err != nil {
+		j.state, j.err = StateFailed, err
+	} else {
+		j.state, j.result = StateDone, res
+	}
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// Runner executes simulation jobs on a bounded worker pool with a
+// content-addressed result cache.  Each distinct job (by JobSpec.Key)
+// simulates exactly once, even under concurrent submission: the first
+// submitter creates the job, later submitters attach to it
+// (singleflight) or read its cached result.  Runner is safe for
+// concurrent use.
+type Runner struct {
+	opts Options
+
+	// rootCtx cancels every in-flight job on Close.
+	rootCtx context.Context
+	cancel  context.CancelFunc
+
+	// sem bounds concurrent simulation; waiting submissions count as
+	// queued.
+	sem chan struct{}
+
+	mu     sync.Mutex
+	byKey  map[string]*Job
+	byID   map[string]*Job
+	closed bool
+
+	queued, running        int
+	completed, failed      uint64
+	cacheHits, cacheMisses uint64
+	dedupHits              uint64
+	wallMS                 []float64 // completed-job wall clocks, ms
+}
+
+// New returns a Runner with the given options.
+func New(opts Options) *Runner {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.NumCPU()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Runner{
+		opts:    opts,
+		rootCtx: ctx,
+		cancel:  cancel,
+		sem:     make(chan struct{}, opts.Workers),
+		byKey:   make(map[string]*Job),
+		byID:    make(map[string]*Job),
+	}
+}
+
+// Workers returns the pool size.
+func (r *Runner) Workers() int { return r.opts.Workers }
+
+// Close cancels every in-flight job and rejects further submissions.
+func (r *Runner) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.cancel()
+}
+
+// Submit registers the spec for execution and returns its job handle
+// immediately.  If an identical job (same canonical key) is already
+// cached or in flight, the existing handle is returned and reused is
+// true; no second simulation starts.
+func (r *Runner) Submit(spec JobSpec) (job *Job, reused bool, err error) {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return nil, false, err
+	}
+	key, _ := norm.Key()
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, false, fmt.Errorf("runner: closed")
+	}
+	if j, ok := r.byKey[key]; ok {
+		st := j.State()
+		if st == StateDone || st == StateFailed {
+			r.cacheHits++
+		} else {
+			r.dedupHits++
+		}
+		r.mu.Unlock()
+		return j, true, nil
+	}
+	j := &Job{
+		ID:    IDFromKey(key),
+		Key:   key,
+		Spec:  norm,
+		done:  make(chan struct{}),
+		state: StateQueued,
+	}
+	r.byKey[key] = j
+	r.byID[j.ID] = j
+	r.cacheMisses++
+	r.queued++
+	r.mu.Unlock()
+
+	go r.drive(j)
+	return j, false, nil
+}
+
+// Run submits the spec and waits for its result.
+func (r *Runner) Run(ctx context.Context, spec JobSpec) (Result, error) {
+	j, reused, err := r.Submit(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := j.Wait(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	res.CacheHit = reused
+	return res, nil
+}
+
+// RunAll submits every spec up front (so they fan out across the
+// pool) and waits for all of them, returning results in spec order.
+// The first error aborts the wait.
+func (r *Runner) RunAll(ctx context.Context, specs []JobSpec) ([]Result, error) {
+	jobs := make([]*Job, len(specs))
+	reused := make([]bool, len(specs))
+	for i, spec := range specs {
+		j, ru, err := r.Submit(spec)
+		if err != nil {
+			return nil, err
+		}
+		jobs[i], reused[i] = j, ru
+	}
+	out := make([]Result, len(jobs))
+	for i, j := range jobs {
+		res, err := j.Wait(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("runner: job %s: %w", j.Key, err)
+		}
+		res.CacheHit = reused[i]
+		out[i] = res
+	}
+	return out, nil
+}
+
+// Job returns the job with the given short ID, if known.
+func (r *Runner) Job(id string) (*Job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.byID[id]
+	return j, ok
+}
+
+// drive acquires a worker slot, executes the job, and records stats.
+func (r *Runner) drive(j *Job) {
+	select {
+	case r.sem <- struct{}{}:
+	case <-r.rootCtx.Done():
+		r.finish(j, nil, fmt.Errorf("runner: shut down while queued"))
+		return
+	}
+	defer func() { <-r.sem }()
+
+	r.mu.Lock()
+	r.queued--
+	r.running++
+	r.mu.Unlock()
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	ctx := r.rootCtx
+	if r.opts.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.opts.JobTimeout)
+		defer cancel()
+	}
+	res, err := execute(ctx, j.Spec)
+	r.finish(j, res, err)
+}
+
+// finish completes the job and folds its outcome into the stats.
+func (r *Runner) finish(j *Job, res *Result, err error) {
+	wasRunning := j.State() == StateRunning
+	r.mu.Lock()
+	if wasRunning {
+		r.running--
+	} else {
+		r.queued--
+	}
+	if err != nil {
+		r.failed++
+	} else {
+		r.completed++
+		r.wallMS = append(r.wallMS, float64(res.Wall)/float64(time.Millisecond))
+	}
+	r.mu.Unlock()
+	j.complete(res, err)
+}
+
+// execute runs one simulation: generate the workload, link and build
+// the system, warm it up, and measure.  This is exactly the sequence
+// experiments.Suite historically ran inline (including the driver
+// seed offset), so results are bit-identical to the sequential path.
+func execute(ctx context.Context, spec JobSpec) (*Result, error) {
+	ws, ok := WorkloadByName(spec.Workload)
+	if !ok {
+		return nil, fmt.Errorf("runner: unknown workload %q", spec.Workload)
+	}
+	cfg, err := spec.Config.Config(spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	w := ws.Gen(spec.Seed)
+	sys, err := w.NewSystem(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("runner: %s/%s: %w", spec.Workload, spec.Config, err)
+	}
+	d := workload.NewDriver(w, sys, spec.Seed+17)
+	if err := d.WarmupContext(ctx, spec.Warm); err != nil {
+		return nil, fmt.Errorf("runner: %s/%s: %w", spec.Workload, spec.Config, err)
+	}
+	samp, err := d.RunContext(ctx, spec.Measure)
+	if err != nil {
+		return nil, fmt.Errorf("runner: %s/%s: %w", spec.Workload, spec.Config, err)
+	}
+	key, _ := spec.Key()
+	res := &Result{
+		Spec:     spec,
+		Key:      key,
+		ID:       IDFromKey(key),
+		Counters: sys.Counters(),
+		PKI:      sys.PKI(),
+		Samples:  samp,
+		Trace:    sys.LifetimeRecorder(),
+		Workload: w,
+		Wall:     time.Since(start),
+	}
+	res.freeze()
+	return res, nil
+}
+
+// Stats is a point-in-time snapshot of the runner's activity.
+type Stats struct {
+	Workers   int    `json:"workers"`
+	Queued    int    `json:"queued"`
+	Running   int    `json:"running"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+
+	// CacheHits counts submissions answered from a completed cached
+	// result; Deduped counts submissions coalesced onto an in-flight
+	// identical job; CacheMisses counts submissions that started a
+	// new simulation.
+	CacheHits   uint64 `json:"cache_hits"`
+	Deduped     uint64 `json:"deduped"`
+	CacheMisses uint64 `json:"cache_misses"`
+
+	// Job wall-clock latency over completed jobs, milliseconds.
+	JobMeanMS float64 `json:"job_mean_ms"`
+	JobP50MS  float64 `json:"job_p50_ms"`
+	JobP99MS  float64 `json:"job_p99_ms"`
+}
+
+// Stats returns a snapshot of pool depth, cache effectiveness and job
+// latency percentiles.
+func (r *Runner) Stats() Stats {
+	r.mu.Lock()
+	wall := make([]float64, len(r.wallMS))
+	copy(wall, r.wallMS)
+	st := Stats{
+		Workers:     r.opts.Workers,
+		Queued:      r.queued,
+		Running:     r.running,
+		Completed:   r.completed,
+		Failed:      r.failed,
+		CacheHits:   r.cacheHits,
+		Deduped:     r.dedupHits,
+		CacheMisses: r.cacheMisses,
+	}
+	r.mu.Unlock()
+
+	if len(wall) > 0 {
+		sort.Float64s(wall)
+		sum := 0.0
+		for _, v := range wall {
+			sum += v
+		}
+		st.JobMeanMS = sum / float64(len(wall))
+		st.JobP50MS = percentile(wall, 50)
+		st.JobP99MS = percentile(wall, 99)
+	}
+	return st
+}
+
+// percentile returns the p-th percentile of sorted xs by nearest rank.
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	i := int(p / 100 * float64(len(xs)-1))
+	return xs[i]
+}
+
+// PairSpecs returns the Base/Enhanced spec pair for one workload — the
+// unit the paper's tables compare.
+func PairSpecs(name string, seed uint64, scale float64) [2]JobSpec {
+	return [2]JobSpec{
+		{Workload: name, Config: Base, Seed: seed, Scale: scale},
+		{Workload: name, Config: Enhanced, Seed: seed, Scale: scale},
+	}
+}
+
+// SuiteSpecs returns every workload's Base/Enhanced pair — the full
+// evaluation matrix at the given seed and scale.
+func SuiteSpecs(seed uint64, scale float64) []JobSpec {
+	out := make([]JobSpec, 0, 2*len(Workloads))
+	for _, ws := range Workloads {
+		p := PairSpecs(ws.Name, seed, scale)
+		out = append(out, p[0], p[1])
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+// Package runner turns one-shot simulations into schedulable,
+// cacheable, parallel jobs.
+//
+// A JobSpec names everything that determines a simulation's outcome:
+// the workload, the system configuration, the seed, and the request
+// budgets.  Specs are content-addressed — two specs that normalise to
+// the same canonical key denote the same simulation — so a Runner can
+// deduplicate concurrent submissions (singleflight) and serve repeat
+// submissions from an in-memory result cache.  Jobs execute on a
+// fixed-size worker pool with per-job timeout and cancellation via
+// context.Context.
+//
+// Determinism is preserved end to end: a job's execution sequence
+// (workload generation, linking, warmup, measured requests) is exactly
+// the sequence internal/experiments.Suite historically ran inline, so
+// runner-backed results are bit-identical to sequential ones for the
+// same spec.  This invariant is what lets the whole evaluation fan out
+// across cores without perturbing any published number.
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// ConfigKind names one of the evaluated system configurations.  The
+// string values are stable wire names used in job keys and in the
+// dlsimd HTTP API.
+type ConfigKind string
+
+// The comparison space of the paper (§4.1) plus the ARM trampoline
+// variants (Fig. 2b).
+const (
+	Base        ConfigKind = "base"
+	Enhanced    ConfigKind = "enhanced"
+	Eager       ConfigKind = "eager"
+	Static      ConfigKind = "static"
+	Patched     ConfigKind = "patched"
+	BaseARM     ConfigKind = "base-arm"
+	EnhancedARM ConfigKind = "enhanced-arm"
+)
+
+// configs maps each kind to its core preset constructor.
+var configs = map[ConfigKind]func(uint64) core.Config{
+	Base:        core.Base,
+	Enhanced:    core.Enhanced,
+	Eager:       core.Eager,
+	Static:      core.Static,
+	Patched:     core.Patched,
+	BaseARM:     core.BaseARM,
+	EnhancedARM: core.EnhancedARM,
+}
+
+// ConfigKinds returns every valid kind, in presentation order.
+func ConfigKinds() []ConfigKind {
+	return []ConfigKind{Base, Enhanced, Eager, Static, Patched, BaseARM, EnhancedARM}
+}
+
+// Valid reports whether k names a known configuration.
+func (k ConfigKind) Valid() bool { _, ok := configs[k]; return ok }
+
+// Config returns the core configuration for the kind under the seed.
+func (k ConfigKind) Config(seed uint64) (core.Config, error) {
+	f, ok := configs[k]
+	if !ok {
+		return core.Config{}, fmt.Errorf("runner: unknown config kind %q (valid: %v)", k, ConfigKinds())
+	}
+	return f(seed), nil
+}
+
+// WorkloadSpec binds a workload generator to its default measurement
+// budget (the evaluation's per-workload request counts, §4.4).
+type WorkloadSpec struct {
+	Name    string
+	Gen     func(seed uint64) *workload.Workload
+	Warm    int // warmup requests before measurement
+	Measure int // measured requests at scale 1.0
+}
+
+// Workloads is the evaluation's workload set in the paper's
+// presentation order.  internal/experiments re-exports this registry.
+var Workloads = []WorkloadSpec{
+	{Name: "apache", Gen: workload.Apache, Warm: 80, Measure: 400},
+	{Name: "firefox", Gen: workload.Firefox, Warm: 20, Measure: 150},
+	{Name: "memcached", Gen: workload.Memcached, Warm: 80, Measure: 600},
+	{Name: "mysql", Gen: workload.MySQL, Warm: 40, Measure: 200},
+}
+
+// WorkloadByName returns the registered workload spec.
+func WorkloadByName(name string) (WorkloadSpec, bool) {
+	for _, ws := range Workloads {
+		if ws.Name == name {
+			return ws, true
+		}
+	}
+	return WorkloadSpec{}, false
+}
+
+// WorkloadNames returns the registered workload names in order.
+func WorkloadNames() []string {
+	out := make([]string, len(Workloads))
+	for i, ws := range Workloads {
+		out[i] = ws.Name
+	}
+	return out
+}
+
+// JobSpec fully determines one simulation job.  The zero values of
+// Scale, Warm and Measure mean "use the workload's defaults"; explicit
+// values override them.
+type JobSpec struct {
+	// Workload is a registered workload name (see WorkloadNames).
+	Workload string `json:"workload"`
+
+	// Config is the system configuration to simulate under.
+	Config ConfigKind `json:"config"`
+
+	// Seed drives workload generation, layout and request
+	// interleaving; the same seed produces bit-identical results.
+	Seed uint64 `json:"seed"`
+
+	// Scale multiplies the default measured request count.  Zero or
+	// negative means 1.0.
+	Scale float64 `json:"scale,omitempty"`
+
+	// Warm overrides the warmup request count.  Zero means the
+	// workload default.
+	Warm int `json:"warm,omitempty"`
+
+	// Measure overrides the measured request count before scaling.
+	// Zero means the workload default.
+	Measure int `json:"measure,omitempty"`
+}
+
+// Validate checks the spec against the registries.
+func (j JobSpec) Validate() error {
+	if _, ok := WorkloadByName(j.Workload); !ok {
+		return fmt.Errorf("runner: unknown workload %q (valid: %v)", j.Workload, WorkloadNames())
+	}
+	if !j.Config.Valid() {
+		return fmt.Errorf("runner: unknown config kind %q (valid: %v)", j.Config, ConfigKinds())
+	}
+	if j.Warm < 0 || j.Measure < 0 {
+		return fmt.Errorf("runner: negative request budget (warm=%d, measure=%d)", j.Warm, j.Measure)
+	}
+	return nil
+}
+
+// Normalize resolves defaults and folds Scale into the measured
+// request count, returning the canonical form of the spec.  Two specs
+// denoting the same simulation normalise identically.  The measured
+// count is scaled and clamped exactly as experiments.Suite does, so
+// runner results line up with the historical sequential path.
+func (j JobSpec) Normalize() (JobSpec, error) {
+	if err := j.Validate(); err != nil {
+		return JobSpec{}, err
+	}
+	ws, _ := WorkloadByName(j.Workload)
+	out := j
+	if out.Warm == 0 {
+		out.Warm = ws.Warm
+	}
+	if out.Measure == 0 {
+		out.Measure = ws.Measure
+	}
+	scale := out.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	n := int(float64(out.Measure) * scale)
+	if n < 20 {
+		n = 20
+	}
+	out.Measure = n
+	out.Scale = 0 // folded into Measure
+	return out, nil
+}
+
+// Key returns the canonical content-address of the simulation the
+// spec denotes.  Specs that normalise identically share a key; the
+// Runner caches and deduplicates by it.
+func (j JobSpec) Key() (string, error) {
+	n, err := j.Normalize()
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%s|%s|seed=%d|warm=%d|measure=%d",
+		n.Workload, n.Config, n.Seed, n.Warm, n.Measure), nil
+}
+
+// IDFromKey derives the short hex job ID used by the dlsimd HTTP API
+// from a canonical key.
+func IDFromKey(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:8])
+}

@@ -27,6 +27,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
@@ -125,8 +126,20 @@ func (d *Driver) pick() RequestClass {
 // requests to warm the caches, TLBs, predictors and ABTB, and then
 // clears measurement state.
 func (d *Driver) Warmup(n int) error {
+	return d.WarmupContext(context.Background(), n)
+}
+
+// WarmupContext is Warmup with cancellation: it checks ctx between
+// requests, so a cancelled or expired context stops the warmup at a
+// request boundary.  The request sequence is identical to Warmup's.
+func (d *Driver) WarmupContext(ctx context.Context, n int) error {
 	d.sys.Image().BindAll()
 	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("workload %s: warmup request %d: %w", d.w.Name, i, ctx.Err())
+		default:
+		}
 		if _, err := d.sys.RunOnce(d.pick().Entry); err != nil {
 			return fmt.Errorf("workload %s: warmup request %d: %w", d.w.Name, i, err)
 		}
@@ -138,11 +151,23 @@ func (d *Driver) Warmup(n int) error {
 // Run serves n mixed requests, returning per-class latency samples in
 // microseconds.
 func (d *Driver) Run(n int) (map[string]*stats.Sample, error) {
+	return d.RunContext(context.Background(), n)
+}
+
+// RunContext is Run with cancellation: it checks ctx between requests,
+// so a cancelled or expired context stops the measurement at a request
+// boundary.  The request sequence is identical to Run's.
+func (d *Driver) RunContext(ctx context.Context, n int) (map[string]*stats.Sample, error) {
 	out := make(map[string]*stats.Sample, len(d.w.Classes))
 	for _, c := range d.w.Classes {
 		out[c.Name] = &stats.Sample{}
 	}
 	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("workload %s: request %d: %w", d.w.Name, i, ctx.Err())
+		default:
+		}
 		c := d.pick()
 		d.served++
 		if d.PerturbEvery > 0 && d.served%d.PerturbEvery == 0 {
