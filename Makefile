@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check race bench-runner all
+.PHONY: check race faults bench-runner bench-fault all
 
 all: check
 
@@ -19,7 +19,24 @@ race:
 	$(GO) test -race -timeout 20m ./internal/runner/... ./cmd/dlsimd/...
 	$(GO) test -race -timeout 20m -run 'TestSuiteParallelMatchesSequential|TestSuiteConcurrentUse' ./internal/experiments/
 
+# Robustness pass: the concurrent subsystems under low-probability
+# deterministic fault injection (fixed seed, see internal/faultinject)
+# plus the race detector.  Injected transient errors are absorbed by
+# the runner's default retry policy; the suite must still pass.
+faults:
+	DLSIM_FAULTS='runner.execute=error:0.02,dlsimd.submit=delay:0.2:2ms' DLSIM_FAULT_SEED=42 \
+		$(GO) test -race -timeout 20m ./internal/faultinject/... ./internal/runner/... ./cmd/dlsimd/...
+	DLSIM_FAULTS='runner.execute=error:0.02' DLSIM_FAULT_SEED=42 \
+		$(GO) test -race -timeout 20m -run 'TestSuiteSurvivesTransientFaults|TestSuiteRetriedResultsBitIdentical' ./internal/experiments/
+
 # Sequential vs parallel full-suite wall-clock (results feed
 # BENCH_runner.json).
 bench-runner:
 	$(GO) test -run '^$$' -bench 'BenchmarkSuite(Sequential|Parallel)$$' -benchtime 1x ./internal/experiments/
+
+# Hardened-path overhead: the disabled-injection-point hot path and
+# the suite wall-clock with the robustness layer in place (results
+# feed BENCH_fault.json).
+bench-fault:
+	$(GO) test -run '^$$' -bench 'BenchmarkFireDisabled' ./internal/faultinject/
+	$(GO) test -run '^$$' -bench 'BenchmarkSuiteParallel$$' -benchtime 1x ./internal/experiments/

@@ -5,17 +5,33 @@
 // and served from the content-addressed result cache, so each
 // distinct simulation runs at most once per process lifetime.
 //
+// The service is hardened for unattended operation: worker panics
+// fail only the offending job (with the stack recorded), transient
+// job failures retry with capped exponential backoff + jitter, a
+// bounded admission queue sheds overload with 429 + Retry-After, and
+// SIGINT/SIGTERM triggers a graceful drain — admission stops
+// (/readyz goes 503), in-flight jobs finish up to -drain-timeout,
+// and whatever remains is reported before exit.  Fault injection for
+// testing is available via DLSIM_FAULTS (see internal/faultinject).
+//
 // Usage:
 //
-//	dlsimd [-addr :8344] [-workers N] [-job-timeout 5m]
+//	dlsimd [-addr :8344] [-workers N] [-job-timeout 5m] [-max-queue N]
+//	       [-retries N] [-request-timeout 30s] [-drain-timeout 30s]
 //
 // API:
 //
 //	POST /v1/jobs      submit a job; body {"workload":"apache",
 //	                   "config":"enhanced","seed":1,"scale":0.5};
-//	                   returns the job id (202, or 200 when coalesced)
-//	GET  /v1/jobs/{id} job state, and the result once done
-//	GET  /v1/stats     pool depth, cache hits/misses, job latency
+//	                   returns the job id (202, or 200 when coalesced;
+//	                   429 + Retry-After when the queue is full)
+//	GET  /v1/jobs/{id} job state, attempts, and the result once done
+//	GET  /v1/stats     pool depth, cache hits/misses, retries/panics/
+//	                   shed counters, job latency
+//	GET  /healthz      liveness (200 while the process serves)
+//	GET  /readyz       readiness (503 once draining)
+//
+// All failure responses are structured JSON: {"error": "...", "code": N}.
 package main
 
 import (
@@ -23,6 +39,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -36,23 +53,51 @@ func main() {
 	addr := flag.String("addr", ":8344", "listen address")
 	workers := flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
 	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "per-job simulation timeout (0 = none)")
+	maxQueue := flag.Int("max-queue", 256, "admission-queue bound; full queue sheds with 429 (0 = unbounded)")
+	retries := flag.Int("retries", 0, "max execution attempts per job incl. the first (0 = default 3, 1 = no retry)")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-HTTP-request timeout (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
 	flag.Parse()
 
-	pool := runner.New(runner.Options{Workers: *workers, JobTimeout: *jobTimeout})
+	logger := log.New(os.Stderr, "dlsimd: ", log.LstdFlags|log.Lmsgprefix)
+	pool := runner.New(runner.Options{
+		Workers:    *workers,
+		JobTimeout: *jobTimeout,
+		MaxQueue:   *maxQueue,
+		Retry:      runner.RetryPolicy{MaxAttempts: *retries},
+	})
 	defer pool.Close()
 
-	srv := &http.Server{Addr: *addr, Handler: newServer(pool)}
+	api := newServer(pool, serverConfig{
+		logger:         logger,
+		requestTimeout: *requestTimeout,
+		retryAfter:     time.Second,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           api,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
 		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		logger.Printf("shutdown: stopping admission, draining up to %v", *drainTimeout)
+		api.startDrain()
+		deadline, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
-		_ = srv.Shutdown(shutdownCtx)
+		// Drain in-flight simulations first (admission is already
+		// off), then stop the HTTP listener within the same budget.
+		if abandoned := pool.Drain(deadline); abandoned > 0 {
+			logger.Printf("shutdown: drain deadline hit, abandoning %d unfinished job(s)", abandoned)
+		} else {
+			logger.Printf("shutdown: all jobs drained")
+		}
+		_ = srv.Shutdown(deadline)
 	}()
 
-	fmt.Printf("dlsimd: serving on %s (workers=%d)\n", *addr, pool.Workers())
+	fmt.Printf("dlsimd: serving on %s (workers=%d, max-queue=%d)\n", *addr, pool.Workers(), *maxQueue)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "dlsimd:", err)
 		os.Exit(1)

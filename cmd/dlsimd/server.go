@@ -1,32 +1,105 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
+	"strconv"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
+// serverConfig tunes the HTTP front end's robustness behaviour.
+type serverConfig struct {
+	// logger receives one line per request (method, path, status,
+	// duration) and panic reports.  Nil discards.
+	logger *log.Logger
+
+	// requestTimeout bounds each request's handling via its context.
+	// Zero means no per-request timeout.
+	requestTimeout time.Duration
+
+	// retryAfter is the Retry-After hint attached to 429 responses
+	// when admission control sheds a submission.  Zero means 1s.
+	retryAfter time.Duration
+}
+
 // server is the dlsimd HTTP front end over a runner pool.
 type server struct {
 	pool    *runner.Runner
+	cfg     serverConfig
 	started time.Time
 	mux     *http.ServeMux
+
+	// draining flips once shutdown starts: /readyz goes 503 and new
+	// submissions are refused while in-flight jobs finish.
+	draining atomic.Bool
 }
 
 // newServer wires the v1 API onto the pool.
-func newServer(pool *runner.Runner) *server {
-	s := &server{pool: pool, started: time.Now(), mux: http.NewServeMux()}
+func newServer(pool *runner.Runner, cfg serverConfig) *server {
+	if cfg.logger == nil {
+		cfg.logger = log.New(io.Discard, "", 0)
+	}
+	if cfg.retryAfter <= 0 {
+		cfg.retryAfter = time.Second
+	}
+	s := &server{pool: pool, cfg: cfg, started: time.Now(), mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// startDrain stops admission: /readyz reports 503 (so load balancers
+// route away) and new job submissions are refused while in-flight
+// jobs keep running.
+func (s *server) startDrain() { s.draining.Store(true) }
+
+// statusRecorder captures the status code written by a handler for
+// the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP applies the per-request timeout, logs every request, and
+// converts handler panics into structured 500s so one bad request
+// cannot take out the connection without a response.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.requestTimeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.requestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	defer func() {
+		if v := recover(); v != nil {
+			s.cfg.logger.Printf("panic %s %s: %v", r.Method, r.URL.Path, v)
+			// Best effort: if the handler had not written yet this
+			// produces a well-formed JSON 500.
+			writeError(rec, http.StatusInternalServerError, "internal error: %v", v)
+		}
+		s.cfg.logger.Printf("%s %s %d %s", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+	}()
+	s.mux.ServeHTTP(rec, r)
+}
 
 // writeJSON renders v with the given status.
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -37,13 +110,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// errorJSON is the error envelope of every non-2xx response.
+// errorJSON is the error envelope of every non-2xx response: a
+// human-readable message plus the machine-readable status code.
 type errorJSON struct {
 	Error string `json:"error"`
+	Code  int    `json:"code"`
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...), Code: status})
 }
 
 // submitResponse answers POST /v1/jobs.
@@ -57,8 +132,18 @@ type submitResponse struct {
 
 // handleSubmit validates and enqueues a job, returning its ID for
 // polling.  Submitting an already-known spec is idempotent: the
-// existing job's ID comes back with cached=true.
+// existing job's ID comes back with cached=true.  Failure paths:
+// 400 for a bad spec, 429 (+ Retry-After) when admission control
+// sheds, 503 while draining or after shutdown.
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining: not accepting new jobs")
+		return
+	}
+	if err := faultinject.FireCtx(r.Context(), "dlsimd.submit"); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	var spec runner.JobSpec
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -67,7 +152,15 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job, reused, err := s.pool.Submit(spec)
-	if err != nil {
+	switch {
+	case errors.Is(err, runner.ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.retryAfter+time.Second-1)/time.Second)))
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, runner.ErrRunnerClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -122,12 +215,13 @@ type resultJSON struct {
 
 // jobResponse answers GET /v1/jobs/{id}.
 type jobResponse struct {
-	ID     string          `json:"id"`
-	Key    string          `json:"key"`
-	State  runner.JobState `json:"state"`
-	Spec   runner.JobSpec  `json:"spec"`
-	Error  string          `json:"error,omitempty"`
-	Result *resultJSON     `json:"result,omitempty"`
+	ID       string          `json:"id"`
+	Key      string          `json:"key"`
+	State    runner.JobState `json:"state"`
+	Spec     runner.JobSpec  `json:"spec"`
+	Attempts int             `json:"attempts"`
+	Error    string          `json:"error,omitempty"`
+	Result   *resultJSON     `json:"result,omitempty"`
 }
 
 // handleJob reports a job's state and, once done, its result.
@@ -138,13 +232,17 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no job %q", id)
 		return
 	}
-	resp := jobResponse{ID: job.ID, Key: job.Key, State: job.State(), Spec: job.Spec}
-	if res, err, done := job.Result(); done {
-		if err != nil {
-			resp.Error = err.Error()
-		} else {
-			resp.Result = marshalResult(res)
-		}
+	resp := jobResponse{
+		ID:       job.ID,
+		Key:      job.Key,
+		State:    job.State(),
+		Spec:     job.Spec,
+		Attempts: job.Attempts(),
+	}
+	if err := job.Err(); err != nil {
+		resp.Error = err.Error()
+	} else if res, ok := job.Result(); ok {
+		resp.Result = marshalResult(res)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -192,16 +290,36 @@ func summariseClass(s *stats.Sample) classJSON {
 type statsResponse struct {
 	runner.Stats
 	UptimeS   float64             `json:"uptime_s"`
+	Draining  bool                `json:"draining"`
 	Workloads []string            `json:"workloads"`
 	Configs   []runner.ConfigKind `json:"configs"`
 }
 
-// handleStats reports pool depth, cache effectiveness and job latency.
+// handleStats reports pool depth, cache effectiveness, failure and
+// retry counters, and job latency.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, statsResponse{
 		Stats:     s.pool.Stats(),
 		UptimeS:   time.Since(s.started).Seconds(),
+		Draining:  s.draining.Load(),
 		Workloads: runner.WorkloadNames(),
 		Configs:   runner.ConfigKinds(),
 	})
+}
+
+// handleHealthz is liveness: 200 whenever the process can serve at
+// all (restart the process if this fails).
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: 200 while accepting new jobs, 503 once
+// draining — load balancers should stop routing here, but in-flight
+// jobs are still being finished and polled.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }

@@ -13,8 +13,13 @@ import (
 
 func newTestServer(t *testing.T) (*httptest.Server, *runner.Runner) {
 	t.Helper()
-	pool := runner.New(runner.Options{Workers: 2})
-	ts := httptest.NewServer(newServer(pool))
+	return newTestServerOpts(t, runner.Options{Workers: 2}, serverConfig{})
+}
+
+func newTestServerOpts(t *testing.T, opts runner.Options, cfg serverConfig) (*httptest.Server, *runner.Runner) {
+	t.Helper()
+	pool := runner.New(opts)
+	ts := httptest.NewServer(newServer(pool, cfg))
 	t.Cleanup(func() { ts.Close(); pool.Close() })
 	return ts, pool
 }

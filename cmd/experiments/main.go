@@ -5,12 +5,17 @@
 // Usage:
 //
 //	experiments [-seed N] [-scale F] [-only LIST] [-ablations] [-workers N]
+//	            [-retries N]
 //
 // -scale multiplies the measured request counts (0.25 for a quick
 // smoke run, 2 for smoother distributions); -only selects a
 // comma-separated subset of artefacts (e.g. "table2,figure5");
 // -workers sizes the simulation pool the suite fans out on (0 means
-// one worker per CPU).
+// one worker per CPU); -retries caps execution attempts per
+// simulation — transient failures (e.g. injected via the DLSIM_FAULTS
+// fault-injection environment, see internal/faultinject) are retried
+// with capped exponential backoff, so a flaky substrate does not
+// abort a long evaluation run.
 package main
 
 import (
@@ -30,9 +35,13 @@ func main() {
 	only := flag.String("only", "", "comma-separated artefacts (table2,table3,table4,table5,table6,figure4,figure5,figure6,figure7,figure8,memory,speedups)")
 	ablations := flag.Bool("ablations", false, "also run ablations A1-A5 (slow)")
 	workers := flag.Int("workers", 0, "simulation pool size (0 = one per CPU)")
+	retries := flag.Int("retries", 0, "max execution attempts per simulation incl. the first (0 = default 3, 1 = no retry)")
 	flag.Parse()
 
-	pool := runner.New(runner.Options{Workers: *workers})
+	pool := runner.New(runner.Options{
+		Workers: *workers,
+		Retry:   runner.RetryPolicy{MaxAttempts: *retries},
+	})
 	defer pool.Close()
 	s := experiments.NewSuiteWithRunner(*seed, *scale, pool)
 	want := map[string]bool{}
@@ -217,5 +226,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(out)
+	}
+	if st := pool.Stats(); st.Retries > 0 || st.Panics > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: pool absorbed %d transient failure(s) via retry (%d panic(s) recovered)\n",
+			st.Retries, st.Panics)
 	}
 }

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/leakcheck"
+	"repro/internal/runner"
+)
+
+// TestSuiteSurvivesTransientFaults runs an artefact through a pool
+// whose first few simulations fail with injected transient errors:
+// the runner's backoff retry absorbs them and the suite still
+// produces complete rows, so a flaky substrate cannot corrupt the
+// evaluation.
+func TestSuiteSurvivesTransientFaults(t *testing.T) {
+	leakcheck.Check(t)
+	faultinject.Enable("runner.execute", faultinject.PointConfig{
+		Mode: faultinject.Error, Prob: 1, Count: 3,
+	})
+	t.Cleanup(faultinject.Reset)
+
+	pool := runner.New(runner.Options{
+		Workers:   2,
+		Retry:     runner.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond},
+		RetrySeed: 7,
+	})
+	defer pool.Close()
+	s := NewSuiteWithRunner(1, 0.05, pool)
+
+	rows, err := s.Speedups()
+	if err != nil {
+		t.Fatalf("suite failed despite retry policy: %v", err)
+	}
+	if len(rows) != len(Workloads) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(Workloads))
+	}
+
+	st := pool.Stats()
+	if st.Retries != 3 {
+		t.Errorf("retries = %d, want exactly 3 (the injected faults)", st.Retries)
+	}
+	if st.Failed != 0 || st.Completed != 8 {
+		t.Errorf("failed=%d completed=%d, want 0/8", st.Failed, st.Completed)
+	}
+	if faultinject.Injections("runner.execute") != 3 {
+		t.Errorf("injections = %d, want 3", faultinject.Injections("runner.execute"))
+	}
+}
+
+// TestSuiteRetriedResultsBitIdentical re-runs the same artefact on a
+// clean pool and requires byte-identical output: a retried simulation
+// restarts from its spec, so injected faults cannot perturb any
+// published number.
+func TestSuiteRetriedResultsBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the workload matrix twice")
+	}
+	leakcheck.Check(t)
+
+	render := func(s *Suite) string {
+		sp, err := s.Speedups()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatSpeedups(sp)
+	}
+
+	faultinject.Enable("runner.execute", faultinject.PointConfig{
+		Mode: faultinject.Error, Prob: 1, Count: 2,
+	})
+	t.Cleanup(faultinject.Reset)
+	faulty := NewSuiteWithRunner(1, 0.05, runner.New(runner.Options{
+		Workers: 2,
+		Retry:   runner.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+	}))
+	defer faulty.Runner().Close()
+	faultyOut := render(faulty)
+
+	faultinject.Reset()
+	clean := NewSuiteWithRunner(1, 0.05, runner.New(runner.Options{Workers: 2}))
+	defer clean.Runner().Close()
+	cleanOut := render(clean)
+
+	if faultyOut != cleanOut {
+		t.Errorf("retried output differs from clean run:\n--- retried ---\n%s\n--- clean ---\n%s", faultyOut, cleanOut)
+	}
+}

@@ -1,0 +1,47 @@
+// Package leakcheck asserts that tests do not leak goroutines.
+//
+// Call Check(t) at the top of a test; at cleanup it polls until the
+// process goroutine count returns to the pre-test baseline, and fails
+// the test with a full stack dump if it does not settle within the
+// grace period.  Polling (rather than an exact snapshot diff) absorbs
+// goroutines that are legitimately still winding down — a worker
+// observing a cancelled context, a timer firing — while still
+// catching goroutines parked forever on a channel or semaphore.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// grace is how long cleanup waits for the goroutine count to settle
+// back to the baseline before declaring a leak.
+const grace = 5 * time.Second
+
+// Check snapshots the goroutine count and registers a cleanup that
+// fails t if the count has not returned to the snapshot within the
+// grace period.  Tests using it must not run in parallel with tests
+// that spawn goroutines outliving them.
+func Check(t testing.TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(grace)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		m := runtime.Stack(buf, true)
+		t.Errorf("leakcheck: %d goroutines still running, want <= %d baseline; stacks:\n%s",
+			n, base, buf[:m])
+	})
+}

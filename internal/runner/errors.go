@@ -1,0 +1,65 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors for the failure paths callers are expected to
+// branch on.  Job errors wrap these, so callers match with errors.Is
+// rather than string inspection.
+var (
+	// ErrRunnerClosed marks errors caused by runner shutdown: Submit
+	// after Close, and jobs abandoned while queued or cancelled
+	// mid-run by Close.
+	ErrRunnerClosed = errors.New("runner: closed")
+
+	// ErrJobTimeout marks a job that exceeded Options.JobTimeout.
+	ErrJobTimeout = errors.New("runner: job timeout")
+
+	// ErrQueueFull marks a submission shed by admission control
+	// (Options.MaxQueue).  The job was not registered; the caller
+	// should back off and resubmit.
+	ErrQueueFull = errors.New("runner: admission queue full")
+)
+
+// PanicError is a panic recovered from a worker goroutine, converted
+// into an ordinary job failure so one panicking simulation cannot
+// take down the process or the pool.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+
+	// Stack is the goroutine stack captured at recovery.
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: worker panic: %v", e.Value)
+}
+
+// IsTransient reports whether err is worth retrying: some error in
+// its chain declares itself transient via a `Transient() bool`
+// method (e.g. faultinject.InjectedError, or a workload error
+// wrapped with Transient).  Timeouts, shutdown, validation failures
+// and panics are permanent by default.
+func IsTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// transientError wraps an error to classify it transient.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string   { return e.err.Error() }
+func (e *transientError) Unwrap() error   { return e.err }
+func (e *transientError) Transient() bool { return true }
+
+// Transient marks err as retryable under the default retry
+// classification.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}

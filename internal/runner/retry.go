@@ -1,0 +1,94 @@
+package runner
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// RetryPolicy governs re-execution of failed job attempts.
+//
+// The zero value means "use DefaultRetryPolicy" — transient failures
+// (see IsTransient) retry up to 3 total attempts with capped
+// exponential backoff and jitter.  To disable retries entirely set
+// MaxAttempts to 1 (or any negative value).
+type RetryPolicy struct {
+	// MaxAttempts is the total number of execution attempts,
+	// including the first.  Zero selects the default (3); one or a
+	// negative value disables retries.
+	MaxAttempts int
+
+	// BaseDelay is the backoff before the first retry; each further
+	// retry doubles it.  Zero selects the default (5ms).
+	BaseDelay time.Duration
+
+	// MaxDelay caps the exponential growth.  Zero selects the
+	// default (250ms).
+	MaxDelay time.Duration
+
+	// Jitter is the fraction of each backoff randomised uniformly in
+	// [1-Jitter, 1+Jitter], decorrelating retry storms.  Zero selects
+	// the default (0.2); a negative value disables jitter.
+	Jitter float64
+
+	// Classify reports whether an error is transient (retryable).
+	// Nil selects IsTransient.
+	Classify func(error) bool
+}
+
+// DefaultRetryPolicy returns the policy used for zero-value fields:
+// 3 attempts, 5ms base, 250ms cap, 20% jitter, IsTransient
+// classification.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   5 * time.Millisecond,
+		MaxDelay:    250 * time.Millisecond,
+		Jitter:      0.2,
+		Classify:    IsTransient,
+	}
+}
+
+// normalized resolves zero fields to the defaults.
+func (p RetryPolicy) normalized() RetryPolicy {
+	def := DefaultRetryPolicy()
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = def.MaxAttempts
+	}
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = def.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = def.MaxDelay
+	}
+	if p.Jitter == 0 {
+		p.Jitter = def.Jitter
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Classify == nil {
+		p.Classify = def.Classify
+	}
+	return p
+}
+
+// backoff returns the delay before retry number `retry` (1-based):
+// BaseDelay·2^(retry-1), capped at MaxDelay, with ±Jitter applied
+// from the given seeded stream.
+func (p RetryPolicy) backoff(retry int, rng *rand.Rand) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < retry && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.Jitter > 0 && rng != nil {
+		f := 1 - p.Jitter + 2*p.Jitter*rng.Float64()
+		d = time.Duration(float64(d) * f)
+	}
+	return d
+}

@@ -1,0 +1,378 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/leakcheck"
+)
+
+// armed arms one injection point for the duration of the test and
+// restores the framework afterwards.
+func armed(t *testing.T, point string, cfg faultinject.PointConfig) {
+	t.Helper()
+	faultinject.Enable(point, cfg)
+	t.Cleanup(faultinject.Reset)
+}
+
+// TestPanicIsolation proves the acceptance criterion: an injected
+// panic in a worker fails only that job — the process survives, the
+// stack is recorded, and stats count the failure — while a subsequent
+// job on the same pool succeeds.
+func TestPanicIsolation(t *testing.T) {
+	leakcheck.Check(t)
+	armed(t, "runner.execute", faultinject.PointConfig{Mode: faultinject.Panic, Prob: 1, Count: 1})
+
+	r := New(Options{Workers: 2})
+	defer r.Close()
+
+	_, err := r.Run(context.Background(), fastSpec(41))
+	if err == nil {
+		t.Fatal("want panic-failure, got success")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error = %v (%T), want *PanicError", err, err)
+	}
+	if pe.Stack == "" || pe.Value == nil {
+		t.Errorf("panic not captured: value=%v stack-len=%d", pe.Value, len(pe.Stack))
+	}
+	st := r.Stats()
+	if st.Failed != 1 || st.Panics != 1 {
+		t.Errorf("stats failed=%d panics=%d, want 1/1", st.Failed, st.Panics)
+	}
+
+	// The pool is still alive: the injection count is exhausted, so a
+	// fresh job runs clean.
+	res, err := r.Run(context.Background(), fastSpec(42))
+	if err != nil {
+		t.Fatalf("pool dead after panic: %v", err)
+	}
+	if res.Counters.Instructions == 0 {
+		t.Error("post-panic job returned empty result")
+	}
+	if st := r.Stats(); st.Completed != 1 {
+		t.Errorf("completed = %d, want 1", st.Completed)
+	}
+}
+
+// TestTransientRetrySucceeds proves the acceptance criterion: a job
+// that fails transiently N < max times under injection eventually
+// succeeds via backoff retry, with the exact retry count in stats.
+func TestTransientRetrySucceeds(t *testing.T) {
+	leakcheck.Check(t)
+	armed(t, "runner.execute", faultinject.PointConfig{Mode: faultinject.Error, Prob: 1, Count: 2})
+
+	r := New(Options{
+		Workers: 1,
+		Retry:   RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+	})
+	defer r.Close()
+
+	j, _, err := r.Submit(fastSpec(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatalf("job failed despite retries: %v", err)
+	}
+	if j.Attempts() != 3 {
+		t.Errorf("attempts = %d, want 3 (2 injected failures + success)", j.Attempts())
+	}
+	st := r.Stats()
+	if st.Retries != 2 {
+		t.Errorf("retries = %d, want exactly 2", st.Retries)
+	}
+	if st.Completed != 1 || st.Failed != 0 {
+		t.Errorf("completed=%d failed=%d, want 1/0", st.Completed, st.Failed)
+	}
+	if faultinject.Injections("runner.execute") != 2 {
+		t.Errorf("injections = %d, want 2", faultinject.Injections("runner.execute"))
+	}
+}
+
+// TestPermanentFailureStopsAtCap proves the other half of the
+// criterion: a job that keeps failing stops at the retry cap with the
+// exact attempt and retry counts.
+func TestPermanentFailureStopsAtCap(t *testing.T) {
+	leakcheck.Check(t)
+	armed(t, "runner.execute", faultinject.PointConfig{Mode: faultinject.Error, Prob: 1})
+
+	r := New(Options{
+		Workers: 1,
+		Retry:   RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+	})
+	defer r.Close()
+
+	j, _, err := r.Submit(fastSpec(52))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = j.Wait(context.Background())
+	var inj *faultinject.InjectedError
+	if !errors.As(err, &inj) {
+		t.Fatalf("error = %v, want the injected error", err)
+	}
+	if j.Attempts() != 3 {
+		t.Errorf("attempts = %d, want 3 (the cap)", j.Attempts())
+	}
+	st := r.Stats()
+	if st.Retries != 2 || st.Failed != 1 || st.Completed != 0 {
+		t.Errorf("retries=%d failed=%d completed=%d, want 2/1/0", st.Retries, st.Failed, st.Completed)
+	}
+	if got := j.Err(); !errors.As(got, &inj) {
+		t.Errorf("Job.Err() = %v, want the injected error", got)
+	}
+	if _, ok := j.Result(); ok {
+		t.Error("failed job reports a Result")
+	}
+}
+
+// TestNonTransientNotRetried: the default classification does not
+// retry panics.
+func TestNonTransientNotRetried(t *testing.T) {
+	leakcheck.Check(t)
+	armed(t, "runner.execute", faultinject.PointConfig{Mode: faultinject.Panic, Prob: 1})
+
+	r := New(Options{Workers: 1, Retry: RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond}})
+	defer r.Close()
+	j, _, _ := r.Submit(fastSpec(53))
+	if _, err := j.Wait(context.Background()); err == nil {
+		t.Fatal("want failure")
+	}
+	if j.Attempts() != 1 {
+		t.Errorf("attempts = %d, want 1 (panics are permanent)", j.Attempts())
+	}
+	if st := r.Stats(); st.Retries != 0 {
+		t.Errorf("retries = %d, want 0", st.Retries)
+	}
+}
+
+func TestJobTimeoutSentinel(t *testing.T) {
+	leakcheck.Check(t)
+	r := New(Options{Workers: 1, JobTimeout: time.Nanosecond})
+	defer r.Close()
+	_, err := r.Run(context.Background(), fastSpec(54))
+	if !errors.Is(err, ErrJobTimeout) {
+		t.Fatalf("error = %v, want errors.Is ErrJobTimeout", err)
+	}
+	if errors.Is(err, ErrRunnerClosed) {
+		t.Error("timeout error also matches ErrRunnerClosed")
+	}
+}
+
+// TestClosedSentinels: Submit after Close, a job cancelled mid-run by
+// Close, and a job abandoned while queued all match ErrRunnerClosed.
+func TestClosedSentinels(t *testing.T) {
+	leakcheck.Check(t)
+	armed(t, "runner.execute", faultinject.PointConfig{Mode: faultinject.Hang, Prob: 1})
+
+	r := New(Options{Workers: 1})
+	running, _, err := r.Submit(fastSpec(55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, running, StateRunning)
+	queued, _, err := r.Submit(fastSpec(56))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r.Close()
+	if _, _, err := r.Submit(fastSpec(57)); !errors.Is(err, ErrRunnerClosed) {
+		t.Errorf("Submit after Close = %v, want ErrRunnerClosed", err)
+	}
+	if _, err := running.Wait(context.Background()); !errors.Is(err, ErrRunnerClosed) {
+		t.Errorf("mid-run job error = %v, want ErrRunnerClosed", err)
+	}
+	if _, err := queued.Wait(context.Background()); !errors.Is(err, ErrRunnerClosed) {
+		t.Errorf("queued job error = %v, want ErrRunnerClosed", err)
+	}
+}
+
+// waitState polls until the job reaches the state or the test times
+// out.
+func waitState(t *testing.T, j *Job, want JobState) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for j.State() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s, want %s", j.State(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCancelledWhileQueued: a caller abandoning its Wait while the
+// job is still queued leaks nothing, and the job itself is untouched
+// (it still belongs to the pool).
+func TestCancelledWhileQueued(t *testing.T) {
+	leakcheck.Check(t)
+	armed(t, "runner.execute", faultinject.PointConfig{Mode: faultinject.Hang, Prob: 1, Count: 1})
+
+	r := New(Options{Workers: 1})
+	hog, _, err := r.Submit(fastSpec(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, hog, StateRunning)
+
+	queued, _, err := r.Submit(fastSpec(62))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := queued.Wait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait = %v, want DeadlineExceeded", err)
+	}
+	if queued.State() != StateQueued {
+		t.Errorf("abandoned job state = %s, want still queued", queued.State())
+	}
+
+	// Release the hang: both jobs complete normally.
+	faultinject.Reset()
+	if _, err := hog.Wait(context.Background()); err != nil {
+		t.Errorf("hog failed: %v", err)
+	}
+	if _, err := queued.Wait(context.Background()); err != nil {
+		t.Errorf("queued job failed after release: %v", err)
+	}
+	r.Close()
+}
+
+// TestCancelledMidRun: abandoning the Wait of a running job does not
+// cancel the job; Close afterwards reclaims the worker goroutine
+// (asserted by the leak check).
+func TestCancelledMidRun(t *testing.T) {
+	leakcheck.Check(t)
+	armed(t, "runner.execute", faultinject.PointConfig{Mode: faultinject.Hang, Prob: 1})
+
+	r := New(Options{Workers: 1})
+	j, _, err := r.Submit(fastSpec(63))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateRunning)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := j.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want Canceled", err)
+	}
+	if j.State() != StateRunning {
+		t.Errorf("job state = %s, want still running (Wait must not cancel it)", j.State())
+	}
+	r.Close()
+	if _, err := j.Wait(context.Background()); !errors.Is(err, ErrRunnerClosed) {
+		t.Errorf("after Close, job error = %v, want ErrRunnerClosed", err)
+	}
+}
+
+// TestQueueFullSheds: with MaxQueue reached, new specs are rejected
+// with ErrQueueFull (counted in stats) while cache hits and dedup
+// still serve.
+func TestQueueFullSheds(t *testing.T) {
+	leakcheck.Check(t)
+	armed(t, "runner.execute", faultinject.PointConfig{Mode: faultinject.Hang, Prob: 1})
+
+	r := New(Options{Workers: 1, MaxQueue: 1})
+	hog, _, err := r.Submit(fastSpec(71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, hog, StateRunning)
+	if _, _, err := r.Submit(fastSpec(72)); err != nil {
+		t.Fatalf("first queued submit rejected: %v", err)
+	}
+	_, _, err = r.Submit(fastSpec(73))
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-capacity submit = %v, want ErrQueueFull", err)
+	}
+	// Admission control does not break idempotent resubmission.
+	if _, reused, err := r.Submit(fastSpec(71)); err != nil || !reused {
+		t.Errorf("resubmit of in-flight spec = reused=%v err=%v, want coalesced", reused, err)
+	}
+	st := r.Stats()
+	if st.Shed != 1 {
+		t.Errorf("shed = %d, want 1", st.Shed)
+	}
+	r.Close()
+}
+
+// TestDrain: a drain with headroom finishes every job and reports
+// nothing abandoned; submissions after the drain are rejected.
+func TestDrain(t *testing.T) {
+	leakcheck.Check(t)
+	r := New(Options{Workers: 2})
+	jobs := make([]*Job, 0, 3)
+	for seed := uint64(81); seed < 84; seed++ {
+		j, _, err := r.Submit(fastSpec(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if n := r.Drain(ctx); n != 0 {
+		t.Fatalf("Drain abandoned %d jobs, want 0", n)
+	}
+	for _, j := range jobs {
+		if j.State() != StateDone {
+			t.Errorf("job %s state = %s after drain, want done", j.ID, j.State())
+		}
+	}
+	if _, _, err := r.Submit(fastSpec(85)); !errors.Is(err, ErrRunnerClosed) {
+		t.Errorf("Submit after Drain = %v, want ErrRunnerClosed", err)
+	}
+	r.Close()
+}
+
+// TestDrainDeadline: a drain that cannot finish reports the abandoned
+// jobs and leaves them to Close.
+func TestDrainDeadline(t *testing.T) {
+	leakcheck.Check(t)
+	armed(t, "runner.execute", faultinject.PointConfig{Mode: faultinject.Hang, Prob: 1})
+
+	r := New(Options{Workers: 1})
+	j, _, err := r.Submit(fastSpec(91))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateRunning)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if n := r.Drain(ctx); n != 1 {
+		t.Errorf("Drain = %d abandoned, want 1", n)
+	}
+	r.Close()
+	if _, err := j.Wait(context.Background()); !errors.Is(err, ErrRunnerClosed) {
+		t.Errorf("abandoned job error = %v, want ErrRunnerClosed", err)
+	}
+}
+
+// TestTransientMarker: the Transient wrapper drives the default
+// classification and survives error wrapping.
+func TestTransientMarker(t *testing.T) {
+	base := errors.New("flaky backend")
+	if IsTransient(base) {
+		t.Error("unmarked error classified transient")
+	}
+	marked := Transient(base)
+	if !IsTransient(marked) {
+		t.Error("marked error not classified transient")
+	}
+	wrapped := errors.Join(errors.New("outer"), marked)
+	if !IsTransient(wrapped) {
+		t.Error("wrapped marked error not classified transient")
+	}
+	if !errors.Is(marked, base) {
+		t.Error("Transient broke the error chain")
+	}
+	if Transient(nil) != nil {
+		t.Error("Transient(nil) != nil")
+	}
+}

@@ -2,12 +2,15 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand/v2"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/workload"
 )
 
@@ -17,9 +20,27 @@ type Options struct {
 	// Zero means runtime.NumCPU().
 	Workers int
 
-	// JobTimeout bounds each job's simulation time.  Zero means no
-	// per-job timeout.
+	// JobTimeout bounds each job attempt's simulation time.  Zero
+	// means no per-job timeout.
 	JobTimeout time.Duration
+
+	// MaxQueue bounds the number of jobs waiting for a worker
+	// (admission control): once reached, Submit sheds new work with
+	// ErrQueueFull instead of queueing unboundedly.  Cache hits and
+	// in-flight coalescing are still served when the queue is full.
+	// Zero or negative means unbounded.
+	MaxQueue int
+
+	// Retry governs re-execution of failed attempts.  The zero value
+	// retries transient failures (see IsTransient) up to 3 attempts
+	// with capped exponential backoff + jitter; set MaxAttempts to 1
+	// to disable.
+	Retry RetryPolicy
+
+	// RetrySeed seeds the backoff-jitter stream; zero means 1.  The
+	// same seed gives the same jitter schedule, keeping test runs
+	// reproducible.
+	RetrySeed uint64
 }
 
 // JobState is a job's lifecycle position.
@@ -47,6 +68,7 @@ type Job struct {
 	state    JobState
 	result   *Result
 	err      error
+	attempts int
 	started  time.Time
 	finished time.Time
 }
@@ -61,15 +83,34 @@ func (j *Job) State() JobState {
 // Done returns a channel closed when the job completes or fails.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
-// Result returns the job's outcome once complete.  The boolean is
-// false while the job is still queued or running.
-func (j *Job) Result() (*Result, error, bool) {
+// Result returns the job's result once it completed successfully.
+// The boolean is false while the job is queued or running, and for
+// failed jobs — check Err for those.
+func (j *Job) Result() (*Result, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.state != StateDone && j.state != StateFailed {
-		return nil, nil, false
+	if j.state != StateDone {
+		return nil, false
 	}
-	return j.result, j.err, true
+	return j.result, true
+}
+
+// Err returns the job's failure, nil while the job is still in
+// flight or once it succeeded.  Failures wrap the sentinels
+// (ErrRunnerClosed, ErrJobTimeout) and recovered panics surface as
+// *PanicError with the captured stack.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Attempts returns how many execution attempts the job has started
+// (1 for a job that never retried).
+func (j *Job) Attempts() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempts
 }
 
 // Wait blocks until the job completes, the context is cancelled, or
@@ -118,15 +159,17 @@ type Runner struct {
 	// queued.
 	sem chan struct{}
 
-	mu     sync.Mutex
-	byKey  map[string]*Job
-	byID   map[string]*Job
-	closed bool
+	mu       sync.Mutex
+	byKey    map[string]*Job
+	byID     map[string]*Job
+	closed   bool
+	retryRNG *rand.Rand // jitter stream, guarded by mu
 
 	queued, running        int
 	completed, failed      uint64
 	cacheHits, cacheMisses uint64
 	dedupHits              uint64
+	retries, panics, shed  uint64
 	wallMS                 []float64 // completed-job wall clocks, ms
 }
 
@@ -135,14 +178,20 @@ func New(opts Options) *Runner {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.NumCPU()
 	}
+	opts.Retry = opts.Retry.normalized()
+	seed := opts.RetrySeed
+	if seed == 0 {
+		seed = 1
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Runner{
-		opts:    opts,
-		rootCtx: ctx,
-		cancel:  cancel,
-		sem:     make(chan struct{}, opts.Workers),
-		byKey:   make(map[string]*Job),
-		byID:    make(map[string]*Job),
+		opts:     opts,
+		rootCtx:  ctx,
+		cancel:   cancel,
+		sem:      make(chan struct{}, opts.Workers),
+		byKey:    make(map[string]*Job),
+		byID:     make(map[string]*Job),
+		retryRNG: rand.New(rand.NewPCG(seed, seed^0xda3e39cb94b95bdb)),
 	}
 }
 
@@ -155,6 +204,30 @@ func (r *Runner) Close() {
 	r.closed = true
 	r.mu.Unlock()
 	r.cancel()
+}
+
+// Drain stops admission and waits for every queued and running job
+// (including pending retries) to finish, up to ctx's deadline.  It
+// returns the number of jobs still unfinished — 0 on a clean drain.
+// Drain does not cancel the abandoned jobs; call Close afterwards to
+// reclaim their workers.
+func (r *Runner) Drain(ctx context.Context) int {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	for {
+		r.mu.Lock()
+		n := r.queued + r.running
+		r.mu.Unlock()
+		if n == 0 {
+			return 0
+		}
+		select {
+		case <-ctx.Done():
+			return n
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
 }
 
 // Submit registers the spec for execution and returns its job handle
@@ -171,7 +244,7 @@ func (r *Runner) Submit(spec JobSpec) (job *Job, reused bool, err error) {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
-		return nil, false, fmt.Errorf("runner: closed")
+		return nil, false, ErrRunnerClosed
 	}
 	if j, ok := r.byKey[key]; ok {
 		st := j.State()
@@ -182,6 +255,11 @@ func (r *Runner) Submit(spec JobSpec) (job *Job, reused bool, err error) {
 		}
 		r.mu.Unlock()
 		return j, true, nil
+	}
+	if r.opts.MaxQueue > 0 && r.queued >= r.opts.MaxQueue {
+		r.shed++
+		r.mu.Unlock()
+		return nil, false, fmt.Errorf("%w (%d jobs queued)", ErrQueueFull, r.opts.MaxQueue)
 	}
 	j := &Job{
 		ID:    IDFromKey(key),
@@ -247,33 +325,103 @@ func (r *Runner) Job(id string) (*Job, bool) {
 	return j, ok
 }
 
-// drive acquires a worker slot, executes the job, and records stats.
+// drive acquires a worker slot per attempt, executes the job with
+// panic isolation, and retries transient failures per the retry
+// policy, recording stats throughout.
 func (r *Runner) drive(j *Job) {
-	select {
-	case r.sem <- struct{}{}:
-	case <-r.rootCtx.Done():
-		r.finish(j, nil, fmt.Errorf("runner: shut down while queued"))
-		return
+	policy := r.opts.Retry
+	for attempt := 1; ; attempt++ {
+		select {
+		case r.sem <- struct{}{}:
+		case <-r.rootCtx.Done():
+			r.finish(j, nil, fmt.Errorf("shut down while queued: %w", ErrRunnerClosed))
+			return
+		}
+		r.mu.Lock()
+		r.queued--
+		r.running++
+		r.mu.Unlock()
+		j.mu.Lock()
+		j.state = StateRunning
+		j.attempts = attempt
+		if attempt == 1 {
+			j.started = time.Now()
+		}
+		j.mu.Unlock()
+
+		res, err := r.attempt(j)
+		<-r.sem // release the worker before any backoff sleep
+		if err == nil {
+			r.finish(j, res, nil)
+			return
+		}
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			r.mu.Lock()
+			r.panics++
+			r.mu.Unlock()
+		}
+		if attempt >= policy.MaxAttempts || !policy.Classify(err) || r.rootCtx.Err() != nil {
+			r.finish(j, nil, err)
+			return
+		}
+
+		// Requeue the job and back off before the next attempt.
+		r.mu.Lock()
+		r.running--
+		r.queued++
+		r.retries++
+		delay := policy.backoff(attempt, r.retryRNG)
+		r.mu.Unlock()
+		j.mu.Lock()
+		j.state = StateQueued
+		j.mu.Unlock()
+		select {
+		case <-time.After(delay):
+		case <-r.rootCtx.Done():
+			r.finish(j, nil, fmt.Errorf("shut down during retry backoff: %w", ErrRunnerClosed))
+			return
+		}
 	}
-	defer func() { <-r.sem }()
+}
 
-	r.mu.Lock()
-	r.queued--
-	r.running++
-	r.mu.Unlock()
-	j.mu.Lock()
-	j.state = StateRunning
-	j.started = time.Now()
-	j.mu.Unlock()
-
+// attempt runs one execution attempt on the calling worker goroutine,
+// converting panics into *PanicError failures (with the stack
+// captured at recovery) and mapping context errors onto the
+// ErrJobTimeout / ErrRunnerClosed sentinels.
+func (r *Runner) attempt(j *Job) (res *Result, err error) {
 	ctx := r.rootCtx
 	if r.opts.JobTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, r.opts.JobTimeout)
 		defer cancel()
 	}
-	res, err := execute(ctx, j.Spec)
-	r.finish(j, res, err)
+	defer func() {
+		if v := recover(); v != nil {
+			buf := make([]byte, 64<<10)
+			n := runtime.Stack(buf, false)
+			res, err = nil, &PanicError{Value: v, Stack: string(buf[:n])}
+		}
+	}()
+	if ferr := faultinject.FireCtx(ctx, "runner.execute"); ferr != nil {
+		err = fmt.Errorf("runner: %s/%s: %w", j.Spec.Workload, j.Spec.Config, ferr)
+	} else {
+		res, err = execute(ctx, j.Spec)
+	}
+	if err == nil {
+		if ferr := faultinject.FireCtx(ctx, "runner.result"); ferr != nil {
+			res, err = nil, fmt.Errorf("runner: %s/%s: %w", j.Spec.Workload, j.Spec.Config, ferr)
+		}
+	}
+	if err != nil {
+		switch {
+		case r.rootCtx.Err() != nil:
+			err = fmt.Errorf("%w: %w", ErrRunnerClosed, err)
+		case errors.Is(err, context.DeadlineExceeded):
+			err = fmt.Errorf("%w (limit %v): %w", ErrJobTimeout, r.opts.JobTimeout, err)
+		}
+	}
+	return res, err
 }
 
 // finish completes the job and folds its outcome into the stats.
@@ -346,6 +494,13 @@ type Stats struct {
 	Completed uint64 `json:"completed"`
 	Failed    uint64 `json:"failed"`
 
+	// Retries counts re-executed attempts after transient failures;
+	// Panics counts worker panics recovered into job failures; Shed
+	// counts submissions rejected by admission control (MaxQueue).
+	Retries uint64 `json:"retries"`
+	Panics  uint64 `json:"panics"`
+	Shed    uint64 `json:"shed"`
+
 	// CacheHits counts submissions answered from a completed cached
 	// result; Deduped counts submissions coalesced onto an in-flight
 	// identical job; CacheMisses counts submissions that started a
@@ -372,6 +527,9 @@ func (r *Runner) Stats() Stats {
 		Running:     r.running,
 		Completed:   r.completed,
 		Failed:      r.failed,
+		Retries:     r.retries,
+		Panics:      r.panics,
+		Shed:        r.shed,
 		CacheHits:   r.cacheHits,
 		Deduped:     r.dedupHits,
 		CacheMisses: r.cacheMisses,

@@ -309,7 +309,13 @@ func TestJobLookupByID(t *testing.T) {
 	if j.State() != StateDone {
 		t.Errorf("state = %s, want done", j.State())
 	}
-	if _, _, done := j.Result(); !done {
+	if _, done := j.Result(); !done {
 		t.Error("Result() not ready after Wait")
+	}
+	if j.Err() != nil {
+		t.Errorf("Err() = %v on a done job", j.Err())
+	}
+	if j.Attempts() != 1 {
+		t.Errorf("Attempts() = %d, want 1", j.Attempts())
 	}
 }
