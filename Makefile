@@ -1,14 +1,21 @@
 GO ?= go
 
-.PHONY: check race faults bench-runner bench-fault all
+.PHONY: check fmt race faults bench-runner bench-fault obs-bench all
 
 all: check
 
-# Tier-1 verification: vet, build, full test suite.
-check:
+# Tier-1 verification: formatting, vet, build, full test suite.
+check: fmt
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
+
+# Formatting gate: fails listing any file gofmt would rewrite.
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 # Race-detector pass over the concurrent subsystems: the job engine,
 # the service, and the concurrency tests of the runner-backed
@@ -40,3 +47,8 @@ bench-runner:
 bench-fault:
 	$(GO) test -run '^$$' -bench 'BenchmarkFireDisabled' ./internal/faultinject/
 	$(GO) test -run '^$$' -bench 'BenchmarkSuiteParallel$$' -benchtime 1x ./internal/experiments/
+
+# Telemetry overhead: instrument micro-benchmarks plus the full-suite
+# wall clock with tracing on vs off; regenerates BENCH_obs.json.
+obs-bench:
+	scripts/obs_bench.sh

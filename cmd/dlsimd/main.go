@@ -14,24 +14,37 @@
 // and whatever remains is reported before exit.  Fault injection for
 // testing is available via DLSIM_FAULTS (see internal/faultinject).
 //
+// The service is fully observable: every request carries a
+// correlation ID (honoring an incoming X-Request-ID), request logs
+// are structured JSON lines on stderr, GET /metrics exposes the
+// runner/cache/simulation/HTTP instrument set in Prometheus text
+// format, GET /v1/traces/{id} returns a job's phase-by-phase span
+// tree, and -debug-addr starts an opt-in net/http/pprof listener on
+// a separate port (never on the public address).
+//
 // Usage:
 //
 //	dlsimd [-addr :8344] [-workers N] [-job-timeout 5m] [-max-queue N]
 //	       [-retries N] [-request-timeout 30s] [-drain-timeout 30s]
+//	       [-trace-buffer N] [-debug-addr :8345]
 //
 // API:
 //
-//	POST /v1/jobs      submit a job; body {"workload":"apache",
-//	                   "config":"enhanced","seed":1,"scale":0.5};
-//	                   returns the job id (202, or 200 when coalesced;
-//	                   429 + Retry-After when the queue is full)
-//	GET  /v1/jobs/{id} job state, attempts, and the result once done
-//	GET  /v1/stats     pool depth, cache hits/misses, retries/panics/
-//	                   shed counters, job latency
-//	GET  /healthz      liveness (200 while the process serves)
-//	GET  /readyz       readiness (503 once draining)
+//	POST /v1/jobs        submit a job; body {"workload":"apache",
+//	                     "config":"enhanced","seed":1,"scale":0.5};
+//	                     returns the job id (202, or 200 when coalesced;
+//	                     429 + Retry-After when the queue is full)
+//	GET  /v1/jobs/{id}   job state, attempts, and the result once done
+//	GET  /v1/traces/{id} the job's span tree: queued/attempt/backoff
+//	                     phases with generate/link/warmup/measure steps
+//	GET  /v1/stats       pool depth, cache hits/misses, retries/panics/
+//	                     shed counters, job latency
+//	GET  /metrics        Prometheus text exposition of all instruments
+//	GET  /healthz        liveness (200 while the process serves)
+//	GET  /readyz         readiness (503 once draining)
 //
-// All failure responses are structured JSON: {"error": "...", "code": N}.
+// All failure responses are structured JSON:
+// {"error": "...", "code": N, "request_id": "..."}.
 package main
 
 import (
@@ -41,6 +54,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,14 +71,19 @@ func main() {
 	retries := flag.Int("retries", 0, "max execution attempts per job incl. the first (0 = default 3, 1 = no retry)")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-HTTP-request timeout (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
+	traceBuffer := flag.Int("trace-buffer", 0, "recent job traces to retain (0 = default 512, negative disables tracing)")
+	debugAddr := flag.String("debug-addr", "", "optional net/http/pprof listen address (e.g. :8345); empty disables")
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "dlsimd: ", log.LstdFlags|log.Lmsgprefix)
+	// Zero flags: every line the server emits is a self-contained JSON
+	// object carrying its own timestamp.
+	logger := log.New(os.Stderr, "", 0)
 	pool := runner.New(runner.Options{
-		Workers:    *workers,
-		JobTimeout: *jobTimeout,
-		MaxQueue:   *maxQueue,
-		Retry:      runner.RetryPolicy{MaxAttempts: *retries},
+		Workers:       *workers,
+		JobTimeout:    *jobTimeout,
+		MaxQueue:      *maxQueue,
+		Retry:         runner.RetryPolicy{MaxAttempts: *retries},
+		TraceCapacity: *traceBuffer,
 	})
 	defer pool.Close()
 
@@ -79,20 +98,42 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	if *debugAddr != "" {
+		// pprof goes on its own mux and listener so profiling endpoints
+		// are never reachable through the public API address.
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			dbgSrv := &http.Server{
+				Addr:              *debugAddr,
+				Handler:           dbg,
+				ReadHeaderTimeout: 10 * time.Second,
+			}
+			api.logJSON("pprof", map[string]any{"addr": *debugAddr})
+			if err := dbgSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				api.logJSON("pprof listener failed", map[string]any{"error": err.Error()})
+			}
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
 		<-ctx.Done()
-		logger.Printf("shutdown: stopping admission, draining up to %v", *drainTimeout)
+		api.logJSON("shutdown", map[string]any{"drain_timeout": drainTimeout.String()})
 		api.startDrain()
 		deadline, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		// Drain in-flight simulations first (admission is already
 		// off), then stop the HTTP listener within the same budget.
 		if abandoned := pool.Drain(deadline); abandoned > 0 {
-			logger.Printf("shutdown: drain deadline hit, abandoning %d unfinished job(s)", abandoned)
+			api.logJSON("drain deadline hit", map[string]any{"abandoned": abandoned})
 		} else {
-			logger.Printf("shutdown: all jobs drained")
+			api.logJSON("drained", nil)
 		}
 		_ = srv.Shutdown(deadline)
 	}()

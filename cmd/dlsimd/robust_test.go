@@ -310,25 +310,66 @@ func TestHandlerPanicRecovered(t *testing.T) {
 	}
 }
 
-// TestRequestLogging: every request produces a method/path/status/
-// duration line on the configured logger.
+// TestRequestLogging: every request produces one structured JSON log
+// line (method, path, status, duration, request ID), the request ID
+// is echoed in the X-Request-ID header and the error body, and an
+// incoming X-Request-ID is honored end to end.
 func TestRequestLogging(t *testing.T) {
 	var buf bytes.Buffer
 	pool := runner.New(runner.Options{Workers: 1})
 	ts := httptest.NewServer(newServer(pool, serverConfig{logger: log.New(&buf, "", 0)}))
 	t.Cleanup(func() { ts.Close(); pool.Close() })
 
-	resp, err := http.Get(ts.URL + "/v1/jobs/nope")
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/nope", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	line := buf.String()
-	if !strings.Contains(line, "GET /v1/jobs/nope 404") {
-		t.Errorf("request log = %q, want method/path/status", line)
+	req.Header.Set("X-Request-ID", "corr-123")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
 	}
-	fields := strings.Fields(strings.TrimSpace(line))
-	if len(fields) != 4 {
-		t.Errorf("request log = %q, want 4 fields (method path status duration)", line)
+	if got := resp.Header.Get("X-Request-ID"); got != "corr-123" {
+		t.Errorf("X-Request-ID echoed = %q, want corr-123", got)
+	}
+	e := decodeError(t, resp)
+	if e.RequestID != "corr-123" {
+		t.Errorf("error body request_id = %q, want corr-123", e.RequestID)
+	}
+
+	var line struct {
+		Msg       string  `json:"msg"`
+		Method    string  `json:"method"`
+		Path      string  `json:"path"`
+		Status    int     `json:"status"`
+		DurMS     float64 `json:"dur_ms"`
+		RequestID string  `json:"request_id"`
+		Time      string  `json:"time"`
+	}
+	raw := strings.TrimSpace(buf.String())
+	if err := json.Unmarshal([]byte(raw), &line); err != nil {
+		t.Fatalf("request log is not one JSON object: %v\nlog: %q", err, raw)
+	}
+	if line.Msg != "request" || line.Method != "GET" || line.Path != "/v1/jobs/nope" ||
+		line.Status != 404 || line.RequestID != "corr-123" || line.Time == "" {
+		t.Errorf("request log = %+v, want request GET /v1/jobs/nope 404 corr-123", line)
+	}
+
+	// Without an incoming header the server mints an ID and still
+	// threads it through header, body, and log.
+	buf.Reset()
+	resp2, err := http.Get(ts.URL + "/v1/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	minted := resp2.Header.Get("X-Request-ID")
+	if minted == "" {
+		t.Fatal("no X-Request-ID minted")
+	}
+	if e2 := decodeError(t, resp2); e2.RequestID != minted {
+		t.Errorf("error body request_id = %q, header %q", e2.RequestID, minted)
+	}
+	if !strings.Contains(buf.String(), minted) {
+		t.Errorf("request log %q missing minted id %q", buf.String(), minted)
 	}
 }

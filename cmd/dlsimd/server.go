@@ -2,6 +2,8 @@ package main
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,18 +11,22 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/faultinject"
 	"repro/internal/runner"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // serverConfig tunes the HTTP front end's robustness behaviour.
 type serverConfig struct {
-	// logger receives one line per request (method, path, status,
-	// duration) and panic reports.  Nil discards.
+	// logger receives one structured JSON line per request (method,
+	// route, status, duration, request ID) and panic reports.  Nil
+	// discards.  Create it with zero flags: every line is a complete
+	// JSON object carrying its own timestamp.
 	logger *log.Logger
 
 	// requestTimeout bounds each request's handling via its context.
@@ -39,12 +45,23 @@ type server struct {
 	started time.Time
 	mux     *http.ServeMux
 
+	// reg is the pool's telemetry registry; the server registers its
+	// own HTTP instruments there too, so GET /metrics is one scrape
+	// covering service and engine.
+	reg          *telemetry.Registry
+	httpRequests *telemetry.CounterVec
+	httpLatency  *telemetry.Histogram
+	faultHits    *telemetry.GaugeVec
+	faultInject  *telemetry.GaugeVec
+	faultArmed   *telemetry.Gauge
+
 	// draining flips once shutdown starts: /readyz goes 503 and new
 	// submissions are refused while in-flight jobs finish.
 	draining atomic.Bool
 }
 
-// newServer wires the v1 API onto the pool.
+// newServer wires the v1 API onto the pool and registers the HTTP
+// instrument set in the pool's telemetry registry.
 func newServer(pool *runner.Runner, cfg serverConfig) *server {
 	if cfg.logger == nil {
 		cfg.logger = log.New(io.Discard, "", 0)
@@ -52,10 +69,36 @@ func newServer(pool *runner.Runner, cfg serverConfig) *server {
 	if cfg.retryAfter <= 0 {
 		cfg.retryAfter = time.Second
 	}
-	s := &server{pool: pool, cfg: cfg, started: time.Now(), mux: http.NewServeMux()}
+	reg := pool.Metrics()
+	s := &server{
+		pool:    pool,
+		cfg:     cfg,
+		started: time.Now(),
+		mux:     http.NewServeMux(),
+		reg:     reg,
+
+		httpRequests: reg.CounterVec("dlsim_http_requests_total",
+			"HTTP requests served, by route pattern, method and status code.",
+			"route", "method", "code"),
+		httpLatency: reg.Histogram("dlsim_http_request_ms",
+			"HTTP request handling latency.",
+			telemetry.ExponentialBuckets(0.25, 2, 16)),
+		faultHits: reg.GaugeVec("dlsim_fault_point_hits",
+			"Fire evaluations per armed fault-injection point.", "point"),
+		faultInject: reg.GaugeVec("dlsim_fault_point_injections",
+			"Faults delivered per armed fault-injection point.", "point"),
+		faultArmed: reg.Gauge("dlsim_fault_points_armed",
+			"Number of armed fault-injection points."),
+	}
+	started := s.started
+	reg.GaugeFunc("dlsim_uptime_seconds", "Seconds since process start.",
+		func() float64 { return time.Since(started).Seconds() })
+
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s
@@ -66,8 +109,47 @@ func newServer(pool *runner.Runner, cfg serverConfig) *server {
 // jobs keep running.
 func (s *server) startDrain() { s.draining.Store(true) }
 
+// requestIDKey carries the request's correlation ID in its context.
+type requestIDKey struct{}
+
+// requestID returns the correlation ID minted (or honored) for this
+// request, "" outside the middleware.
+func requestID(r *http.Request) string {
+	id, _ := r.Context().Value(requestIDKey{}).(string)
+	return id
+}
+
+// reqSeq breaks ties if the random source ever fails.
+var reqSeq atomic.Uint64
+
+// newRequestID mints a fresh correlation ID: 8 random bytes, hex.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("req-%d-%d", time.Now().UnixNano(), reqSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// route maps a request path to its bounded-cardinality route pattern
+// for metric labels: path parameters are folded, unknown paths share
+// one bucket.  Never label metrics with raw paths (see DESIGN.md §8).
+func route(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case strings.HasPrefix(p, "/v1/jobs/"):
+		return "/v1/jobs/{id}"
+	case strings.HasPrefix(p, "/v1/traces/"):
+		return "/v1/traces/{id}"
+	case p == "/v1/jobs", p == "/v1/stats", p == "/metrics", p == "/healthz", p == "/readyz":
+		return p
+	default:
+		return "other"
+	}
+}
+
 // statusRecorder captures the status code written by a handler for
-// the request log.
+// the request log and metrics.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
@@ -78,25 +160,62 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// ServeHTTP applies the per-request timeout, logs every request, and
-// converts handler panics into structured 500s so one bad request
-// cannot take out the connection without a response.
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if s.cfg.requestTimeout > 0 {
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.requestTimeout)
-		defer cancel()
-		r = r.WithContext(ctx)
+// logJSON writes one structured log line: base fields plus kv pairs.
+func (s *server) logJSON(msg string, kv map[string]any) {
+	line := map[string]any{
+		"time": time.Now().UTC().Format(time.RFC3339Nano),
+		"msg":  msg,
 	}
+	for k, v := range kv {
+		line[k] = v
+	}
+	b, err := json.Marshal(line)
+	if err != nil {
+		s.cfg.logger.Printf(`{"msg":"logging error","error":%q}`, err.Error())
+		return
+	}
+	s.cfg.logger.Printf("%s", b)
+}
+
+// ServeHTTP assigns every request a correlation ID (honoring an
+// incoming X-Request-ID and echoing it back), applies the per-request
+// timeout, records HTTP metrics, emits one structured JSON log line
+// per request, and converts handler panics into structured 500s so
+// one bad request cannot take out the connection without a response.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	if s.cfg.requestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.requestTimeout)
+		defer cancel()
+	}
+	reqID := r.Header.Get("X-Request-ID")
+	if reqID == "" {
+		reqID = newRequestID()
+	}
+	ctx = context.WithValue(ctx, requestIDKey{}, reqID)
+	r = r.WithContext(ctx)
+	w.Header().Set("X-Request-ID", reqID)
+
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 	start := time.Now()
 	defer func() {
 		if v := recover(); v != nil {
-			s.cfg.logger.Printf("panic %s %s: %v", r.Method, r.URL.Path, v)
+			s.logJSON("panic", map[string]any{
+				"method": r.Method, "path": r.URL.Path, "request_id": reqID,
+				"panic": fmt.Sprint(v),
+			})
 			// Best effort: if the handler had not written yet this
 			// produces a well-formed JSON 500.
-			writeError(rec, http.StatusInternalServerError, "internal error: %v", v)
+			writeError(rec, r, http.StatusInternalServerError, "internal error: %v", v)
 		}
-		s.cfg.logger.Printf("%s %s %d %s", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+		dur := time.Since(start)
+		s.httpRequests.With(route(r), r.Method, strconv.Itoa(rec.status)).Inc()
+		s.httpLatency.Observe(float64(dur) / 1e6)
+		s.logJSON("request", map[string]any{
+			"method": r.Method, "path": r.URL.Path, "status": rec.status,
+			"dur_ms": float64(dur.Round(time.Microsecond)) / 1e6, "request_id": reqID,
+		})
 	}()
 	s.mux.ServeHTTP(rec, r)
 }
@@ -111,14 +230,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // errorJSON is the error envelope of every non-2xx response: a
-// human-readable message plus the machine-readable status code.
+// human-readable message, the machine-readable status code, and the
+// request's correlation ID so a 429 or 500 can be matched to its log
+// line.
 type errorJSON struct {
-	Error string `json:"error"`
-	Code  int    `json:"code"`
+	Error     string `json:"error"`
+	Code      int    `json:"code"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...), Code: status})
+func writeError(w http.ResponseWriter, r *http.Request, status int, format string, args ...any) {
+	writeJSON(w, status, errorJSON{
+		Error:     fmt.Sprintf(format, args...),
+		Code:      status,
+		RequestID: requestID(r),
+	})
 }
 
 // submitResponse answers POST /v1/jobs.
@@ -137,31 +263,31 @@ type submitResponse struct {
 // sheds, 503 while draining or after shutdown.
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "draining: not accepting new jobs")
+		writeError(w, r, http.StatusServiceUnavailable, "draining: not accepting new jobs")
 		return
 	}
 	if err := faultinject.FireCtx(r.Context(), "dlsimd.submit"); err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, r, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	var spec runner.JobSpec
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
+		writeError(w, r, http.StatusBadRequest, "invalid job spec: %v", err)
 		return
 	}
 	job, reused, err := s.pool.Submit(spec)
 	switch {
 	case errors.Is(err, runner.ErrQueueFull):
 		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.retryAfter+time.Second-1)/time.Second)))
-		writeError(w, http.StatusTooManyRequests, "%v", err)
+		writeError(w, r, http.StatusTooManyRequests, "%v", err)
 		return
 	case errors.Is(err, runner.ErrRunnerClosed):
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		writeError(w, r, http.StatusServiceUnavailable, "%v", err)
 		return
 	case err != nil:
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	status := http.StatusAccepted
@@ -229,7 +355,7 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	job, ok := s.pool.Job(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no job %q", id)
+		writeError(w, r, http.StatusNotFound, "no job %q", id)
 		return
 	}
 	resp := jobResponse{
@@ -245,6 +371,47 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 		resp.Result = marshalResult(res)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTrace serves a job's phase breakdown as a JSON span tree.
+// The trace shares the job's ID, so clients poll /v1/jobs/{id} and
+// fetch /v1/traces/{id} with the same handle.  Traces live in a
+// bounded ring, so very old jobs may have been evicted (410 would
+// overpromise: we just 404).
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tracer := s.pool.Tracer()
+	if tracer == nil {
+		writeError(w, r, http.StatusNotFound, "tracing disabled")
+		return
+	}
+	tr, ok := tracer.Get(id)
+	if !ok {
+		writeError(w, r, http.StatusNotFound, "no trace %q (unknown job or evicted from the ring)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, tr.Snapshot())
+}
+
+// handleMetrics serves the whole registry — runner pool, per-workload
+// simulation counters, HTTP front end, fault-injection points — in
+// Prometheus text exposition format.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.syncFaultGauges()
+	w.Header().Set("Content-Type", telemetry.TextContentType)
+	_ = s.reg.WritePrometheus(w)
+}
+
+// syncFaultGauges copies faultinject's per-point counters into the
+// registry at scrape time (pull model: faultinject stays free of any
+// telemetry dependency).
+func (s *server) syncFaultGauges() {
+	snap := faultinject.Snapshot()
+	s.faultArmed.Set(int64(len(snap)))
+	for name, ps := range snap {
+		s.faultHits.With(name).Set(int64(ps.Hits))
+		s.faultInject.With(name).Set(int64(ps.Injected))
+	}
 }
 
 // marshalResult flattens a Result into its wire form.  The cached
@@ -296,7 +463,9 @@ type statsResponse struct {
 }
 
 // handleStats reports pool depth, cache effectiveness, failure and
-// retry counters, and job latency.
+// retry counters, and job latency.  The numbers come from the same
+// telemetry registry GET /metrics exposes — runner.Stats() is a typed
+// view over those instruments, kept for API compatibility.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, statsResponse{
 		Stats:     s.pool.Stats(),
@@ -318,7 +487,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // jobs are still being finished and polled.
 func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "draining")
+		writeError(w, r, http.StatusServiceUnavailable, "draining")
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	experiments [-seed N] [-scale F] [-only LIST] [-ablations] [-workers N]
-//	            [-retries N]
+//	            [-retries N] [-trace-out DIR]
 //
 // -scale multiplies the measured request counts (0.25 for a quick
 // smoke run, 2 for smoother distributions); -only selects a
@@ -15,19 +15,47 @@
 // simulation — transient failures (e.g. injected via the DLSIM_FAULTS
 // fault-injection environment, see internal/faultinject) are retried
 // with capped exponential backoff, so a flaky substrate does not
-// abort a long evaluation run.
+// abort a long evaluation run; -trace-out dumps every simulation's
+// span tree (queued/attempt/backoff phases with generate/link/warmup/
+// measure steps) as one JSON file per job in the given directory, for
+// profiling where a slow run spent its time.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/runner"
 )
+
+// dumpTraces writes each retained job trace as <dir>/<jobID>.json and
+// returns how many were written.
+func dumpTraces(pool *runner.Runner, dir string) (int, error) {
+	traces := pool.Tracer().Traces()
+	if len(traces) == 0 {
+		return 0, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	for _, tr := range traces {
+		snap := tr.Snapshot()
+		b, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return 0, err
+		}
+		if err := os.WriteFile(filepath.Join(dir, snap.ID+".json"), append(b, '\n'), 0o644); err != nil {
+			return 0, err
+		}
+	}
+	return len(traces), nil
+}
 
 func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed (same seed, same results)")
@@ -36,11 +64,19 @@ func main() {
 	ablations := flag.Bool("ablations", false, "also run ablations A1-A5 (slow)")
 	workers := flag.Int("workers", 0, "simulation pool size (0 = one per CPU)")
 	retries := flag.Int("retries", 0, "max execution attempts per simulation incl. the first (0 = default 3, 1 = no retry)")
+	traceOut := flag.String("trace-out", "", "directory to dump per-simulation span trees as JSON (empty = off)")
 	flag.Parse()
 
+	traceCap := 0
+	if *traceOut != "" {
+		// Retain every simulation of the run, not just the default
+		// ring's worth (ablation sweeps can exceed it).
+		traceCap = 4096
+	}
 	pool := runner.New(runner.Options{
-		Workers: *workers,
-		Retry:   runner.RetryPolicy{MaxAttempts: *retries},
+		Workers:       *workers,
+		Retry:         runner.RetryPolicy{MaxAttempts: *retries},
+		TraceCapacity: traceCap,
 	})
 	defer pool.Close()
 	s := experiments.NewSuiteWithRunner(*seed, *scale, pool)
@@ -230,5 +266,13 @@ func main() {
 	if st := pool.Stats(); st.Retries > 0 || st.Panics > 0 {
 		fmt.Fprintf(os.Stderr, "experiments: pool absorbed %d transient failure(s) via retry (%d panic(s) recovered)\n",
 			st.Retries, st.Panics)
+	}
+	if *traceOut != "" {
+		n, err := dumpTraces(pool, *traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: trace dump: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: wrote %d trace(s) to %s\n", n, *traceOut)
 	}
 }

@@ -8,11 +8,11 @@ import (
 
 // benchSuite measures full-suite wall-clock (all four workloads'
 // Base/Enhanced pairs, the simulations behind every table and figure)
-// at scale 0.25 through a pool of the given width.
-func benchSuite(b *testing.B, workers int) {
+// at scale 0.25 through a pool with the given options.
+func benchSuite(b *testing.B, opts runner.Options) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r := runner.New(runner.Options{Workers: workers})
+		r := runner.New(opts)
 		s := NewSuiteWithRunner(1, 0.25, r)
 		if _, err := s.Speedups(); err != nil {
 			b.Fatal(err)
@@ -23,9 +23,20 @@ func benchSuite(b *testing.B, workers int) {
 
 // BenchmarkSuiteSequential is the historical one-core path: every
 // simulation runs back to back on a single worker.
-func BenchmarkSuiteSequential(b *testing.B) { benchSuite(b, 1) }
+func BenchmarkSuiteSequential(b *testing.B) { benchSuite(b, runner.Options{Workers: 1}) }
 
 // BenchmarkSuiteParallel fans the eight simulations out across a
-// machine-sized pool; the speedup over BenchmarkSuiteSequential is
-// recorded in BENCH_runner.json.
-func BenchmarkSuiteParallel(b *testing.B) { benchSuite(b, 0) }
+// machine-sized pool with the full telemetry layer on (metrics +
+// job-phase tracing, the production default); the speedup over
+// BenchmarkSuiteSequential is recorded in BENCH_runner.json.
+func BenchmarkSuiteParallel(b *testing.B) { benchSuite(b, runner.Options{}) }
+
+// BenchmarkSuiteParallelNoTrace is the same fan-out with job-phase
+// tracing disabled, isolating the span layer's share of the telemetry
+// cost; the delta vs BenchmarkSuiteParallel feeds BENCH_obs.json.
+// (Metric instruments cannot be disabled — they ARE the runner's
+// bookkeeping — so their cost is bounded separately by the
+// internal/telemetry micro-benchmarks.)
+func BenchmarkSuiteParallelNoTrace(b *testing.B) {
+	benchSuite(b, runner.Options{TraceCapacity: -1})
+}

@@ -6,11 +6,12 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"runtime"
-	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -41,6 +42,18 @@ type Options struct {
 	// same seed gives the same jitter schedule, keeping test runs
 	// reproducible.
 	RetrySeed uint64
+
+	// Metrics is the telemetry registry the runner registers its
+	// instruments in (see metrics.go for the name catalogue).  Nil
+	// means a private registry — reachable via Runner.Metrics() — so
+	// every Runner is always instrumented and Stats() always has a
+	// single source of truth.
+	Metrics *telemetry.Registry
+
+	// TraceCapacity sizes the ring buffer of retained per-job traces.
+	// Zero means telemetry.DefaultTraceCapacity; negative disables
+	// tracing entirely (spans become nil no-ops).
+	TraceCapacity int
 }
 
 // JobState is a job's lifecycle position.
@@ -63,6 +76,10 @@ type Job struct {
 	Spec JobSpec
 
 	done chan struct{}
+
+	// span is the job's root trace span ("job"); nil when tracing is
+	// disabled.  Set once at Submit, before drive starts.
+	span *telemetry.Span
 
 	mu       sync.Mutex
 	state    JobState
@@ -159,18 +176,17 @@ type Runner struct {
 	// queued.
 	sem chan struct{}
 
+	// m holds every operational counter on a telemetry registry — the
+	// single source of truth behind Stats(), /v1/stats and /metrics.
+	// tracer retains recent per-job span trees (nil = disabled).
+	m      *metrics
+	tracer *telemetry.Tracer
+
 	mu       sync.Mutex
 	byKey    map[string]*Job
 	byID     map[string]*Job
 	closed   bool
 	retryRNG *rand.Rand // jitter stream, guarded by mu
-
-	queued, running        int
-	completed, failed      uint64
-	cacheHits, cacheMisses uint64
-	dedupHits              uint64
-	retries, panics, shed  uint64
-	wallMS                 []float64 // completed-job wall clocks, ms
 }
 
 // New returns a Runner with the given options.
@@ -184,19 +200,36 @@ func New(opts Options) *Runner {
 		seed = 1
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Runner{
+	var tracer *telemetry.Tracer
+	if opts.TraceCapacity >= 0 {
+		tracer = telemetry.NewTracer(opts.TraceCapacity)
+	}
+	r := &Runner{
 		opts:     opts,
 		rootCtx:  ctx,
 		cancel:   cancel,
 		sem:      make(chan struct{}, opts.Workers),
+		m:        newMetrics(opts.Metrics),
+		tracer:   tracer,
 		byKey:    make(map[string]*Job),
 		byID:     make(map[string]*Job),
 		retryRNG: rand.New(rand.NewPCG(seed, seed^0xda3e39cb94b95bdb)),
 	}
+	r.m.workers.Set(int64(opts.Workers))
+	return r
 }
 
 // Workers returns the pool size.
 func (r *Runner) Workers() int { return r.opts.Workers }
+
+// Metrics returns the telemetry registry holding the runner's
+// instruments (the one passed in Options.Metrics, or the private one
+// created for this Runner).
+func (r *Runner) Metrics() *telemetry.Registry { return r.m.reg }
+
+// Tracer returns the per-job trace ring, nil when tracing is disabled
+// (Options.TraceCapacity < 0).
+func (r *Runner) Tracer() *telemetry.Tracer { return r.tracer }
 
 // Close cancels every in-flight job and rejects further submissions.
 func (r *Runner) Close() {
@@ -216,9 +249,7 @@ func (r *Runner) Drain(ctx context.Context) int {
 	r.closed = true
 	r.mu.Unlock()
 	for {
-		r.mu.Lock()
-		n := r.queued + r.running
-		r.mu.Unlock()
+		n := int(r.m.queued.Value() + r.m.running.Value())
 		if n == 0 {
 			return 0
 		}
@@ -249,15 +280,15 @@ func (r *Runner) Submit(spec JobSpec) (job *Job, reused bool, err error) {
 	if j, ok := r.byKey[key]; ok {
 		st := j.State()
 		if st == StateDone || st == StateFailed {
-			r.cacheHits++
+			r.m.cacheHits.Inc()
 		} else {
-			r.dedupHits++
+			r.m.coalesced.Inc()
 		}
 		r.mu.Unlock()
 		return j, true, nil
 	}
-	if r.opts.MaxQueue > 0 && r.queued >= r.opts.MaxQueue {
-		r.shed++
+	if r.opts.MaxQueue > 0 && int(r.m.queued.Value()) >= r.opts.MaxQueue {
+		r.m.shed.Inc()
 		r.mu.Unlock()
 		return nil, false, fmt.Errorf("%w (%d jobs queued)", ErrQueueFull, r.opts.MaxQueue)
 	}
@@ -268,10 +299,17 @@ func (r *Runner) Submit(spec JobSpec) (job *Job, reused bool, err error) {
 		done:  make(chan struct{}),
 		state: StateQueued,
 	}
+	if tr := r.tracer.Start(j.ID); tr != nil {
+		j.span = tr.Root()
+		j.span.SetAttr("workload", norm.Workload)
+		j.span.SetAttr("config", string(norm.Config))
+		j.span.SetAttr("seed", strconv.FormatUint(norm.Seed, 10))
+		j.span.SetAttr("measure", strconv.Itoa(norm.Measure))
+	}
 	r.byKey[key] = j
 	r.byID[j.ID] = j
-	r.cacheMisses++
-	r.queued++
+	r.m.cacheMisses.Inc()
+	r.m.queued.Inc()
 	r.mu.Unlock()
 
 	go r.drive(j)
@@ -327,20 +365,26 @@ func (r *Runner) Job(id string) (*Job, bool) {
 
 // drive acquires a worker slot per attempt, executes the job with
 // panic isolation, and retries transient failures per the retry
-// policy, recording stats throughout.
+// policy, recording metrics and trace phases throughout.
 func (r *Runner) drive(j *Job) {
 	policy := r.opts.Retry
+	ready := time.Now() // when the job (re-)entered the queue
 	for attempt := 1; ; attempt++ {
+		qs := j.span.Child("queued")
 		select {
 		case r.sem <- struct{}{}:
 		case <-r.rootCtx.Done():
+			qs.End()
 			r.finish(j, nil, fmt.Errorf("shut down while queued: %w", ErrRunnerClosed))
 			return
 		}
-		r.mu.Lock()
-		r.queued--
-		r.running++
-		r.mu.Unlock()
+		qs.End()
+		r.m.queueWaitMS.Observe(float64(time.Since(ready)) / 1e6)
+		// Inc before Dec so queued+running never transiently reads 0
+		// for an in-flight job (Drain and /metrics read the gauges
+		// without r.mu).
+		r.m.running.Inc()
+		r.m.queued.Dec()
 		j.mu.Lock()
 		j.state = StateRunning
 		j.attempts = attempt
@@ -349,7 +393,15 @@ func (r *Runner) drive(j *Job) {
 		}
 		j.mu.Unlock()
 
-		res, err := r.attempt(j)
+		as := j.span.Child("attempt")
+		as.SetAttr("n", strconv.Itoa(attempt))
+		execStart := time.Now()
+		res, err := r.attempt(j, as)
+		r.m.execMS.Observe(float64(time.Since(execStart)) / 1e6)
+		if err != nil {
+			as.SetAttr("error", err.Error())
+		}
+		as.End()
 		<-r.sem // release the worker before any backoff sleep
 		if err == nil {
 			r.finish(j, res, nil)
@@ -357,9 +409,7 @@ func (r *Runner) drive(j *Job) {
 		}
 		var pe *PanicError
 		if errors.As(err, &pe) {
-			r.mu.Lock()
-			r.panics++
-			r.mu.Unlock()
+			r.m.panics.Inc()
 		}
 		if attempt >= policy.MaxAttempts || !policy.Classify(err) || r.rootCtx.Err() != nil {
 			r.finish(j, nil, err)
@@ -367,29 +417,35 @@ func (r *Runner) drive(j *Job) {
 		}
 
 		// Requeue the job and back off before the next attempt.
+		r.m.queued.Inc()
+		r.m.running.Dec()
+		r.m.retries.Inc()
 		r.mu.Lock()
-		r.running--
-		r.queued++
-		r.retries++
 		delay := policy.backoff(attempt, r.retryRNG)
 		r.mu.Unlock()
 		j.mu.Lock()
 		j.state = StateQueued
 		j.mu.Unlock()
+		bs := j.span.Child("backoff")
+		r.m.backoffMS.Observe(float64(delay) / 1e6)
 		select {
 		case <-time.After(delay):
+			bs.End()
 		case <-r.rootCtx.Done():
+			bs.End()
 			r.finish(j, nil, fmt.Errorf("shut down during retry backoff: %w", ErrRunnerClosed))
 			return
 		}
+		ready = time.Now()
 	}
 }
 
 // attempt runs one execution attempt on the calling worker goroutine,
 // converting panics into *PanicError failures (with the stack
 // captured at recovery) and mapping context errors onto the
-// ErrJobTimeout / ErrRunnerClosed sentinels.
-func (r *Runner) attempt(j *Job) (res *Result, err error) {
+// ErrJobTimeout / ErrRunnerClosed sentinels.  sp is the attempt's
+// trace span (nil when tracing is disabled).
+func (r *Runner) attempt(j *Job, sp *telemetry.Span) (res *Result, err error) {
 	ctx := r.rootCtx
 	if r.opts.JobTimeout > 0 {
 		var cancel context.CancelFunc
@@ -406,7 +462,7 @@ func (r *Runner) attempt(j *Job) (res *Result, err error) {
 	if ferr := faultinject.FireCtx(ctx, "runner.execute"); ferr != nil {
 		err = fmt.Errorf("runner: %s/%s: %w", j.Spec.Workload, j.Spec.Config, ferr)
 	} else {
-		res, err = execute(ctx, j.Spec)
+		res, err = execute(ctx, j.Spec, sp)
 	}
 	if err == nil {
 		if ferr := faultinject.FireCtx(ctx, "runner.result"); ferr != nil {
@@ -424,30 +480,33 @@ func (r *Runner) attempt(j *Job) (res *Result, err error) {
 	return res, err
 }
 
-// finish completes the job and folds its outcome into the stats.
+// finish completes the job and folds its outcome into the metrics.
 func (r *Runner) finish(j *Job, res *Result, err error) {
-	wasRunning := j.State() == StateRunning
-	r.mu.Lock()
-	if wasRunning {
-		r.running--
+	if j.State() == StateRunning {
+		r.m.running.Dec()
 	} else {
-		r.queued--
+		r.m.queued.Dec()
 	}
 	if err != nil {
-		r.failed++
+		r.m.failed.Inc()
+		j.span.SetAttr("error", err.Error())
 	} else {
-		r.completed++
-		r.wallMS = append(r.wallMS, float64(res.Wall)/float64(time.Millisecond))
+		r.m.completed.Inc()
+		r.m.jobWallMS.Observe(float64(res.Wall) / float64(time.Millisecond))
+		r.m.recordResult(res)
+		traceResultAttrs(j.span, res)
 	}
-	r.mu.Unlock()
+	j.span.End()
 	j.complete(res, err)
 }
 
 // execute runs one simulation: generate the workload, link and build
 // the system, warm it up, and measure.  This is exactly the sequence
 // experiments.Suite historically ran inline (including the driver
-// seed offset), so results are bit-identical to the sequential path.
-func execute(ctx context.Context, spec JobSpec) (*Result, error) {
+// seed offset), so results are bit-identical to the sequential path:
+// the trace spans around each phase only observe wall clock and touch
+// no simulation state.  sp may be nil (tracing disabled).
+func execute(ctx context.Context, spec JobSpec, sp *telemetry.Span) (*Result, error) {
 	ws, ok := WorkloadByName(spec.Workload)
 	if !ok {
 		return nil, fmt.Errorf("runner: unknown workload %q", spec.Workload)
@@ -457,16 +516,25 @@ func execute(ctx context.Context, spec JobSpec) (*Result, error) {
 		return nil, err
 	}
 	start := time.Now()
+	ph := sp.Child("generate")
 	w := ws.Gen(spec.Seed)
+	ph.End()
+	ph = sp.Child("link")
 	sys, err := w.NewSystem(cfg)
+	ph.End()
 	if err != nil {
 		return nil, fmt.Errorf("runner: %s/%s: %w", spec.Workload, spec.Config, err)
 	}
 	d := workload.NewDriver(w, sys, spec.Seed+17)
-	if err := d.WarmupContext(ctx, spec.Warm); err != nil {
+	ph = sp.Child("warmup")
+	err = d.WarmupContext(ctx, spec.Warm)
+	ph.End()
+	if err != nil {
 		return nil, fmt.Errorf("runner: %s/%s: %w", spec.Workload, spec.Config, err)
 	}
+	ph = sp.Child("measure")
 	samp, err := d.RunContext(ctx, spec.Measure)
+	ph.End()
 	if err != nil {
 		return nil, fmt.Errorf("runner: %s/%s: %w", spec.Workload, spec.Config, err)
 	}
@@ -516,46 +584,31 @@ type Stats struct {
 }
 
 // Stats returns a snapshot of pool depth, cache effectiveness and job
-// latency percentiles.
+// latency percentiles, read from the telemetry registry (the same
+// instruments GET /metrics exposes — there is no shadow bookkeeping).
+// The latency percentiles are histogram estimates: exact mean
+// (sum/count), p50/p99 interpolated within the straddling bucket.
 func (r *Runner) Stats() Stats {
-	r.mu.Lock()
-	wall := make([]float64, len(r.wallMS))
-	copy(wall, r.wallMS)
+	m := r.m
 	st := Stats{
-		Workers:     r.opts.Workers,
-		Queued:      r.queued,
-		Running:     r.running,
-		Completed:   r.completed,
-		Failed:      r.failed,
-		Retries:     r.retries,
-		Panics:      r.panics,
-		Shed:        r.shed,
-		CacheHits:   r.cacheHits,
-		Deduped:     r.dedupHits,
-		CacheMisses: r.cacheMisses,
+		Workers:     int(m.workers.Value()),
+		Queued:      int(m.queued.Value()),
+		Running:     int(m.running.Value()),
+		Completed:   m.completed.Value(),
+		Failed:      m.failed.Value(),
+		Retries:     m.retries.Value(),
+		Panics:      m.panics.Value(),
+		Shed:        m.shed.Value(),
+		CacheHits:   m.cacheHits.Value(),
+		Deduped:     m.coalesced.Value(),
+		CacheMisses: m.cacheMisses.Value(),
 	}
-	r.mu.Unlock()
-
-	if len(wall) > 0 {
-		sort.Float64s(wall)
-		sum := 0.0
-		for _, v := range wall {
-			sum += v
-		}
-		st.JobMeanMS = sum / float64(len(wall))
-		st.JobP50MS = percentile(wall, 50)
-		st.JobP99MS = percentile(wall, 99)
+	if m.jobWallMS.Count() > 0 {
+		st.JobMeanMS = m.jobWallMS.Mean()
+		st.JobP50MS = m.jobWallMS.Quantile(50)
+		st.JobP99MS = m.jobWallMS.Quantile(99)
 	}
 	return st
-}
-
-// percentile returns the p-th percentile of sorted xs by nearest rank.
-func percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	i := int(p / 100 * float64(len(xs)-1))
-	return xs[i]
 }
 
 // PairSpecs returns the Base/Enhanced spec pair for one workload — the

@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "jobs")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("depth", "queue depth")
+	g.Set(3)
+	g.Inc()
+	g.Dec()
+	g.Add(-2)
+	if got := g.Value(); got != 1 {
+		t.Errorf("gauge = %d, want 1", got)
+	}
+}
+
+// TestRegistrationIdempotent: re-requesting a name returns the same
+// instrument (shared registries must not fork counters).
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x")
+	b := r.Counter("x_total", "x")
+	if a != b {
+		t.Error("same name returned distinct counters")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Error("increments not shared")
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "x")
+}
+
+func TestVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("sim_total", "per workload", "workload", "config")
+	v.With("apache", "base").Add(2)
+	v.With("apache", "enhanced").Inc()
+	if got := v.With("apache", "base").Value(); got != 2 {
+		t.Errorf("labelled counter = %d, want 2", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong label arity did not panic")
+		}
+	}()
+	v.With("apache")
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "n")
+	h := r.Histogram("h_ms", "h", ExponentialBuckets(1, 2, 10))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j % 100))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+// TestHistogramQuantileMatchesExact is the satellite acceptance test:
+// histogram quantile estimates agree with internal/stats' exact
+// percentiles on the same samples, within the straddling bucket's
+// width.
+func TestHistogramQuantileMatchesExact(t *testing.T) {
+	bounds := ExponentialBuckets(0.5, 2, 20)
+	h := newHistogram(bounds)
+	exact := &stats.Sample{}
+
+	rng := rand.New(rand.NewPCG(7, 11))
+	for i := 0; i < 10000; i++ {
+		// Log-uniform latencies spanning ~0.1ms..10s, like job walls.
+		v := 0.1 * math.Pow(10, 5*rng.Float64())
+		h.Observe(v)
+		exact.Add(v)
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	for _, p := range []float64{50, 95, 99} {
+		est := h.Quantile(p)
+		ex := exact.Percentile(p)
+		// The straddling bucket's width bounds the estimation error.
+		i := 0
+		for i < len(bounds) && bounds[i] < ex {
+			i++
+		}
+		lo, hi := 0.0, bounds[len(bounds)-1]
+		if i < len(bounds) {
+			hi = bounds[i]
+		}
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		if est < lo || est > hi {
+			t.Errorf("p%.0f: estimate %.3f outside exact value %.3f's bucket [%.3f, %.3f]", p, est, ex, lo, hi)
+		}
+	}
+	// Mean is exact (sum/count), not bucketed.
+	if got, want := h.Mean(), exact.Mean(); !close(got, want, 1e-9) {
+		t.Errorf("mean = %v, want %v", got, want)
+	}
+	// Quantiles are monotone in p.
+	if h.Quantile(99) < h.Quantile(95) || h.Quantile(95) < h.Quantile(50) {
+		t.Error("quantiles not monotone")
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	h := newHistogram(ExponentialBuckets(1, 2, 4)) // 1 2 4 8
+	if h.Quantile(50) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	h.Observe(100) // +Inf bucket
+	if got := h.Quantile(50); got != 8 {
+		t.Errorf("overflow-only quantile = %v, want last bound 8", got)
+	}
+	h.Observe(0.5)
+	if got := h.Quantile(0); got <= 0 || got > 1 {
+		t.Errorf("p0 = %v, want within first bucket (0,1]", got)
+	}
+	if got := h.BucketCounts(); got[0] != 1 || got[4] != 1 {
+		t.Errorf("bucket counts = %v", got)
+	}
+	if h.Sum() != 100.5 {
+		t.Errorf("sum = %v", h.Sum())
+	}
+}
+
+func close(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps*maxf(1, maxf(absf(a), absf(b)))
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func absf(a float64) float64 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

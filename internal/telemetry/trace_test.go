@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	tr := NewTracer(4)
+	trace := tr.Start("job1")
+	if trace.ID() != "job1" {
+		t.Fatalf("id = %q", trace.ID())
+	}
+	root := trace.Root()
+	q := root.Child("queued")
+	q.End()
+	a := root.Child("attempt")
+	a.SetAttr("n", "1")
+	g := a.Child("generate")
+	g.End()
+	m := a.Child("measure")
+	m.End()
+	a.End()
+	root.End()
+
+	snap := trace.Snapshot()
+	if snap.ID != "job1" || snap.Root.Name != "job" {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	if len(snap.Root.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(snap.Root.Children))
+	}
+	att := snap.Root.Children[1]
+	if att.Name != "attempt" || att.Attrs["n"] != "1" {
+		t.Errorf("attempt span = %+v", att)
+	}
+	if len(att.Children) != 2 || att.Children[0].Name != "generate" {
+		t.Errorf("attempt children = %+v", att.Children)
+	}
+	if att.InProgress || att.DurMS < 0 {
+		t.Errorf("ended span: in_progress=%v dur=%v", att.InProgress, att.DurMS)
+	}
+	if got := trace.Phases(); len(got) != 2 || got[0] != "queued" || got[1] != "attempt" {
+		t.Errorf("phases = %v", got)
+	}
+
+	// The snapshot marshals to JSON cleanly.
+	if _, err := json.Marshal(snap); err != nil {
+		t.Errorf("marshal: %v", err)
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(2)
+	tr.Start("a")
+	tr.Start("b")
+	tr.Start("c") // evicts a
+	if tr.Len() != 2 {
+		t.Errorf("len = %d, want 2", tr.Len())
+	}
+	if _, ok := tr.Get("a"); ok {
+		t.Error("oldest trace not evicted")
+	}
+	if _, ok := tr.Get("c"); !ok {
+		t.Error("newest trace missing")
+	}
+	traces := tr.Traces()
+	if len(traces) != 2 || traces[0].ID() != "b" || traces[1].ID() != "c" {
+		t.Errorf("traces = %v", []string{traces[0].ID(), traces[1].ID()})
+	}
+	// Re-starting an existing ID returns the same trace, no eviction.
+	if tr.Start("c") != traces[1] {
+		t.Error("Start of existing id created a new trace")
+	}
+}
+
+// TestNilTracerIsNoOp: the disabled path must be callable end to end
+// with zero conditionals in instrumented code.
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	trace := tr.Start("x")
+	if trace != nil {
+		t.Fatal("nil tracer returned a trace")
+	}
+	sp := trace.Root().Child("phase")
+	sp.SetAttr("k", "v")
+	sp.End()
+	if trace.Snapshot().ID != "" || trace.Phases() != nil || trace.ID() != "" {
+		t.Error("nil trace snapshot not empty")
+	}
+	if _, ok := tr.Get("x"); ok {
+		t.Error("nil tracer Get returned ok")
+	}
+	if tr.Len() != 0 || tr.Traces() != nil {
+		t.Error("nil tracer not empty")
+	}
+}
+
+func TestInProgressSnapshot(t *testing.T) {
+	tr := NewTracer(1)
+	trace := tr.Start("live")
+	sp := trace.Root().Child("running")
+	time.Sleep(2 * time.Millisecond)
+	snap := trace.Snapshot()
+	if !snap.Root.InProgress || !snap.Root.Children[0].InProgress {
+		t.Error("open spans not marked in_progress")
+	}
+	if snap.Root.Children[0].DurMS <= 0 {
+		t.Error("open span has no duration-so-far")
+	}
+	sp.End()
+	end1 := trace.Snapshot().Root.Children[0].DurMS
+	time.Sleep(2 * time.Millisecond)
+	if end2 := trace.Snapshot().Root.Children[0].DurMS; end2 != end1 {
+		t.Error("ended span duration still growing")
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			trace := tr.Start(string(rune('a' + n)))
+			for j := 0; j < 50; j++ {
+				sp := trace.Root().Child("phase")
+				sp.SetAttr("j", "x")
+				sp.End()
+				trace.Snapshot()
+			}
+			trace.Root().End()
+		}(i)
+	}
+	wg.Wait()
+	if tr.Len() != 8 {
+		t.Errorf("len = %d, want 8", tr.Len())
+	}
+}
