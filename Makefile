@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt race faults bench-runner bench-fault obs-bench all
+.PHONY: check fmt race faults bench-runner bench-fault obs-bench kernel-bench all
 
 all: check
 
@@ -19,12 +19,14 @@ fmt:
 
 # Race-detector pass over the concurrent subsystems: the job engine,
 # the service, and the concurrency tests of the runner-backed
-# experiment suite.  (The experiments package's full artefact tests
-# are single-threaded and ~10x slower under race, so only the
-# concurrent-path tests run here; `make check` covers the rest.)
+# experiment suite, plus the kernel bit-identity golden test (its
+# counters must survive the race-instrumented memory model too).
+# (The experiments package's full artefact tests are single-threaded
+# and ~10x slower under race, so only these targeted tests run here;
+# `make check` covers the rest.)
 race:
 	$(GO) test -race -timeout 20m ./internal/runner/... ./cmd/dlsimd/...
-	$(GO) test -race -timeout 20m -run 'TestSuiteParallelMatchesSequential|TestSuiteConcurrentUse' ./internal/experiments/
+	$(GO) test -race -timeout 20m -run 'TestSuiteParallelMatchesSequential|TestSuiteConcurrentUse|TestGoldenCounters' ./internal/experiments/
 
 # Robustness pass: the concurrent subsystems under low-probability
 # deterministic fault injection (fixed seed, see internal/faultinject)
@@ -52,3 +54,9 @@ bench-fault:
 # wall clock with tracing on vs off; regenerates BENCH_obs.json.
 obs-bench:
 	scripts/obs_bench.sh
+
+# Simulation-kernel throughput before/after the de-mapped hot loop;
+# regenerates BENCH_kernel.json.  Pair with the bit-identity proof:
+# `go test -run TestGoldenCounters ./internal/experiments/`.
+kernel-bench:
+	scripts/kernel_bench.sh

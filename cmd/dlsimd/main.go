@@ -25,8 +25,8 @@
 // Usage:
 //
 //	dlsimd [-addr :8344] [-workers N] [-job-timeout 5m] [-max-queue N]
-//	       [-retries N] [-request-timeout 30s] [-drain-timeout 30s]
-//	       [-trace-buffer N] [-debug-addr :8345]
+//	       [-max-retained N] [-retries N] [-request-timeout 30s]
+//	       [-drain-timeout 30s] [-trace-buffer N] [-debug-addr :8345]
 //
 // API:
 //
@@ -35,6 +35,8 @@
 //	                     returns the job id (202, or 200 when coalesced;
 //	                     429 + Retry-After when the queue is full)
 //	GET  /v1/jobs/{id}   job state, attempts, and the result once done
+//	                     (410 once the id is evicted by -max-retained;
+//	                     404 for ids never seen or long forgotten)
 //	GET  /v1/traces/{id} the job's span tree: queued/attempt/backoff
 //	                     phases with generate/link/warmup/measure steps
 //	GET  /v1/stats       pool depth, cache hits/misses, retries/panics/
@@ -68,6 +70,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
 	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "per-job simulation timeout (0 = none)")
 	maxQueue := flag.Int("max-queue", 256, "admission-queue bound; full queue sheds with 429 (0 = unbounded)")
+	maxRetained := flag.Int("max-retained", 0, "completed jobs retained in the result cache; LRU-evicted beyond this, evicted IDs answer 410 (0 = default 4096, negative = unbounded)")
 	retries := flag.Int("retries", 0, "max execution attempts per job incl. the first (0 = default 3, 1 = no retry)")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-HTTP-request timeout (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
@@ -82,6 +85,7 @@ func main() {
 		Workers:       *workers,
 		JobTimeout:    *jobTimeout,
 		MaxQueue:      *maxQueue,
+		MaxRetained:   *maxRetained,
 		Retry:         runner.RetryPolicy{MaxAttempts: *retries},
 		TraceCapacity: *traceBuffer,
 	})

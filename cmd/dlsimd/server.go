@@ -350,11 +350,19 @@ type jobResponse struct {
 	Result   *resultJSON     `json:"result,omitempty"`
 }
 
-// handleJob reports a job's state and, once done, its result.
+// handleJob reports a job's state and, once done, its result.  IDs
+// recently dropped by the result cache's retention bound answer 410
+// Gone (resubmitting the spec recomputes them); IDs the runner has
+// never seen — or evicted so long ago that the bounded evicted-ID
+// memory forgot them — answer 404.
 func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	job, ok := s.pool.Job(id)
 	if !ok {
+		if s.pool.Evicted(id) {
+			writeError(w, r, http.StatusGone, "job %q evicted from the result cache; resubmit its spec to recompute", id)
+			return
+		}
 		writeError(w, r, http.StatusNotFound, "no job %q", id)
 		return
 	}

@@ -163,3 +163,56 @@ func TestUnknownJob(t *testing.T) {
 		t.Errorf("status = %d, want 404", code)
 	}
 }
+
+// TestEvictedJobAnswers410 pins the HTTP contract of -max-retained:
+// an ID evicted from the result cache answers 410 Gone (distinct from
+// the 404 of a never-seen ID), and resubmitting the evicted spec
+// recomputes under the same content-derived ID.
+func TestEvictedJobAnswers410(t *testing.T) {
+	ts, _ := newTestServerOpts(t, runner.Options{Workers: 1, MaxRetained: 1}, serverConfig{})
+	specA := `{"workload":"memcached","config":"base","seed":1,"warm":5,"measure":25}`
+	specB := `{"workload":"memcached","config":"base","seed":2,"warm":5,"measure":25}`
+
+	waitDone := func(id string) {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Minute)
+		for {
+			job, code := getJob(t, ts, id)
+			if code == http.StatusOK && job.State == "done" {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s not done (last status %d)", id, code)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	a, code := postJob(t, ts, specA)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit A status = %d, want 202", code)
+	}
+	waitDone(a.ID)
+	b, _ := postJob(t, ts, specB)
+	waitDone(b.ID)
+
+	// B's completion evicted A (capacity 1).
+	if _, code := getJob(t, ts, a.ID); code != http.StatusGone {
+		t.Fatalf("GET evicted job = %d, want 410", code)
+	}
+	// An ID the server has never seen stays a plain 404.
+	if _, code := getJob(t, ts, "feedfacecafebeef"); code != http.StatusNotFound {
+		t.Fatalf("GET unknown job = %d, want 404", code)
+	}
+
+	// Resubmitting the evicted spec recomputes under the same ID,
+	// which is then reachable again.
+	re, code := postJob(t, ts, specA)
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmit A status = %d, want 202 (recompute)", code)
+	}
+	if re.ID != a.ID {
+		t.Fatalf("recomputed ID %s != original %s", re.ID, a.ID)
+	}
+	waitDone(a.ID)
+}

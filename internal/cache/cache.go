@@ -79,7 +79,12 @@ func (c *Cache) Line(addr uint64) uint64 { return addr >> c.lineShift }
 // total latency in cycles, filling this level (and recursively the
 // ones below) on a miss.
 func (c *Cache) Access(addr uint64) int {
-	line := c.Line(addr)
+	return c.access(c.Line(addr), addr)
+}
+
+// access is Access with the line number already computed, so the range
+// fast path does not compute it twice.
+func (c *Cache) access(line, addr uint64) int {
 	if _, hit := c.tags.Lookup(line); hit {
 		return c.cfg.HitLatency
 	}
@@ -93,14 +98,19 @@ func (c *Cache) Access(addr uint64) int {
 
 // AccessRange touches every line overlapped by [addr, addr+size) and
 // returns the summed latency.  Instruction fetch uses it for
-// instructions that straddle a line boundary.
+// instructions that straddle a line boundary; almost all accesses fit
+// one line, so that case skips the loop entirely.
 func (c *Cache) AccessRange(addr, size uint64) int {
 	if size == 0 {
 		size = 1
 	}
+	first, last := c.Line(addr), c.Line(addr+size-1)
+	if first == last {
+		return c.access(first, addr)
+	}
 	lat := 0
-	for line := c.Line(addr); line <= c.Line(addr+size-1); line++ {
-		lat += c.Access(line << c.lineShift)
+	for line := first; line <= last; line++ {
+		lat += c.access(line, line<<c.lineShift)
 	}
 	return lat
 }

@@ -1,0 +1,61 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/linker"
+)
+
+// TestRunBudgetPartialCounts pins Run's contract for budget
+// exhaustion: the error carries the partial instruction and cycle
+// counts actually consumed, overshooting the budget by at most the
+// documented bound (a Resolve step retires the resolver's whole
+// footprint after the pre-step check passes).
+func TestRunBudgetPartialCounts(t *testing.T) {
+	im := buildProgram(t, 4, linker.BindLazy)
+	cfg := DefaultConfig()
+	c := New(im, cfg)
+
+	const budget = 10
+	res, err := c.RunSymbol("main", budget)
+	if err == nil {
+		t.Fatal("Run with a tiny budget returned nil error")
+	}
+	if !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("error = %v, want budget exhaustion", err)
+	}
+	if res.Instructions < budget {
+		t.Errorf("partial Instructions = %d, want >= budget %d", res.Instructions, budget)
+	}
+	// One step can retire the resolver's whole footprint (+1 for the
+	// triggering instruction, +1 more in the explicit-invalidate
+	// variant, not active under DefaultConfig).
+	maxOvershoot := uint64(cfg.ResolverInstrs) + 1
+	if res.Instructions > budget+maxOvershoot {
+		t.Errorf("partial Instructions = %d, want <= %d (budget %d + overshoot bound %d)",
+			res.Instructions, budget+maxOvershoot, budget, maxOvershoot)
+	}
+	if res.Cycles < res.Instructions {
+		t.Errorf("partial Cycles = %d < Instructions = %d", res.Cycles, res.Instructions)
+	}
+	// On a fresh CPU the partial delta is the CPU's whole history.
+	if got := c.Counters().Instructions; res.Instructions != got {
+		t.Errorf("partial Instructions = %d, want CPU counter %d", res.Instructions, got)
+	}
+}
+
+// TestRunUnmappedPartialCounts pins the same contract for decode
+// failures: a wild entry address fails before retiring anything and
+// reports zero partial work.
+func TestRunUnmappedPartialCounts(t *testing.T) {
+	im := buildProgram(t, 1, linker.BindNow)
+	c := New(im, DefaultConfig())
+	res, err := c.Run(0xdead000, 0)
+	if err == nil {
+		t.Fatal("Run at unmapped address returned nil error")
+	}
+	if res.Instructions != 0 || res.Cycles != 0 {
+		t.Errorf("partial counts = %+v, want zero", res)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/isa"
 	"repro/internal/linker"
+	"repro/internal/mem"
 	"repro/internal/tlb"
 )
 
@@ -170,10 +171,39 @@ func (c Counters) Sub(prev Counters) Counters {
 	}
 }
 
+// execPage holds per-PC dynamic execution counts for one
+// instruction-index page, indexed by the PC's in-page byte offset.
+// Hanging the counters off the fetch page (allocated lazily, only for
+// pages whose instructions consult their counts) turns the per-retire
+// count bump from a map operation into an array increment.
+type execPage [mem.PageSize]uint64
+
+// pageMemoSize is the size (a power of two) of the CPU's direct-mapped
+// fetch-page memo, which caches instruction-index pages and their
+// counter pages by page number.  Call-heavy code ping-pongs between a
+// handful of pages (caller, PLT, callee), so this absorbs nearly all
+// page switches without a map probe.
+const pageMemoSize = 128
+
+type pageMemoEntry struct {
+	pn     uint64
+	page   *linker.InstrPage // nil marks an empty memo slot
+	counts *execPage
+}
+
+// pageMemoIdx spreads page numbers across the memo.  Text pages from
+// different modules can share low bits (module bases are aligned), so
+// a straight mask would thrash; a golden-ratio multiply decorrelates
+// them.
+func pageMemoIdx(pn uint64) uint64 {
+	return (pn * 0x9e3779b97f4a7c15) >> (64 - 7) // log2(pageMemoSize) == 7
+}
+
 // CPU executes one linked image.
 type CPU struct {
 	cfg Config
 	img *linker.Image
+	mem *mem.Memory // the image's data memory, cached at construction
 
 	l1i, l1d, l2 *cache.Cache
 	itlb, dtlb   *tlb.TLB
@@ -182,18 +212,24 @@ type CPU struct {
 
 	sp uint64
 
-	// Fetch memo: the instruction-index page of the last fetch.
+	// Fetch memo: the instruction-index page of the last fetch, and
+	// that page's execution counters (nil until first bump).
+	// Sequential execution stays on one page for dozens of
+	// instructions, so page-crossing map lookups amortise to nothing.
 	fetchPageNum uint64
 	fetchPage    *linker.InstrPage
+	fetchCounts  *execPage
+	pageMemo     [pageMemoSize]pageMemoEntry
 
 	// Per-PC dynamic execution counts, kept only for instructions
 	// whose behaviour depends on them (conditional branches and
-	// swept loads/stores).
-	execN map[uint64]uint64
+	// swept loads/stores), paged like the fetch index.
+	execPages map[uint64]*execPage
 
-	// Per-trampoline call counts (PLT slot address -> calls),
-	// including skipped ones; feeds Tables 2-3 and Figures 4-5.
-	trampFreq map[uint64]uint64
+	// Per-trampoline call counts, including skipped ones, indexed by
+	// the image's dense trampoline numbering (see
+	// linker.Image.TrampolineIndex); feeds Tables 2-3 and Figures 4-5.
+	trampCounts []uint64
 
 	// TraceLibCall, when set, is invoked for every call that resolves
 	// to a PLT slot, with the slot address.  The trace package uses
@@ -217,16 +253,17 @@ func New(img *linker.Image, cfg Config) *CPU {
 		l2 = cache.New(cfg.L2, nil)
 	}
 	c := &CPU{
-		cfg:       cfg,
-		img:       img,
-		l2:        l2,
-		l1i:       cache.New(cfg.L1I, l2),
-		l1d:       cache.New(cfg.L1D, l2),
-		itlb:      tlb.New(cfg.ITLB),
-		dtlb:      tlb.New(cfg.DTLB),
-		bp:        branch.New(cfg.Branch),
-		execN:     make(map[uint64]uint64),
-		trampFreq: make(map[uint64]uint64),
+		cfg:         cfg,
+		img:         img,
+		mem:         img.Memory(),
+		l2:          l2,
+		l1i:         cache.New(cfg.L1I, l2),
+		l1d:         cache.New(cfg.L1D, l2),
+		itlb:        tlb.New(cfg.ITLB),
+		dtlb:        tlb.New(cfg.DTLB),
+		bp:          branch.New(cfg.Branch),
+		execPages:   make(map[uint64]*execPage),
+		trampCounts: make([]uint64, img.Trampolines()),
 	}
 	if cfg.ABTB != nil {
 		c.ab = abtb.New(*cfg.ABTB)
@@ -257,6 +294,15 @@ var ErrNoInstruction = fmt.Errorf("cpu: execution reached unmapped code")
 // Run executes from the entry address until a Halt retires, returning
 // the instructions and cycles consumed by this run.  maxInstrs bounds
 // runaway execution (0 means a generous default).
+//
+// On error — budget exhaustion or a decode/resolve failure — Run
+// returns the partial instruction and cycle counts consumed so far
+// alongside the error, so callers can account for truncated work.
+// The budget is checked before each step and a single step can retire
+// more than one instruction: a Resolve retires the resolver's whole
+// footprint, so the returned count may overshoot maxInstrs by up to
+// Config.ResolverInstrs+1 instructions (+1 more with the §3.4
+// explicit-invalidate variant).
 func (c *CPU) Run(entry uint64, maxInstrs uint64) (RunResult, error) {
 	if maxInstrs == 0 {
 		maxInstrs = 100_000_000
@@ -266,19 +312,24 @@ func (c *CPU) Run(entry uint64, maxInstrs uint64) (RunResult, error) {
 	pc := entry
 	for {
 		if c.c.Instructions-start.Instructions >= maxInstrs {
-			return RunResult{}, fmt.Errorf("cpu: instruction budget %d exhausted at pc %#x", maxInstrs, pc)
+			return c.runDelta(start), fmt.Errorf("cpu: instruction budget %d exhausted at pc %#x", maxInstrs, pc)
 		}
 		next, halted, err := c.step(pc)
 		if err != nil {
-			return RunResult{}, err
+			return c.runDelta(start), err
 		}
 		if halted {
-			return RunResult{
-				Instructions: c.c.Instructions - start.Instructions,
-				Cycles:       c.c.Cycles - start.Cycles,
-			}, nil
+			return c.runDelta(start), nil
 		}
 		pc = next
+	}
+}
+
+// runDelta returns the instructions and cycles retired since start.
+func (c *CPU) runDelta(start Counters) RunResult {
+	return RunResult{
+		Instructions: c.c.Instructions - start.Instructions,
+		Cycles:       c.c.Cycles - start.Cycles,
 	}
 }
 
@@ -326,7 +377,7 @@ func (c *CPU) step(pc uint64) (next uint64, halted bool, err error) {
 	}
 
 	// ---- Execute ----
-	if c.img.InPLT(pc) {
+	if in.PLT {
 		c.c.TrampInstrs++
 	}
 	c.c.Instructions++
@@ -425,11 +476,11 @@ func (c *CPU) step(pc uint64) (next uint64, halted bool, err error) {
 	effective := actual
 	skipped := false
 	if in.Op.IsCall() {
-		if slot := c.trampSlot(actual); slot != 0 {
+		if idx := c.img.TrampolineIndex(actual); idx >= 0 {
 			c.c.TrampCalls++
-			c.trampFreq[slot]++
+			c.trampCounts[idx]++
 			if c.TraceLibCall != nil {
-				c.TraceLibCall(slot)
+				c.TraceLibCall(actual)
 			}
 		}
 		if c.ab != nil {
@@ -489,18 +540,37 @@ func (c *CPU) step(pc uint64) (next uint64, halted bool, err error) {
 }
 
 // fetch returns the decoded instruction at pc (nil if unmapped),
-// memoising the containing index page: sequential execution stays on
-// one page for dozens of instructions.
+// memoising the containing index page and its execution-counter page:
+// sequential execution stays on one page for dozens of instructions.
 func (c *CPU) fetch(pc uint64) *isa.Instr {
-	pn := pc >> 12
+	pn := pc >> mem.PageShift
 	if pn != c.fetchPageNum || c.fetchPage == nil {
-		c.fetchPage = c.img.InstrPageAt(pc)
-		c.fetchPageNum = pn
-		if c.fetchPage == nil {
+		if !c.fetchSwitch(pn, pc) {
 			return nil
 		}
 	}
-	return c.fetchPage[pc&4095]
+	return c.fetchPage[pc&(mem.PageSize-1)]
+}
+
+// fetchSwitch re-points the fetch memo at pn's index page, consulting
+// the image and counter maps only on a page-memo miss.
+func (c *CPU) fetchSwitch(pn, pc uint64) bool {
+	c.fetchPageNum = pn
+	m := &c.pageMemo[pageMemoIdx(pn)]
+	if m.pn == pn && m.page != nil {
+		c.fetchPage, c.fetchCounts = m.page, m.counts
+		return true
+	}
+	pg := c.img.InstrPageAt(pc)
+	c.fetchPage = pg
+	if pg == nil {
+		c.fetchCounts = nil
+		return false
+	}
+	cnt := c.execPages[pn] // nil until the page first bumps
+	c.fetchCounts = cnt
+	*m = pageMemoEntry{pn: pn, page: pg, counts: cnt}
+	return true
 }
 
 // execResolve models the lazy dynamic linker invocation reached
@@ -555,21 +625,12 @@ func (c *CPU) execResolve(pc, predicted uint64, predValid bool) (uint64, bool, e
 	return funcAddr, false, nil
 }
 
-// trampSlot returns addr if it is the first instruction of a PLT
-// trampoline, else 0.
-func (c *CPU) trampSlot(addr uint64) uint64 {
-	if c.img.TrampolineSym(addr) != "" {
-		return addr
-	}
-	return 0
-}
-
 // dataRead performs a data-memory read through the D-TLB and D-cache.
 func (c *CPU) dataRead(addr uint64) uint64 {
 	c.c.Loads++
 	c.c.Cycles += uint64(c.dtlb.Access(addr))
 	c.c.Cycles += uint64(c.l1d.Access(addr))
-	return c.img.Memory().Read64(addr)
+	return c.mem.Read64(addr)
 }
 
 // dataWrite performs a data-memory write through the D-TLB and
@@ -579,7 +640,7 @@ func (c *CPU) dataWrite(addr uint64, v uint64) {
 	c.c.Stores++
 	c.c.Cycles += uint64(c.dtlb.Access(addr))
 	c.c.Cycles += uint64(c.l1d.Access(addr))
-	c.img.Memory().Write64(addr, v)
+	c.mem.Write64(addr, v)
 	if c.ab != nil {
 		c.ab.SnoopStore(addr)
 	}
@@ -597,9 +658,23 @@ func (c *CPU) retireBreak() {
 }
 
 // bumpN returns the current execution count of pc and increments it.
+// pc is always the PC of the instruction currently being stepped, so
+// its counter page is the memoized fetch page's — an array increment,
+// allocated lazily the first time a page's instruction consults its
+// count.
 func (c *CPU) bumpN(pc uint64) uint64 {
-	n := c.execN[pc]
-	c.execN[pc] = n + 1
+	p := c.fetchCounts
+	if p == nil {
+		pn := pc >> mem.PageShift
+		p = new(execPage)
+		c.execPages[pn] = p
+		c.fetchCounts = p
+		if m := &c.pageMemo[pageMemoIdx(pn)]; m.pn == pn && m.page != nil {
+			m.counts = p
+		}
+	}
+	n := p[pc&(mem.PageSize-1)]
+	p[pc&(mem.PageSize-1)] = n + 1
 	return n
 }
 
@@ -665,9 +740,12 @@ func (c *CPU) Counters() Counters {
 // slot address -> calls, skipped or executed) accumulated since the
 // last ResetStats.
 func (c *CPU) TrampFreq() map[uint64]uint64 {
-	out := make(map[uint64]uint64, len(c.trampFreq))
-	for k, v := range c.trampFreq {
-		out[k] = v
+	addrs := c.img.TrampolineAddrs()
+	out := make(map[uint64]uint64)
+	for i, n := range c.trampCounts {
+		if n != 0 {
+			out[addrs[i]] = n
+		}
 	}
 	return out
 }
@@ -685,5 +763,7 @@ func (c *CPU) ResetStats() {
 	if c.ab != nil {
 		c.ab.ResetStats()
 	}
-	c.trampFreq = make(map[uint64]uint64)
+	for i := range c.trampCounts {
+		c.trampCounts[i] = 0
+	}
 }

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/runner"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+// goldenSeed pins the workload generation, layout and request streams
+// of the golden runs.  Changing it (or the golden scale) invalidates
+// testdata/golden_counters.json; regenerate with -update.
+const goldenSeed = 7
+
+// goldenScale trades coverage for runtime: a quarter of each
+// workload's default measured window still executes tens of millions
+// of instructions across the matrix, enough to exercise every kernel
+// path (trampolines, resolver, ABTB redirects and flushes, swept
+// loads, conditional branches) while keeping the test CI-sized.
+const goldenScale = 0.25
+
+// goldenEntry is one workload×config cell: the full CPU counter
+// snapshot over the measurement window.
+type goldenEntry struct {
+	Workload string       `json:"workload"`
+	Config   string       `json:"config"`
+	Counters cpu.Counters `json:"counters"`
+}
+
+func goldenSpecs() []runner.JobSpec {
+	var specs []runner.JobSpec
+	for _, w := range runner.WorkloadNames() {
+		for _, cfg := range []runner.ConfigKind{runner.Base, runner.Enhanced} {
+			specs = append(specs, runner.JobSpec{
+				Workload: w, Config: cfg, Seed: goldenSeed, Scale: goldenScale,
+			})
+		}
+	}
+	return specs
+}
+
+// TestGoldenCounters locks the simulation kernel to a pre-recorded
+// counter snapshot: every workload × {base, enhanced} cell must
+// reproduce testdata/golden_counters.json field for field.  The file
+// was generated before the kernel's hot-path rework (dense per-page
+// execution counters, memoized data pages, de-mapped trampoline
+// accounting, set-associative fast paths), so a pass proves those
+// optimisations are bit-identical, not just statistically close.
+//
+// Regenerate deliberately with:
+//
+//	go test ./internal/experiments/ -run TestGoldenCounters -update
+func TestGoldenCounters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden matrix is full simulations; skipped in -short")
+	}
+	path := filepath.Join("testdata", "golden_counters.json")
+
+	pool := runner.New(runner.Options{Workers: 2})
+	defer pool.Close()
+	results, err := pool.RunAll(t.Context(), goldenSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]goldenEntry, len(results))
+	for i, res := range results {
+		got[i] = goldenEntry{
+			Workload: res.Spec.Workload,
+			Config:   string(res.Spec.Config),
+			Counters: res.Counters,
+		}
+	}
+
+	if *updateGolden {
+		b, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d entries)", path, len(got))
+		return
+	}
+
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	var want []goldenEntry
+	if err := json.Unmarshal(b, &want); err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden file has %d entries, run produced %d (regenerate with -update?)", len(want), len(got))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.Workload != w.Workload || g.Config != w.Config {
+			t.Fatalf("entry %d is %s/%s, golden has %s/%s", i, g.Workload, g.Config, w.Workload, w.Config)
+		}
+		if g.Counters == w.Counters {
+			continue
+		}
+		// Report exactly which counters drifted, field by field.
+		gv := reflect.ValueOf(g.Counters)
+		wv := reflect.ValueOf(w.Counters)
+		for f := 0; f < gv.NumField(); f++ {
+			if gv.Field(f).Uint() != wv.Field(f).Uint() {
+				t.Errorf("%s/%s: %s = %d, golden %d",
+					g.Workload, g.Config, gv.Type().Field(f).Name,
+					gv.Field(f).Uint(), wv.Field(f).Uint())
+			}
+		}
+	}
+	if t.Failed() {
+		t.Fatal(fmt.Sprintf("kernel output drifted from %s: the optimized hot path is no longer bit-identical", path))
+	}
+}

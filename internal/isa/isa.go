@@ -144,6 +144,15 @@ type Instr struct {
 	Size uint8 // encoded length in bytes
 	Bias uint8 // JmpCond: taken probability in percent (0..100)
 
+	// PLT marks instructions the linker placed inside a PLT section
+	// (slot glue, PLT0 stubs, ARM lazy stubs).  The CPU classifies
+	// every retired instruction as trampoline code or not (Table 2's
+	// "instructions in trampoline PKI"); baking the section test into
+	// the decoded instruction makes that a field read instead of a
+	// per-retire range scan over the module table.  It fits existing
+	// struct padding, so decoded images cost no extra memory.
+	PLT bool
+
 	// Target is the statically encoded destination for Call, Jmp and
 	// JmpCond.
 	Target uint64

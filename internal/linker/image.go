@@ -73,6 +73,35 @@ func (im *Image) TrampolineSym(addr uint64) string { return im.trampolineSym[add
 // (excluding the PLT0 stubs).
 func (im *Image) Trampolines() int { return len(im.trampolineSym) }
 
+// pltSlotRange is one module's contiguous PLT slot region in the
+// dense trampoline numbering.
+type pltSlotRange struct {
+	lo, hi uint64 // [first slot, one past last slot)
+	first  int    // dense index of the slot at lo
+}
+
+// TrampolineIndex returns the dense index (0..Trampolines()-1) of the
+// PLT trampoline starting at addr, or -1 if addr is not a slot start.
+// It is the CPU's per-retired-call classification test: a short scan
+// over per-module slot ranges plus slot arithmetic, with no map probe
+// and no allocation.
+func (im *Image) TrampolineIndex(addr uint64) int {
+	for i := range im.pltSlotRanges {
+		r := &im.pltSlotRanges[i]
+		if addr >= r.lo && addr < r.hi {
+			if (addr-r.lo)%PLTSlotBytes != 0 {
+				return -1 // inside a slot, not its first instruction
+			}
+			return r.first + int((addr-r.lo)/PLTSlotBytes)
+		}
+	}
+	return -1
+}
+
+// TrampolineAddrs returns the slot address for each dense trampoline
+// index, in index order.  The caller must not mutate the slice.
+func (im *Image) TrampolineAddrs() []uint64 { return im.trampAddrs }
+
 // ModuleOf returns the module whose text/PLT/data span contains addr,
 // or nil.
 func (im *Image) ModuleOf(addr uint64) *Module {

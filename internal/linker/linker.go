@@ -169,6 +169,14 @@ type Image struct {
 	trampolineSym map[uint64]string // PLT slot addr -> symbol it calls
 	stackTop      uint64
 
+	// Dense trampoline index, built once at the end of linking.  Each
+	// module's PLT slot region maps its slots to consecutive integers,
+	// so the CPU can keep per-trampoline call counts in a flat array
+	// and classify a call target with a short range scan instead of a
+	// map probe per retired call.
+	pltSlotRanges []pltSlotRange
+	trampAddrs    []uint64 // dense index -> slot address
+
 	// Linker-internal data (ld.so's symbol tables) that the lazy
 	// resolver walks; gives resolver executions a data footprint.
 	linkerDataBase uint64
@@ -290,7 +298,8 @@ func Link(exe *objfile.Object, libs []*objfile.Object, opts Options) (*Image, er
 	return im, nil
 }
 
-// buildInstrIndex constructs the paged fetch index.
+// buildInstrIndex constructs the paged fetch index and the dense
+// trampoline index.
 func (im *Image) buildInstrIndex() {
 	im.ipages = make(map[uint64]*InstrPage)
 	for pc, in := range im.instrs {
@@ -301,6 +310,24 @@ func (im *Image) buildInstrIndex() {
 			im.ipages[pn] = pg
 		}
 		pg[pc&(mem.PageSize-1)] = in
+	}
+
+	// Number every PLT slot in module load order.  Slot i of a module
+	// lives at PLTSlotAddr(i) = PLTBase + (i+1)*PLTSlotBytes; the slot
+	// region excludes PLT0 (below) and the ARM lazy stubs (above).
+	for _, m := range im.modules {
+		if m.PLTBase == 0 || len(m.imports) == 0 {
+			continue
+		}
+		lo := m.PLTSlotAddr(0)
+		im.pltSlotRanges = append(im.pltSlotRanges, pltSlotRange{
+			lo:    lo,
+			hi:    m.PLTSlotAddr(len(m.imports)-1) + PLTSlotBytes,
+			first: len(im.trampAddrs),
+		})
+		for i := range m.imports {
+			im.trampAddrs = append(im.trampAddrs, m.PLTSlotAddr(i))
+		}
 	}
 }
 
@@ -487,16 +514,16 @@ func (im *Image) emitPLT(m *Module) {
 	}
 	// PLT0: push module id; invoke the resolver.
 	plt0 := m.PLTBase
-	im.instrs[plt0] = &isa.Instr{Op: isa.Push, Size: isa.SizePush, Val: uint64(m.ID)}
-	im.instrs[plt0+isa.SizePush] = &isa.Instr{Op: isa.Resolve, Size: isa.SizeJmpMem}
+	im.instrs[plt0] = &isa.Instr{Op: isa.Push, Size: isa.SizePush, Val: uint64(m.ID), PLT: true}
+	im.instrs[plt0+isa.SizePush] = &isa.Instr{Op: isa.Resolve, Size: isa.SizeJmpMem, PLT: true}
 
 	for i, sym := range m.imports {
 		slot := m.PLTSlotAddr(i)
 		got := m.GOTSlotAddr(i)
 		// jmp *(got); push reloc; jmp plt0
-		im.instrs[slot] = &isa.Instr{Op: isa.JmpMem, Size: isa.SizeJmpMem, Mem: got}
-		im.instrs[slot+isa.SizeJmpMem] = &isa.Instr{Op: isa.Push, Size: isa.SizePush, Val: uint64(i)}
-		im.instrs[slot+isa.SizeJmpMem+isa.SizePush] = &isa.Instr{Op: isa.Jmp, Size: isa.SizeJmp, Target: plt0}
+		im.instrs[slot] = &isa.Instr{Op: isa.JmpMem, Size: isa.SizeJmpMem, Mem: got, PLT: true}
+		im.instrs[slot+isa.SizeJmpMem] = &isa.Instr{Op: isa.Push, Size: isa.SizePush, Val: uint64(i), PLT: true}
+		im.instrs[slot+isa.SizeJmpMem+isa.SizePush] = &isa.Instr{Op: isa.Jmp, Size: isa.SizeJmp, Target: plt0, PLT: true}
 		im.trampolineSym[slot] = sym
 
 		switch im.opts.Mode {
@@ -519,15 +546,15 @@ func (im *Image) emitARMPLT(m *Module) {
 	for i, sym := range m.imports {
 		slot := m.PLTSlotAddr(i)
 		got := m.GOTSlotAddr(i)
-		im.instrs[slot] = &isa.Instr{Op: isa.ALU, Size: 4}
-		im.instrs[slot+4] = &isa.Instr{Op: isa.ALU, Size: 4}
-		im.instrs[slot+8] = &isa.Instr{Op: isa.JmpMem, Size: 4, Mem: got}
+		im.instrs[slot] = &isa.Instr{Op: isa.ALU, Size: 4, PLT: true}
+		im.instrs[slot+4] = &isa.Instr{Op: isa.ALU, Size: 4, PLT: true}
+		im.instrs[slot+8] = &isa.Instr{Op: isa.JmpMem, Size: 4, Mem: got, PLT: true}
 		im.trampolineSym[slot] = sym
 
 		stub := stubBase + uint64(i)*armStubBytes
-		im.instrs[stub] = &isa.Instr{Op: isa.Push, Size: 4, Val: uint64(i)}
-		im.instrs[stub+4] = &isa.Instr{Op: isa.Push, Size: 4, Val: uint64(m.ID)}
-		im.instrs[stub+8] = &isa.Instr{Op: isa.Resolve, Size: 4}
+		im.instrs[stub] = &isa.Instr{Op: isa.Push, Size: 4, Val: uint64(i), PLT: true}
+		im.instrs[stub+4] = &isa.Instr{Op: isa.Push, Size: 4, Val: uint64(m.ID), PLT: true}
+		im.instrs[stub+8] = &isa.Instr{Op: isa.Resolve, Size: 4, PLT: true}
 
 		switch im.opts.Mode {
 		case BindLazy:

@@ -17,10 +17,37 @@ const PageSize = 4096
 // PageShift is log2(PageSize).
 const PageShift = 12
 
+// memoSize is the size (a power of two) of the direct-mapped page memo
+// in front of the page map.
+const memoSize = 64
+
+type memoEntry struct {
+	pn   uint64
+	page *[PageSize]byte // nil marks an empty memo slot
+}
+
+// memoIdx spreads page numbers across the memo.  Hot data pages
+// (stack, GOT, workload buffers) sit at aligned bases whose low bits
+// can collide, so a golden-ratio multiply decorrelates them.
+func memoIdx(pn uint64) uint64 {
+	return (pn * 0x9e3779b97f4a7c15) >> (64 - 6) // log2(memoSize) == 6
+}
+
 // Memory is a sparse, lazily allocated byte memory.  The zero value is
 // ready to use; reads from unallocated pages return zero.
+//
+// Memory is not safe for concurrent use: even reads update the
+// page memo.  Every simulated System already drives its Memory
+// from a single goroutine.
 type Memory struct {
 	pages map[uint64]*[PageSize]byte
+
+	// Direct-mapped page memo: simulated data traffic alternates
+	// between a handful of hot pages (stack, GOT, resolver tables,
+	// workload buffers), so a small memo absorbs nearly every access
+	// without a map probe.  Pages are never deallocated, so memo
+	// entries cannot go stale.
+	memo [memoSize]memoEntry
 }
 
 // New returns an empty memory.
@@ -29,17 +56,24 @@ func New() *Memory {
 }
 
 func (m *Memory) page(addr uint64, alloc bool) *[PageSize]byte {
+	pn := addr >> PageShift
+	e := &m.memo[memoIdx(pn)]
+	if e.pn == pn && e.page != nil {
+		return e.page
+	}
 	if m.pages == nil {
 		if !alloc {
 			return nil
 		}
 		m.pages = make(map[uint64]*[PageSize]byte)
 	}
-	pn := addr >> PageShift
 	p := m.pages[pn]
 	if p == nil && alloc {
 		p = new([PageSize]byte)
 		m.pages[pn] = p
+	}
+	if p != nil {
+		*e = memoEntry{pn: pn, page: p}
 	}
 	return p
 }

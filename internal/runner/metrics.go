@@ -22,6 +22,8 @@ import (
 //	dlsim_runner_retries_total               counter    re-executed attempts
 //	dlsim_runner_panics_total                counter    worker panics recovered
 //	dlsim_runner_shed_total                  counter    submissions shed by admission control
+//	dlsim_runner_retained                    gauge      completed jobs held in the result cache
+//	dlsim_runner_evictions_total             counter    completed jobs evicted from the result cache
 //	dlsim_runner_cache_hits_total            counter    submissions served from a completed result
 //	dlsim_runner_coalesced_total             counter    submissions attached to an in-flight job
 //	dlsim_runner_cache_misses_total          counter    submissions that started a simulation
@@ -48,6 +50,9 @@ type metrics struct {
 	retries   *telemetry.Counter
 	panics    *telemetry.Counter
 	shed      *telemetry.Counter
+
+	retained  *telemetry.Gauge
+	evictions *telemetry.Counter
 
 	cacheHits   *telemetry.Counter
 	coalesced   *telemetry.Counter
@@ -93,6 +98,9 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 		retries:   reg.Counter("dlsim_runner_retries_total", "Re-executed attempts after transient failures."),
 		panics:    reg.Counter("dlsim_runner_panics_total", "Worker panics recovered into job failures."),
 		shed:      reg.Counter("dlsim_runner_shed_total", "Submissions rejected by admission control (queue full)."),
+
+		retained:  reg.Gauge("dlsim_runner_retained", "Completed jobs held in the result cache."),
+		evictions: reg.Counter("dlsim_runner_evictions_total", "Completed jobs evicted from the result cache (LRU bound)."),
 
 		cacheHits:   reg.Counter("dlsim_runner_cache_hits_total", "Submissions served from a completed cached result."),
 		coalesced:   reg.Counter("dlsim_runner_coalesced_total", "Submissions coalesced onto an in-flight identical job."),

@@ -76,19 +76,22 @@ func (p RetryPolicy) normalized() RetryPolicy {
 }
 
 // backoff returns the delay before retry number `retry` (1-based):
-// BaseDelay·2^(retry-1), capped at MaxDelay, with ±Jitter applied
-// from the given seeded stream.
+// BaseDelay·2^(retry-1) with ±Jitter applied from the given seeded
+// stream, never exceeding MaxDelay.  MaxDelay is a hard cap: jitter is
+// applied before the final clamp, so upward jitter can never push a
+// capped delay past it (it remains a *jittered* cap from below, since
+// downward jitter still shortens capped delays).
 func (p RetryPolicy) backoff(retry int, rng *rand.Rand) time.Duration {
 	d := p.BaseDelay
 	for i := 1; i < retry && d < p.MaxDelay; i++ {
 		d *= 2
 	}
-	if d > p.MaxDelay {
-		d = p.MaxDelay
-	}
 	if p.Jitter > 0 && rng != nil {
 		f := 1 - p.Jitter + 2*p.Jitter*rng.Float64()
 		d = time.Duration(float64(d) * f)
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
 	}
 	return d
 }

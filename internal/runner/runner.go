@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"container/list"
 	"context"
 	"errors"
 	"fmt"
@@ -31,6 +32,17 @@ type Options struct {
 	// in-flight coalescing are still served when the queue is full.
 	// Zero or negative means unbounded.
 	MaxQueue int
+
+	// MaxRetained bounds the number of *completed* jobs (done or
+	// failed) retained in the result cache.  Once exceeded, the least
+	// recently used completed job is dropped from both lookup maps, so
+	// a long-lived runner's memory stays proportional to the bound
+	// rather than to its submission history.  Queued and running jobs
+	// are pinned: they are never evicted, and do not count against the
+	// bound until they finish.  A cache hit refreshes a job's recency.
+	// Zero means DefaultMaxRetained; negative means unbounded
+	// retention (the pre-bound behaviour).
+	MaxRetained int
 
 	// Retry governs re-execution of failed attempts.  The zero value
 	// retries transient failures (see IsTransient) up to 3 attempts
@@ -187,6 +199,37 @@ type Runner struct {
 	byID     map[string]*Job
 	closed   bool
 	retryRNG *rand.Rand // jitter stream, guarded by mu
+
+	// Completed-job retention (guarded by mu): lru orders completed
+	// jobs from least (front) to most (back) recently used; lruElem
+	// maps job ID to its list element.  In-flight jobs appear in
+	// neither, which is what pins them.  evicted remembers recently
+	// evicted job IDs (a bounded FIFO ring) so the HTTP layer can
+	// answer "gone" rather than "never existed".
+	maxRetained int
+	lru         *list.List
+	lruElem     map[string]*list.Element
+	evicted     map[string]struct{}
+	evictRing   []string
+	evictHead   int
+}
+
+// DefaultMaxRetained is the completed-job retention bound applied when
+// Options.MaxRetained is zero.
+const DefaultMaxRetained = 4096
+
+// evictedMemory returns the capacity of the evicted-ID ring: enough to
+// answer "gone" for several cache generations without itself becoming
+// an unbounded map.
+func evictedMemory(maxRetained int) int {
+	n := 4 * maxRetained
+	if n < 256 {
+		n = 256
+	}
+	if n > 16384 {
+		n = 16384
+	}
+	return n
 }
 
 // New returns a Runner with the given options.
@@ -204,20 +247,32 @@ func New(opts Options) *Runner {
 	if opts.TraceCapacity >= 0 {
 		tracer = telemetry.NewTracer(opts.TraceCapacity)
 	}
+	maxRetained := opts.MaxRetained
+	if maxRetained == 0 {
+		maxRetained = DefaultMaxRetained
+	}
 	r := &Runner{
-		opts:     opts,
-		rootCtx:  ctx,
-		cancel:   cancel,
-		sem:      make(chan struct{}, opts.Workers),
-		m:        newMetrics(opts.Metrics),
-		tracer:   tracer,
-		byKey:    make(map[string]*Job),
-		byID:     make(map[string]*Job),
-		retryRNG: rand.New(rand.NewPCG(seed, seed^0xda3e39cb94b95bdb)),
+		opts:        opts,
+		rootCtx:     ctx,
+		cancel:      cancel,
+		sem:         make(chan struct{}, opts.Workers),
+		m:           newMetrics(opts.Metrics),
+		tracer:      tracer,
+		byKey:       make(map[string]*Job),
+		byID:        make(map[string]*Job),
+		retryRNG:    rand.New(rand.NewPCG(seed, seed^0xda3e39cb94b95bdb)),
+		maxRetained: maxRetained,
+		lru:         list.New(),
+		lruElem:     make(map[string]*list.Element),
+		evicted:     make(map[string]struct{}),
 	}
 	r.m.workers.Set(int64(opts.Workers))
 	return r
 }
+
+// MaxRetained returns the completed-job retention bound (negative
+// means unbounded).
+func (r *Runner) MaxRetained() int { return r.maxRetained }
 
 // Workers returns the pool size.
 func (r *Runner) Workers() int { return r.opts.Workers }
@@ -281,6 +336,9 @@ func (r *Runner) Submit(spec JobSpec) (job *Job, reused bool, err error) {
 		st := j.State()
 		if st == StateDone || st == StateFailed {
 			r.m.cacheHits.Inc()
+			if e, ok := r.lruElem[j.ID]; ok {
+				r.lru.MoveToBack(e) // refresh recency
+			}
 		} else {
 			r.m.coalesced.Inc()
 		}
@@ -308,6 +366,9 @@ func (r *Runner) Submit(spec JobSpec) (job *Job, reused bool, err error) {
 	}
 	r.byKey[key] = j
 	r.byID[j.ID] = j
+	// IDs are content-derived, so a resubmitted spec reuses the ID of
+	// a job evicted earlier; it is no longer "gone".
+	delete(r.evicted, j.ID)
 	r.m.cacheMisses.Inc()
 	r.m.queued.Inc()
 	r.mu.Unlock()
@@ -361,6 +422,72 @@ func (r *Runner) Job(id string) (*Job, bool) {
 	defer r.mu.Unlock()
 	j, ok := r.byID[id]
 	return j, ok
+}
+
+// Evicted reports whether a job with this ID was recently evicted from
+// the result cache.  The memory behind it is a bounded ring (see
+// evictedMemory), so very old evictions eventually read false again —
+// callers should treat true as "gone, resubmit to recompute" and false
+// as "unknown".
+func (r *Runner) Evicted(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.evicted[id]
+	return ok
+}
+
+// retain enters a just-completed job into the retention order and
+// evicts the least recently used completed jobs beyond the bound.
+// In-flight jobs are never in the order, so they cannot be evicted.
+func (r *Runner) retain(j *Job) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byID[j.ID]; !ok {
+		// The job was dropped from the maps while it ran (cannot
+		// happen today: only completed jobs are evicted); do not
+		// resurrect a stale entry in the retention order.
+		return
+	}
+	r.lruElem[j.ID] = r.lru.PushBack(j)
+	if r.maxRetained > 0 {
+		for r.lru.Len() > r.maxRetained {
+			r.evictOldest()
+		}
+	}
+	r.m.retained.Set(int64(r.lru.Len()))
+}
+
+// evictOldest drops the least recently used completed job from the
+// lookup maps and the retention order, remembering its ID as evicted.
+// Caller holds r.mu.
+func (r *Runner) evictOldest() {
+	e := r.lru.Front()
+	if e == nil {
+		return
+	}
+	j := r.lru.Remove(e).(*Job)
+	delete(r.lruElem, j.ID)
+	delete(r.byKey, j.Key)
+	delete(r.byID, j.ID)
+	r.noteEvicted(j.ID)
+	r.m.evictions.Inc()
+}
+
+// noteEvicted records an evicted job ID in the bounded FIFO ring.
+// Caller holds r.mu.
+func (r *Runner) noteEvicted(id string) {
+	if _, dup := r.evicted[id]; dup {
+		return
+	}
+	capacity := evictedMemory(r.maxRetained)
+	if len(r.evictRing) < capacity {
+		r.evictRing = append(r.evictRing, id)
+	} else {
+		delete(r.evicted, r.evictRing[r.evictHead])
+		r.evictRing[r.evictHead] = id
+		r.evictHead = (r.evictHead + 1) % capacity
+	}
+	r.evicted[id] = struct{}{}
 }
 
 // drive acquires a worker slot per attempt, executes the job with
@@ -498,6 +625,10 @@ func (r *Runner) finish(j *Job, res *Result, err error) {
 	}
 	j.span.End()
 	j.complete(res, err)
+	// Only now that the job reads as completed does it become
+	// evictable; until here it was pinned by being absent from the
+	// retention order.
+	r.retain(j)
 }
 
 // execute runs one simulation: generate the workload, link and build
@@ -569,6 +700,12 @@ type Stats struct {
 	Panics  uint64 `json:"panics"`
 	Shed    uint64 `json:"shed"`
 
+	// Retained is the number of completed jobs currently held in the
+	// result cache; Evictions counts completed jobs dropped by the
+	// MaxRetained LRU bound.
+	Retained  int    `json:"retained"`
+	Evictions uint64 `json:"evictions"`
+
 	// CacheHits counts submissions answered from a completed cached
 	// result; Deduped counts submissions coalesced onto an in-flight
 	// identical job; CacheMisses counts submissions that started a
@@ -599,6 +736,8 @@ func (r *Runner) Stats() Stats {
 		Retries:     m.retries.Value(),
 		Panics:      m.panics.Value(),
 		Shed:        m.shed.Value(),
+		Retained:    int(m.retained.Value()),
+		Evictions:   m.evictions.Value(),
 		CacheHits:   m.cacheHits.Value(),
 		Deduped:     m.coalesced.Value(),
 		CacheMisses: m.cacheMisses.Value(),

@@ -7,6 +7,25 @@
 // the tag, so aliasing between distinct keys never produces a false
 // hit; conflict behaviour (the paper's concern for BTB pressure) comes
 // from set overflow, exactly as in hardware.
+//
+// Lookup is the hottest function in the simulator — every I-cache,
+// D-cache, TLB, BTB and ABTB access lands here, and the ABTB is a
+// 256-way fully-associative CAM probed once per retired call.  Three
+// accelerations keep the modelled semantics (lookup/hit counters, LRU
+// ordering, eviction choice) bit-identical while avoiding the naive
+// O(ways) scan in the common cases:
+//
+//   - a last-hit memo: sequential code re-probes the same line/page/
+//     target back to back, so the previously hit entry is checked
+//     first (revalidated against key+valid, so staleness is harmless);
+//   - a per-set occupancy count, so scans stop after all valid entries
+//     have been examined instead of walking every way of a mostly
+//     empty high-associativity set;
+//   - a per-set 64-bit key signature (a superset of the resident keys'
+//     hash bits), so most misses are rejected without scanning at all.
+//     Replacement leaves stale bits behind — the signature is only
+//     ever a superset, which costs a wasted scan, never a wrong
+//     result — and Invalidate/Clear rebuild or reset it exactly.
 package setassoc
 
 import "fmt"
@@ -27,9 +46,24 @@ type Table[V any] struct {
 	entries []entry[V]
 	tick    uint64
 
+	// occ[s] counts the valid entries in set s; sig[s] is a superset
+	// signature of the keys resident in set s.  lastHit points at the
+	// entry of the most recent Lookup hit, or nil.
+	occ     []uint16
+	sig     []uint64
+	lastHit *entry[V]
+
 	lookups   uint64
 	hits      uint64
 	evictions uint64
+}
+
+// sigBit maps a key to its signature bit.  The multiplier is the
+// 64-bit golden ratio; the top six product bits select the bit so that
+// keys differing only in low bits (adjacent lines, pages, slots) still
+// spread across the signature.
+func sigBit(key uint64) uint64 {
+	return 1 << ((key * 0x9e3779b97f4a7c15) >> 58)
 }
 
 // New returns a table with the given geometry.  sets must be a power
@@ -39,11 +73,16 @@ func New[V any](sets, ways int) *Table[V] {
 	if sets <= 0 || ways <= 0 || sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("setassoc: invalid geometry sets=%d ways=%d", sets, ways))
 	}
+	if ways > 1<<16-1 {
+		panic(fmt.Sprintf("setassoc: associativity %d exceeds occupancy counter range", ways))
+	}
 	return &Table[V]{
 		sets:    sets,
 		ways:    ways,
 		mask:    uint64(sets - 1),
 		entries: make([]entry[V], sets*ways),
+		occ:     make([]uint16, sets),
+		sig:     make([]uint64, sets),
 	}
 }
 
@@ -56,22 +95,36 @@ func (t *Table[V]) Ways() int { return t.ways }
 // Entries returns the total capacity in entries.
 func (t *Table[V]) Entries() int { return t.sets * t.ways }
 
-func (t *Table[V]) set(key uint64) []entry[V] {
-	s := int(key & t.mask)
-	return t.entries[s*t.ways : (s+1)*t.ways]
-}
-
 // Lookup returns the value stored for key and whether it was present,
 // updating LRU state and hit/miss counters on the way.
 func (t *Table[V]) Lookup(key uint64) (V, bool) {
 	t.lookups++
-	set := t.set(key)
-	for i := range set {
-		if set[i].valid && set[i].key == key {
-			t.tick++
-			set[i].lru = t.tick
-			t.hits++
-			return set[i].val, true
+	if e := t.lastHit; e != nil && e.key == key && e.valid {
+		t.tick++
+		e.lru = t.tick
+		t.hits++
+		return e.val, true
+	}
+	s := int(key & t.mask)
+	if t.sig[s]&sigBit(key) != 0 {
+		// Insert prefers the highest invalid way, so sets fill from
+		// the top: scan downward and stop once every valid entry has
+		// been seen.
+		base := s * t.ways
+		rem := int(t.occ[s])
+		for i := base + t.ways - 1; rem > 0 && i >= base; i-- {
+			e := &t.entries[i]
+			if !e.valid {
+				continue
+			}
+			if e.key == key {
+				t.tick++
+				e.lru = t.tick
+				t.hits++
+				t.lastHit = e
+				return e.val, true
+			}
+			rem--
 		}
 	}
 	var zero V
@@ -82,10 +135,19 @@ func (t *Table[V]) Lookup(key uint64) (V, bool) {
 // counters.  Used by retire-time checks that must not perturb the
 // structure.
 func (t *Table[V]) Peek(key uint64) (V, bool) {
-	set := t.set(key)
-	for i := range set {
-		if set[i].valid && set[i].key == key {
-			return set[i].val, true
+	s := int(key & t.mask)
+	if t.sig[s]&sigBit(key) != 0 {
+		base := s * t.ways
+		rem := int(t.occ[s])
+		for i := base + t.ways - 1; rem > 0 && i >= base; i-- {
+			e := &t.entries[i]
+			if !e.valid {
+				continue
+			}
+			if e.key == key {
+				return e.val, true
+			}
+			rem--
 		}
 	}
 	var zero V
@@ -95,43 +157,81 @@ func (t *Table[V]) Peek(key uint64) (V, bool) {
 // Insert stores val under key, replacing the LRU way of the set if the
 // key is not already present.  It reports whether a valid, different
 // entry was evicted.
+//
+// The direct-mapped case short-circuits: with one way there is nothing
+// to scan and no LRU comparison to make.
 func (t *Table[V]) Insert(key uint64, val V) (evicted bool) {
 	t.tick++
-	set := t.set(key)
-	victim := 0
-	for i := range set {
-		if set[i].valid && set[i].key == key {
-			set[i].val = val
-			set[i].lru = t.tick
+	s := int(key & t.mask)
+	base := s * t.ways
+	if t.ways == 1 {
+		e := &t.entries[base]
+		if e.valid && e.key != key {
+			t.evictions++
+			evicted = true
+		}
+		*e = entry[V]{valid: true, key: key, val: val, lru: t.tick}
+		t.occ[s] = 1
+		t.sig[s] |= sigBit(key)
+		return evicted
+	}
+	victim := base
+	for i := base; i < base+t.ways; i++ {
+		e := &t.entries[i]
+		if e.valid && e.key == key {
+			e.val = val
+			e.lru = t.tick
 			return false
 		}
-		if !set[i].valid {
+		if !e.valid {
 			victim = i
 			// Prefer an invalid way but keep scanning for the key.
 			continue
 		}
-		if set[victim].valid && set[i].lru < set[victim].lru {
+		if t.entries[victim].valid && e.lru < t.entries[victim].lru {
 			victim = i
 		}
 	}
-	evicted = set[victim].valid
+	evicted = t.entries[victim].valid
 	if evicted {
 		t.evictions++
+	} else {
+		t.occ[s]++
 	}
-	set[victim] = entry[V]{valid: true, key: key, val: val, lru: t.tick}
+	t.entries[victim] = entry[V]{valid: true, key: key, val: val, lru: t.tick}
+	t.sig[s] |= sigBit(key)
 	return evicted
 }
 
 // Invalidate removes key if present, reporting whether it was.
 func (t *Table[V]) Invalidate(key uint64) bool {
-	set := t.set(key)
-	for i := range set {
-		if set[i].valid && set[i].key == key {
-			set[i] = entry[V]{}
+	s := int(key & t.mask)
+	if t.sig[s]&sigBit(key) == 0 {
+		return false
+	}
+	base := s * t.ways
+	for i := base; i < base+t.ways; i++ {
+		if e := &t.entries[i]; e.valid && e.key == key {
+			*e = entry[V]{}
+			t.occ[s]--
+			t.rebuildSig(s)
 			return true
 		}
 	}
 	return false
+}
+
+// rebuildSig recomputes set s's signature exactly from its resident
+// keys.  Only Invalidate needs it; replacement tolerates stale bits.
+func (t *Table[V]) rebuildSig(s int) {
+	var sig uint64
+	base := s * t.ways
+	for i := base; i < base+t.ways; i++ {
+		if e := &t.entries[i]; e.valid {
+			sig |= sigBit(e.key)
+		}
+	}
+	t.sig[s] = sig
 }
 
 // Clear invalidates every entry (flush).  Statistics are preserved.
@@ -139,15 +239,18 @@ func (t *Table[V]) Clear() {
 	for i := range t.entries {
 		t.entries[i] = entry[V]{}
 	}
+	for s := range t.occ {
+		t.occ[s] = 0
+		t.sig[s] = 0
+	}
+	t.lastHit = nil
 }
 
 // Len returns the number of valid entries.
 func (t *Table[V]) Len() int {
 	n := 0
-	for i := range t.entries {
-		if t.entries[i].valid {
-			n++
-		}
+	for s := range t.occ {
+		n += int(t.occ[s])
 	}
 	return n
 }

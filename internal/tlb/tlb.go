@@ -54,7 +54,12 @@ func New(cfg Config) *TLB {
 // cycles (0 on a hit, the page-walk cost on a miss) and filling the
 // TLB.
 func (t *TLB) Access(addr uint64) int {
-	vpn := mem.PageNum(addr)
+	return t.access(mem.PageNum(addr))
+}
+
+// access is Access with the page number already computed, so the range
+// fast path does not compute it twice.
+func (t *TLB) access(vpn uint64) int {
 	if _, hit := t.t.Lookup(vpn); hit {
 		return 0
 	}
@@ -63,13 +68,18 @@ func (t *TLB) Access(addr uint64) int {
 }
 
 // AccessRange translates every page overlapped by [addr, addr+size).
+// Almost all accesses fit one page, so that case skips the loop.
 func (t *TLB) AccessRange(addr, size uint64) int {
 	if size == 0 {
 		size = 1
 	}
+	first, last := mem.PageNum(addr), mem.PageNum(addr+size-1)
+	if first == last {
+		return t.access(first)
+	}
 	pen := 0
-	for vpn := mem.PageNum(addr); vpn <= mem.PageNum(addr+size-1); vpn++ {
-		pen += t.Access(vpn << mem.PageShift)
+	for vpn := first; vpn <= last; vpn++ {
+		pen += t.access(vpn)
 	}
 	return pen
 }

@@ -15,5 +15,15 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race -timeout 20m ./internal/runner/... ./cmd/dlsimd/...
-go test -race -timeout 20m -run 'TestSuiteParallelMatchesSequential|TestSuiteConcurrentUse' ./internal/experiments/
+go test -race -timeout 20m -run 'TestSuiteParallelMatchesSequential|TestSuiteConcurrentUse|TestGoldenCounters' ./internal/experiments/
 make faults
+
+# Advisory: kernel throughput vs the recorded pre-optimisation
+# baseline.  Benchmarks on a loaded shared host are noisy, so a
+# shortfall here warns instead of failing the build; re-run
+# `make kernel-bench` on a quiet machine before trusting a regression.
+if KB_RUNS=2 scripts/kernel_bench.sh /tmp/BENCH_kernel_ci.json; then
+	grep -E '"(base|enhanced)_speedup"' /tmp/BENCH_kernel_ci.json || true
+else
+	echo "WARNING: kernel benchmark failed (advisory only)" >&2
+fi
