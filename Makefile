@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt race faults bench-runner bench-fault obs-bench kernel-bench all
+.PHONY: check fmt race faults bench-runner bench-fault obs-bench kernel-bench pool-bench all
 
 all: check
 
@@ -25,7 +25,7 @@ fmt:
 # and ~10x slower under race, so only these targeted tests run here;
 # `make check` covers the rest.)
 race:
-	$(GO) test -race -timeout 20m ./internal/runner/... ./cmd/dlsimd/...
+	$(GO) test -race -timeout 20m ./internal/pool/... ./internal/runner/... ./cmd/dlsimd/...
 	$(GO) test -race -timeout 20m -run 'TestSuiteParallelMatchesSequential|TestSuiteConcurrentUse|TestGoldenCounters' ./internal/experiments/
 
 # Robustness pass: the concurrent subsystems under low-probability
@@ -60,3 +60,10 @@ obs-bench:
 # `go test -run TestGoldenCounters ./internal/experiments/`.
 kernel-bench:
 	scripts/kernel_bench.sh
+
+# Artifact-pool throughput: a repeated-spec sweep with pooling on vs
+# off (Options.DisablePool), interleaved A/B; regenerates
+# BENCH_pool.json.  Pair with the bit-identity proof:
+# `go test -run 'TestPooledBitIdenticalToUnpooled|TestGoldenCounters' ./internal/runner/ ./internal/experiments/`.
+pool-bench:
+	scripts/pool_bench.sh

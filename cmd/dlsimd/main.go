@@ -37,6 +37,19 @@
 //	GET  /v1/jobs/{id}   job state, attempts, and the result once done
 //	                     (410 once the id is evicted by -max-retained;
 //	                     404 for ids never seen or long forgotten)
+//	POST /v1/batches     submit a sweep; body {"workload":"apache",
+//	                     "configs":["base","enhanced"],"seeds":[1,2,3],
+//	                     "scale":0.5}; expands to one deduplicated job
+//	                     per (config, seed) cell — artifact-pool-backed,
+//	                     so each workload generates once per seed and
+//	                     each link product links once — and returns the
+//	                     content-derived batch id (202, or 200 when the
+//	                     identical sweep is already known)
+//	GET  /v1/batches/{id} batch progress (total/queued/running/done/
+//	                     failed), per-job states with each failed job's
+//	                     error (partial failure is reported, not
+//	                     hidden), and per-config aggregates over
+//	                     completed jobs
 //	GET  /v1/traces/{id} the job's span tree: queued/attempt/backoff
 //	                     phases with generate/link/warmup/measure steps
 //	GET  /v1/stats       pool depth, cache hits/misses, retries/panics/
@@ -71,6 +84,7 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "per-job simulation timeout (0 = none)")
 	maxQueue := flag.Int("max-queue", 256, "admission-queue bound; full queue sheds with 429 (0 = unbounded)")
 	maxRetained := flag.Int("max-retained", 0, "completed jobs retained in the result cache; LRU-evicted beyond this, evicted IDs answer 410 (0 = default 4096, negative = unbounded)")
+	maxBatches := flag.Int("max-batches", 0, "batch handles retained for lookup by ID; LRU-evicted beyond this, jobs stay addressable (0 = default 256, negative = unbounded)")
 	retries := flag.Int("retries", 0, "max execution attempts per job incl. the first (0 = default 3, 1 = no retry)")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-HTTP-request timeout (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
@@ -86,6 +100,7 @@ func main() {
 		JobTimeout:    *jobTimeout,
 		MaxQueue:      *maxQueue,
 		MaxRetained:   *maxRetained,
+		MaxBatches:    *maxBatches,
 		Retry:         runner.RetryPolicy{MaxAttempts: *retries},
 		TraceCapacity: *traceBuffer,
 	})

@@ -96,6 +96,8 @@ func newServer(pool *runner.Runner, cfg serverConfig) *server {
 
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("POST /v1/batches", s.handleSubmitBatch)
+	s.mux.HandleFunc("GET /v1/batches/{id}", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -303,6 +305,75 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// batchSubmitResponse answers POST /v1/batches.
+type batchSubmitResponse struct {
+	ID     string           `json:"id"`
+	Total  int              `json:"total"`
+	Cached bool             `json:"cached"`
+	Specs  []runner.JobSpec `json:"specs"`
+}
+
+// handleSubmitBatch validates and enqueues a sweep as one batch of
+// deduplicated jobs.  The batch ID is content-derived, so
+// resubmitting an identical sweep returns the existing batch (200)
+// instead of enqueueing anything; job-level dedup against prior
+// non-batch traffic applies regardless.
+func (s *server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, r, http.StatusServiceUnavailable, "draining: not accepting new jobs")
+		return
+	}
+	if err := faultinject.FireCtx(r.Context(), "dlsimd.submit"); err != nil {
+		writeError(w, r, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	var sweep runner.SweepSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sweep); err != nil {
+		writeError(w, r, http.StatusBadRequest, "invalid sweep spec: %v", err)
+		return
+	}
+	batch, reused, err := s.pool.SubmitBatch(sweep)
+	switch {
+	case errors.Is(err, runner.ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.retryAfter+time.Second-1)/time.Second)))
+		writeError(w, r, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, runner.ErrRunnerClosed):
+		writeError(w, r, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	status := http.StatusAccepted
+	if reused {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, batchSubmitResponse{
+		ID:     batch.ID,
+		Total:  len(batch.Specs),
+		Cached: reused,
+		Specs:  batch.Specs,
+	})
+}
+
+// handleBatch reports a batch's progress, per-job states (with each
+// failure's error) and per-config aggregates.  Unknown or
+// retention-evicted batch IDs answer 404; the underlying jobs remain
+// individually addressable via /v1/jobs/{id} for as long as the job
+// cache retains them.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	batch, ok := s.pool.Batch(id)
+	if !ok {
+		writeError(w, r, http.StatusNotFound, "no batch %q (unknown, or evicted from batch retention)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, batch.Status())
+}
+
 // classJSON summarises one request class's latency sample.
 type classJSON struct {
 	N      int     `json:"n"`
@@ -314,8 +385,10 @@ type classJSON struct {
 
 // resultJSON is the wire form of a completed job's Result.
 type resultJSON struct {
-	WallMS   float64 `json:"wall_ms"`
-	CacheHit bool    `json:"cache_hit"`
+	WallMS    float64 `json:"wall_ms"`
+	SetupMS   float64 `json:"setup_ms"`
+	MeasureMS float64 `json:"measure_ms"`
+	CacheHit  bool    `json:"cache_hit"`
 
 	Instructions uint64 `json:"instructions"`
 	Cycles       uint64 `json:"cycles"`
@@ -428,6 +501,8 @@ func (s *server) syncFaultGauges() {
 func marshalResult(res *runner.Result) *resultJSON {
 	out := &resultJSON{
 		WallMS:              float64(res.Wall) / float64(time.Millisecond),
+		SetupMS:             float64(res.SetupWall) / float64(time.Millisecond),
+		MeasureMS:           float64(res.MeasureWall) / float64(time.Millisecond),
 		CacheHit:            res.CacheHit,
 		Instructions:        res.Counters.Instructions,
 		Cycles:              res.Counters.Cycles,

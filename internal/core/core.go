@@ -136,6 +136,18 @@ func NewSystem(app *objfile.Object, libs []*objfile.Object, cfg Config) (*System
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	return NewSystemFromImage(img, cfg), nil
+}
+
+// NewSystemFromImage wraps an already linked image in a configured
+// System — the path internal/pool uses to build jobs from pooled,
+// copy-on-write-forked images without re-linking.  The image must have
+// been linked with cfg.Linking (the caller keys pooled images by those
+// options), and must be private to the returned System: pass a
+// linker.Image.Fork of a shared master, never the master itself, since
+// driving the System mutates the image's memory and resolution
+// counter.
+func NewSystemFromImage(img *linker.Image, cfg Config) *System {
 	s := &System{
 		cfg:     cfg,
 		img:     img,
@@ -144,7 +156,7 @@ func NewSystem(app *objfile.Object, libs []*objfile.Object, cfg Config) (*System
 		lifeRec: trace.NewRecorder(0),
 	}
 	s.attachRecorders()
-	return s, nil
+	return s
 }
 
 // attachRecorders fans the CPU's library-call trace point out to both

@@ -19,6 +19,33 @@ const (
 	ablationMeasure = 120
 )
 
+// pooledWorkload fetches the generated bundle for (name, s.Seed)
+// through the runner's artifact pool, generating it at most once per
+// suite no matter how many ablations share the workload.  When the
+// suite's runner has pooling disabled it falls back to direct
+// generation, the historical behaviour.
+func (s *Suite) pooledWorkload(name string, gen func(uint64) *workload.Workload) *workload.Workload {
+	if p := s.pool.ArtifactPool(); p != nil {
+		w, _ := p.Workload(name, gen, s.Seed)
+		return w
+	}
+	return gen(s.Seed)
+}
+
+// pooledSystem builds a private System for w under cfg through the
+// artifact pool: design points that share linking options (every
+// hardware-only sweep, e.g. the seven Bloom sizes of A1) share one
+// linked master and receive copy-on-write forks, so the link step
+// runs once per distinct link product instead of once per point.
+// w must come from pooledWorkload (its Name keys the image cache).
+func (s *Suite) pooledSystem(w *workload.Workload, cfg core.Config) (*core.System, error) {
+	if p := s.pool.ArtifactPool(); p != nil {
+		sys, _, err := p.ImageSystem(w.Name, s.Seed, w, cfg)
+		return sys, err
+	}
+	return w.NewSystem(cfg)
+}
+
 // BloomPoint is one Bloom-filter size design point (ablation A1).
 type BloomPoint struct {
 	Bits           int
@@ -32,18 +59,18 @@ type BloomPoint struct {
 // flushes the ABTB, eroding the skip rate; the paper's ~1Kbit filter
 // makes flushes vanishingly rare after startup.
 func (s *Suite) AblationBloomSize() ([]BloomPoint, error) {
-	w := workload.Apache(s.Seed)
+	w := s.pooledWorkload("apache", workload.Apache)
 	var out []BloomPoint
 	for _, bits := range []int{512, 1024, 2048, 4096, 8192, 16384, 32768} {
 		cfg := core.Enhanced(s.Seed)
 		a := abtb.DefaultConfig()
 		a.BloomBits = bits
 		cfg.Hardware.ABTB = &a
-		sys, err := w.NewSystem(cfg)
+		sys, err := s.pooledSystem(w, cfg)
 		if err != nil {
 			return nil, err
 		}
-		d := workload.NewDriver(w, sys, s.Seed+17)
+		d := workload.NewDriver(w, sys, workload.DriverSeed(s.Seed))
 		if err := d.Warmup(ablationWarm); err != nil {
 			return nil, err
 		}
@@ -89,7 +116,7 @@ type BindingPoint struct {
 // enhanced on the same workload: the paper's framing is that Enhanced
 // delivers static-linking performance while remaining dynamic.
 func (s *Suite) AblationBindingModes() ([]BindingPoint, error) {
-	w := workload.Apache(s.Seed)
+	w := s.pooledWorkload("apache", workload.Apache)
 	cfgs := []core.Config{
 		core.Base(s.Seed),
 		core.Eager(s.Seed),
@@ -100,11 +127,11 @@ func (s *Suite) AblationBindingModes() ([]BindingPoint, error) {
 	var out []BindingPoint
 	var baseMean float64
 	for _, cfg := range cfgs {
-		sys, err := w.NewSystem(cfg)
+		sys, err := s.pooledSystem(w, cfg)
 		if err != nil {
 			return nil, err
 		}
-		d := workload.NewDriver(w, sys, s.Seed+17)
+		d := workload.NewDriver(w, sys, workload.DriverSeed(s.Seed))
 		if err := d.Warmup(ablationWarm); err != nil {
 			return nil, err
 		}
@@ -152,7 +179,7 @@ type InvalidatePoint struct {
 
 // AblationExplicitInvalidate runs Apache under both ABTB variants.
 func (s *Suite) AblationExplicitInvalidate() ([]InvalidatePoint, error) {
-	w := workload.Apache(s.Seed)
+	w := s.pooledWorkload("apache", workload.Apache)
 	variants := []struct {
 		label string
 		cfg   abtb.Config
@@ -165,11 +192,11 @@ func (s *Suite) AblationExplicitInvalidate() ([]InvalidatePoint, error) {
 		cfg := core.Enhanced(s.Seed)
 		a := v.cfg
 		cfg.Hardware.ABTB = &a
-		sys, err := w.NewSystem(cfg)
+		sys, err := s.pooledSystem(w, cfg)
 		if err != nil {
 			return nil, err
 		}
-		d := workload.NewDriver(w, sys, s.Seed+17)
+		d := workload.NewDriver(w, sys, workload.DriverSeed(s.Seed))
 		if err := d.Warmup(ablationWarm); err != nil {
 			return nil, err
 		}
@@ -219,7 +246,7 @@ type ContextSwitchPoint struct {
 // ABTB flushes on every switch and must repopulate; the tagged one
 // survives.
 func (s *Suite) AblationContextSwitch() ([]ContextSwitchPoint, error) {
-	w := workload.Memcached(s.Seed) // short requests: switches hurt most
+	w := s.pooledWorkload("memcached", workload.Memcached) // short requests: switches hurt most
 	var out []ContextSwitchPoint
 	for _, asids := range []bool{false, true} {
 		for _, every := range []int{1, 4, 16} {
@@ -227,11 +254,11 @@ func (s *Suite) AblationContextSwitch() ([]ContextSwitchPoint, error) {
 			a := abtb.DefaultConfig()
 			a.ASIDs = asids
 			cfg.Hardware.ABTB = &a
-			sys, err := w.NewSystem(cfg)
+			sys, err := s.pooledSystem(w, cfg)
 			if err != nil {
 				return nil, err
 			}
-			d := workload.NewDriver(w, sys, s.Seed+17)
+			d := workload.NewDriver(w, sys, workload.DriverSeed(s.Seed))
 			if err := d.Warmup(ablationWarm); err != nil {
 				return nil, err
 			}
@@ -295,7 +322,7 @@ type ABTBGeometryPoint struct {
 // AblationABTBGeometry runs Apache with real ABTBs of increasing size,
 // validating the Figure 5 offline replay against the live mechanism.
 func (s *Suite) AblationABTBGeometry() ([]ABTBGeometryPoint, error) {
-	w := workload.Apache(s.Seed)
+	w := s.pooledWorkload("apache", workload.Apache)
 	var out []ABTBGeometryPoint
 	for _, entries := range []int{16, 64, 256, 1024} {
 		cfg := core.Enhanced(s.Seed)
@@ -303,11 +330,11 @@ func (s *Suite) AblationABTBGeometry() ([]ABTBGeometryPoint, error) {
 		a.Entries = entries
 		a.Ways = entries // fully associative at every size, as Figure 5 assumes
 		cfg.Hardware.ABTB = &a
-		sys, err := w.NewSystem(cfg)
+		sys, err := s.pooledSystem(w, cfg)
 		if err != nil {
 			return nil, err
 		}
-		d := workload.NewDriver(w, sys, s.Seed+17)
+		d := workload.NewDriver(w, sys, workload.DriverSeed(s.Seed))
 		if err := d.Warmup(ablationWarm); err != nil {
 			return nil, err
 		}
@@ -359,7 +386,7 @@ type PLTStylePoint struct {
 // ABTB needs a 2-instruction pattern window to learn the add-add-ldr
 // sequence.
 func (s *Suite) AblationPLTStyle() ([]PLTStylePoint, error) {
-	w := workload.Memcached(s.Seed)
+	w := s.pooledWorkload("memcached", workload.Memcached)
 	var out []PLTStylePoint
 	for _, style := range []linker.PLTStyle{linker.PLTx86, linker.PLTARM} {
 		var baseMean float64
@@ -377,11 +404,11 @@ func (s *Suite) AblationPLTStyle() ([]PLTStylePoint, error) {
 				hw.ABTB = &a
 				cfg.Hardware = hw
 			}
-			sys, err := w.NewSystem(cfg)
+			sys, err := s.pooledSystem(w, cfg)
 			if err != nil {
 				return nil, err
 			}
-			d := workload.NewDriver(w, sys, s.Seed+17)
+			d := workload.NewDriver(w, sys, workload.DriverSeed(s.Seed))
 			if err := d.Warmup(ablationWarm); err != nil {
 				return nil, err
 			}
@@ -441,7 +468,7 @@ type SMPPoint struct {
 // base vs enhanced, with per-core ABTBs kept coherent by GOT
 // invalidation broadcast (§3.1).
 func (s *Suite) AblationSMP() ([]SMPPoint, error) {
-	w := workload.Memcached(s.Seed)
+	w := s.pooledWorkload("memcached", workload.Memcached)
 	var out []SMPPoint
 	for _, cores := range []int{1, 2, 4} {
 		var baseMean float64

@@ -1,0 +1,89 @@
+package linker
+
+import (
+	"testing"
+)
+
+// TestForkSharesLinkProduct: a fork reads the identical link product —
+// same symbols, same instructions, same initial GOT words — without
+// re-linking.
+func TestForkSharesLinkProduct(t *testing.T) {
+	master := mustLink(t, Options{Mode: BindLazy, Seed: 3})
+	fork := master.Fork()
+
+	if fork.StackTop() != master.StackTop() {
+		t.Errorf("fork stack top %#x != master %#x", fork.StackTop(), master.StackTop())
+	}
+	for _, sym := range []string{"main", "write", "parse"} {
+		ma, _ := master.Symbol(sym)
+		fa, ok := fork.Symbol(sym)
+		if !ok || fa != ma {
+			t.Errorf("fork symbol %q = %#x, master %#x", sym, fa, ma)
+		}
+	}
+	m := master.Modules()[0]
+	for i := range m.Imports() {
+		slot := m.GOTSlotAddr(i)
+		if got, want := fork.Memory().Read64(slot), master.Memory().Read64(slot); got != want {
+			t.Errorf("fork GOT slot %d = %#x, master %#x", i, got, want)
+		}
+	}
+	in, ok := fork.InstrAt(m.PLTSlotAddr(0))
+	if !ok || !in.PLT {
+		t.Error("fork lost the instruction index (PLT slot not decodable)")
+	}
+}
+
+// TestForkIsolatesMutableState: GOT rebinding (BindAll) and the
+// resolution counter in one fork never reach the master or a sibling —
+// the copy-on-write invariant pooled jobs depend on.
+func TestForkIsolatesMutableState(t *testing.T) {
+	master := mustLink(t, Options{Mode: BindLazy, Seed: 3})
+	a := master.Fork()
+	b := master.Fork()
+
+	m := master.Modules()[0]
+	slot := m.GOTSlotAddr(0)
+	lazyWord := master.Memory().Read64(slot)
+
+	if n := a.BindAll(); n == 0 {
+		t.Fatal("BindAll bound nothing; test needs a lazy import")
+	}
+	if got := master.Memory().Read64(slot); got != lazyWord {
+		t.Errorf("BindAll in fork rewrote master GOT: %#x, want lazy %#x", got, lazyWord)
+	}
+	if got := b.Memory().Read64(slot); got != lazyWord {
+		t.Errorf("BindAll in fork rewrote sibling GOT: %#x, want lazy %#x", got, lazyWord)
+	}
+
+	if _, _, err := a.Resolve(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a.Resolutions() != 1 || master.Resolutions() != 0 || b.Resolutions() != 0 {
+		t.Errorf("resolution counters not private: a=%d master=%d b=%d",
+			a.Resolutions(), master.Resolutions(), b.Resolutions())
+	}
+}
+
+// TestForkMatchesFreshLink: a forked image's visible memory is
+// bit-identical to a fresh link of the same inputs at every GOT slot
+// and pointer-initialised word.
+func TestForkMatchesFreshLink(t *testing.T) {
+	for _, mode := range []BindingMode{BindLazy, BindNow, BindPatched} {
+		master := mustLink(t, Options{Mode: mode, Seed: 11})
+		fresh := mustLink(t, Options{Mode: mode, Seed: 11})
+		fork := master.Fork()
+		for _, m := range fresh.Modules() {
+			for i := range m.Imports() {
+				slot := m.GOTSlotAddr(i)
+				if got, want := fork.Memory().Read64(slot), fresh.Memory().Read64(slot); got != want {
+					t.Errorf("mode %v: fork GOT %s[%d] = %#x, fresh link %#x",
+						mode, m.Name, i, got, want)
+				}
+			}
+		}
+		if fork.SharedBytes() == 0 {
+			t.Errorf("mode %v: SharedBytes = 0, want the COW layer counted", mode)
+		}
+	}
+}

@@ -11,6 +11,39 @@ import (
 // instruction starting at each byte offset, or nil.
 type InstrPage [mem.PageSize]*isa.Instr
 
+// Fork returns a copy-on-write clone of the image for a fresh
+// simulated process.
+//
+// Everything Link produced is immutable afterwards except two things:
+// the data memory (GOT words rebound by the lazy resolver, workload
+// data stores, stack) and the lazy-resolution counter.  Fork therefore
+// shares the decoded instructions, module map, symbol tables, dense
+// trampoline index and patch statistics with the parent, forks the
+// memory copy-on-write (see mem.Memory.Fork), and gives the clone a
+// zeroed resolution counter.  The clone's initial memory contents —
+// including the lazily-initialised GOT — are bit-identical to a fresh
+// Link of the same inputs, which is what lets internal/pool hand
+// pooled images to jobs without perturbing any simulated counter.
+//
+// Fork is not safe to call concurrently with other operations on the
+// parent image (the first fork freezes the parent's written pages);
+// callers must serialise forks of a shared master.  Forked clones are
+// fully independent of each other and of the parent afterwards.
+func (im *Image) Fork() *Image {
+	clone := *im
+	clone.memory = im.memory.Fork()
+	clone.resolutions = 0
+	return &clone
+}
+
+// SharedBytes returns the size in bytes of the image's copy-on-write
+// page layer plus its privately written pages — the resident data
+// footprint one pooled master contributes (text/instruction indexes
+// are shared Go objects and not counted).
+func (im *Image) SharedBytes() uint64 {
+	return uint64(im.memory.PagesShared())*mem.PageSize + im.memory.FootprintBytes()
+}
+
 // InstrAt returns the decoded instruction at pc.
 func (im *Image) InstrAt(pc uint64) (*isa.Instr, bool) {
 	pg := im.ipages[pc>>mem.PageShift]

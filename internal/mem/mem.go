@@ -24,6 +24,11 @@ const memoSize = 64
 type memoEntry struct {
 	pn   uint64
 	page *[PageSize]byte // nil marks an empty memo slot
+
+	// owned marks a page this Memory may write in place.  Pages served
+	// from a shared base layer (see Fork) are memoised read-only: a
+	// write to them must miss the memo and copy the page first.
+	owned bool
 }
 
 // memoIdx spreads page numbers across the memo.  Hot data pages
@@ -42,11 +47,20 @@ func memoIdx(pn uint64) uint64 {
 type Memory struct {
 	pages map[uint64]*[PageSize]byte
 
+	// base is the copy-on-write layer behind pages: a frozen page set
+	// shared with the Memory this one was forked from (and with its
+	// sibling forks).  Reads fall through to it; the first write to a
+	// base page copies it into pages.  nil for an unforked Memory.
+	// Nothing ever writes a base page in place, so concurrent forks
+	// may read the shared layer from different goroutines.
+	base map[uint64]*[PageSize]byte
+
 	// Direct-mapped page memo: simulated data traffic alternates
 	// between a handful of hot pages (stack, GOT, resolver tables,
 	// workload buffers), so a small memo absorbs nearly every access
 	// without a map probe.  Pages are never deallocated, so memo
-	// entries cannot go stale.
+	// entries cannot go stale; a COW copy re-enters the memo as owned
+	// via the write path that created it.
 	memo [memoSize]memoEntry
 }
 
@@ -55,25 +69,77 @@ func New() *Memory {
 	return &Memory{pages: make(map[uint64]*[PageSize]byte)}
 }
 
+// Fork returns a copy-on-write clone: the child sees the parent's
+// current contents, and writes on either side stay private to that
+// side.  Forking freezes the parent's written pages into a shared
+// read-only base layer (shared with all forks of the same parent), so
+// a fork costs one map merge — no page is copied until someone writes
+// it.
+//
+// Fork itself is not safe to call concurrently with other operations
+// on m; callers (e.g. internal/pool) must serialise forks of a shared
+// parent.  The returned child is independent of m for all subsequent
+// operations.
+func (m *Memory) Fork() *Memory {
+	if len(m.pages) > 0 {
+		merged := make(map[uint64]*[PageSize]byte, len(m.base)+len(m.pages))
+		for pn, p := range m.base {
+			merged[pn] = p
+		}
+		for pn, p := range m.pages {
+			merged[pn] = p
+		}
+		m.base = merged
+		m.pages = make(map[uint64]*[PageSize]byte)
+		// Owned memo entries point at pages that just became shared;
+		// drop them so writes re-probe and copy.
+		m.memo = [memoSize]memoEntry{}
+	}
+	return &Memory{base: m.base}
+}
+
+// PagesShared returns the number of pages in the copy-on-write base
+// layer (0 for an unforked Memory).
+func (m *Memory) PagesShared() int { return len(m.base) }
+
+// FootprintBytes returns the bytes resident for this Memory alone:
+// its privately written pages plus, when it has no parent, nothing
+// else — shared base pages are excluded, since forks share one copy.
+// For a frozen pool master (whose writes all moved into the base at
+// first fork), use PagesShared to size the shared layer instead.
+func (m *Memory) FootprintBytes() uint64 {
+	return uint64(len(m.pages)) * PageSize
+}
+
 func (m *Memory) page(addr uint64, alloc bool) *[PageSize]byte {
 	pn := addr >> PageShift
 	e := &m.memo[memoIdx(pn)]
-	if e.pn == pn && e.page != nil {
+	if e.pn == pn && e.page != nil && (e.owned || !alloc) {
 		return e.page
 	}
 	if m.pages == nil {
-		if !alloc {
+		if !alloc && m.base == nil {
 			return nil
 		}
 		m.pages = make(map[uint64]*[PageSize]byte)
 	}
-	p := m.pages[pn]
-	if p == nil && alloc {
-		p = new([PageSize]byte)
-		m.pages[pn] = p
+	p, owned := m.pages[pn], true
+	if p == nil {
+		switch bp := m.base[pn]; {
+		case alloc && bp != nil:
+			// First write to a shared page: copy it out of the base.
+			p = new([PageSize]byte)
+			*p = *bp
+			m.pages[pn] = p
+		case alloc:
+			p = new([PageSize]byte)
+			m.pages[pn] = p
+		default:
+			p, owned = bp, false // read-through; may be nil
+		}
 	}
 	if p != nil {
-		*e = memoEntry{pn: pn, page: p}
+		*e = memoEntry{pn: pn, page: p, owned: owned}
 	}
 	return p
 }

@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -90,5 +91,134 @@ func TestPageHelpers(t *testing.T) {
 	}
 	if PageBase(0x1000) != 0x1000 {
 		t.Errorf("PageBase at boundary = %#x", PageBase(0x1000))
+	}
+}
+
+// TestForkSeesParentContents: a fork reads everything the parent had
+// written before the fork, without copying any page.
+func TestForkSeesParentContents(t *testing.T) {
+	m := New()
+	m.Write64(0x1000, 111)
+	m.Write64(0x7f0000002000, 222)
+	f := m.Fork()
+	if f.Read64(0x1000) != 111 || f.Read64(0x7f0000002000) != 222 {
+		t.Fatalf("fork does not see parent contents: %d %d",
+			f.Read64(0x1000), f.Read64(0x7f0000002000))
+	}
+	if f.PagesAllocated() != 0 {
+		t.Errorf("fork copied %d pages on read; want 0 (COW)", f.PagesAllocated())
+	}
+	if f.PagesShared() != 2 {
+		t.Errorf("PagesShared = %d, want 2", f.PagesShared())
+	}
+}
+
+// TestForkWriteIsolation: writes in a fork never reach the parent or a
+// sibling fork, and vice versa — including writes to pages both sides
+// had already read through the shared base (the memo-staleness trap).
+func TestForkWriteIsolation(t *testing.T) {
+	m := New()
+	m.Write64(0x1000, 1)
+	a := m.Fork()
+	b := m.Fork()
+
+	// Warm every memo with a read of the shared page first.
+	_ = m.Read64(0x1000)
+	_ = a.Read64(0x1000)
+	_ = b.Read64(0x1000)
+
+	a.Write64(0x1000, 2)
+	if m.Read64(0x1000) != 1 || b.Read64(0x1000) != 1 {
+		t.Fatalf("fork write leaked: parent=%d sibling=%d", m.Read64(0x1000), b.Read64(0x1000))
+	}
+	m.Write64(0x1000, 3) // parent write after fork stays private too
+	if a.Read64(0x1000) != 2 || b.Read64(0x1000) != 1 {
+		t.Fatalf("parent write leaked: a=%d b=%d", a.Read64(0x1000), b.Read64(0x1000))
+	}
+	if a.PagesAllocated() != 1 {
+		t.Errorf("fork a owns %d pages, want 1 (one COW copy)", a.PagesAllocated())
+	}
+}
+
+// TestForkOfFork: grandchild sees both generations' pre-fork writes
+// and still isolates its own.
+func TestForkOfFork(t *testing.T) {
+	m := New()
+	m.Write64(0x1000, 1)
+	child := m.Fork()
+	child.Write64(0x2000, 2)
+	grand := child.Fork()
+	if grand.Read64(0x1000) != 1 || grand.Read64(0x2000) != 2 {
+		t.Fatalf("grandchild misses inherited state: %d %d",
+			grand.Read64(0x1000), grand.Read64(0x2000))
+	}
+	grand.Write64(0x2000, 9)
+	if child.Read64(0x2000) != 2 {
+		t.Fatalf("grandchild write leaked to child: %d", child.Read64(0x2000))
+	}
+}
+
+// TestForkFreshPages: pages never present in the base allocate
+// privately in each side.
+func TestForkFreshPages(t *testing.T) {
+	m := New()
+	f := m.Fork()
+	f.Write64(0x5000, 5)
+	if m.Read64(0x5000) != 0 {
+		t.Fatalf("fresh fork page visible in parent: %d", m.Read64(0x5000))
+	}
+	if m.PagesAllocated() != 0 {
+		t.Errorf("parent allocated %d pages, want 0", m.PagesAllocated())
+	}
+}
+
+// TestForkConcurrentReads: sibling forks may read (and COW-write)
+// concurrently; the shared base layer is never written in place.
+// Run with -race to make this meaningful.
+func TestForkConcurrentReads(t *testing.T) {
+	m := New()
+	for i := uint64(0); i < 64; i++ {
+		m.Write64(0x1000+i*8, i)
+	}
+	parent := m.Fork()
+	_ = parent
+	const forks = 8
+	done := make(chan error, forks)
+	for g := 0; g < forks; g++ {
+		f := m.Fork()
+		go func(f *Memory, g uint64) {
+			for i := uint64(0); i < 64; i++ {
+				if got := f.Read64(0x1000 + i*8); got != i {
+					done <- fmt.Errorf("fork %d read %d at slot %d", g, got, i)
+					return
+				}
+				f.Write64(0x1000+i*8, g*1000+i)
+			}
+			for i := uint64(0); i < 64; i++ {
+				if got := f.Read64(0x1000 + i*8); got != g*1000+i {
+					done <- fmt.Errorf("fork %d lost its write at slot %d: %d", g, i, got)
+					return
+				}
+			}
+			done <- nil
+		}(f, uint64(g))
+	}
+	for g := 0; g < forks; g++ {
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestForkZeroValue: forking a zero-value Memory works.
+func TestForkZeroValue(t *testing.T) {
+	var m Memory
+	f := m.Fork()
+	if f.Read64(0x1000) != 0 {
+		t.Error("zero-value fork read != 0")
+	}
+	f.Write64(0x1000, 7)
+	if f.Read64(0x1000) != 7 {
+		t.Error("zero-value fork write/read failed")
 	}
 }

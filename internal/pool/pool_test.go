@@ -1,0 +1,167 @@
+package pool
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/workload"
+)
+
+// drive runs a short warmup+measure cycle on sys and returns the
+// counter snapshot — the same sequence runner.execute performs.
+func drive(t *testing.T, w *workload.Workload, sys *core.System, seed uint64, warm, measure int) cpu.Counters {
+	t.Helper()
+	d := workload.NewDriver(w, sys, workload.DriverSeed(seed))
+	if err := d.Warmup(warm); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(measure); err != nil {
+		t.Fatal(err)
+	}
+	return sys.Counters()
+}
+
+// TestPooledSystemBitIdenticalToFresh: a system built from a pooled,
+// COW-forked image produces counters bit-equal to one generated and
+// linked from scratch.
+func TestPooledSystemBitIdenticalToFresh(t *testing.T) {
+	const seed = 5
+	cfg := core.Enhanced(seed)
+
+	fw := workload.Memcached(seed)
+	fsys, err := fw.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := drive(t, fw, fsys, seed, 10, 40)
+
+	p := New(Options{})
+	// Two pooled runs: the second reuses the already-forked master.
+	for i := 0; i < 2; i++ {
+		sys, w, hit, err := p.System("memcached", workload.Memcached, seed, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantHit := i == 1; hit != wantHit {
+			t.Errorf("run %d: image hit = %v, want %v", i, hit, wantHit)
+		}
+		pooled := drive(t, w, sys, seed, 10, 40)
+		if pooled != fresh {
+			t.Errorf("run %d: pooled counters diverge from fresh construction:\npooled %+v\nfresh  %+v", i, pooled, fresh)
+		}
+	}
+	st := p.Stats()
+	if st.WorkloadMisses != 1 || st.ImageMisses != 1 || st.ImageHits != 1 {
+		t.Errorf("stats = %+v, want 1 workload miss, 1 image miss, 1 image hit", st)
+	}
+	if st.ImageBytes <= 0 {
+		t.Errorf("ImageBytes = %d, want > 0", st.ImageBytes)
+	}
+}
+
+// TestConcurrentJobsShareOneMaster: many goroutines build and drive
+// systems for the same key concurrently; generation and linking happen
+// once, and every run's counters are bit-equal.  Run with -race.
+func TestConcurrentJobsShareOneMaster(t *testing.T) {
+	const seed, workers = 9, 8
+	p := New(Options{})
+	cfg := core.Base(seed)
+
+	results := make([]cpu.Counters, workers)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sys, w, _, err := p.System("memcached", workload.Memcached, seed, cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[g] = drive(t, w, sys, seed, 8, 30)
+		}(g)
+	}
+	wg.Wait()
+
+	for g := 1; g < workers; g++ {
+		if results[g] != results[0] {
+			t.Errorf("goroutine %d counters diverge:\n%+v\n%+v", g, results[g], results[0])
+		}
+	}
+	st := p.Stats()
+	if st.WorkloadMisses != 1 {
+		t.Errorf("workload generated %d times under concurrency, want 1", st.WorkloadMisses)
+	}
+	if st.ImageMisses != 1 {
+		t.Errorf("master linked %d times under concurrency, want 1", st.ImageMisses)
+	}
+	if st.ImageHits+st.ImageMisses != workers {
+		t.Errorf("image hits+misses = %d, want %d", st.ImageHits+st.ImageMisses, workers)
+	}
+}
+
+// TestImageKeyedByLinkOptions: configs differing only in hardware
+// share one master; configs differing in linking do not.
+func TestImageKeyedByLinkOptions(t *testing.T) {
+	const seed = 3
+	p := New(Options{})
+	for _, cfg := range []core.Config{core.Base(seed), core.Enhanced(seed)} {
+		if _, _, _, err := p.System("memcached", workload.Memcached, seed, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := p.Stats(); st.ImageMisses != 1 || st.ImageHits != 1 {
+		t.Errorf("base+enhanced (same link options): misses=%d hits=%d, want 1/1", st.ImageMisses, st.ImageHits)
+	}
+	// Static linking changes the link product: new master.
+	if _, _, _, err := p.System("memcached", workload.Memcached, seed, core.Static(seed)); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.ImageMisses != 2 {
+		t.Errorf("static link reused a lazy master: misses=%d, want 2", st.ImageMisses)
+	}
+	if st := p.Stats(); st.WorkloadMisses != 1 {
+		t.Errorf("workload regenerated: misses=%d, want 1", st.WorkloadMisses)
+	}
+}
+
+// TestLRUEviction: the image bound evicts the least recently used
+// master, and a re-request relinks it.
+func TestLRUEviction(t *testing.T) {
+	p := New(Options{MaxImages: 2, MaxWorkloads: 2})
+	for _, seed := range []uint64{1, 2, 3} { // seeds give distinct link layouts
+		if _, _, _, err := p.System("memcached", workload.Memcached, seed, core.Base(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	if st.Images != 2 || st.Workloads != 2 {
+		t.Errorf("cached images=%d workloads=%d, want 2/2", st.Images, st.Workloads)
+	}
+	if st.Evictions == 0 {
+		t.Error("no evictions recorded past the bound")
+	}
+	// Seed 1 was evicted; using it again is a miss that still works.
+	_, _, hit, err := p.System("memcached", workload.Memcached, 1, core.Base(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("evicted master reported as hit")
+	}
+}
+
+// TestUnboundedWhenNegative: negative bounds disable eviction.
+func TestUnboundedWhenNegative(t *testing.T) {
+	p := New(Options{MaxImages: -1, MaxWorkloads: -1})
+	for _, seed := range []uint64{1, 2, 3, 4} {
+		if _, _, _, err := p.System("memcached", workload.Memcached, seed, core.Base(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := p.Stats(); st.Images != 4 || st.Evictions != 0 {
+		t.Errorf("images=%d evictions=%d, want 4/0", st.Images, st.Evictions)
+	}
+}

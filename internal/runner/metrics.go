@@ -31,6 +31,8 @@ import (
 //	dlsim_runner_exec_ms                     histogram  single-attempt execution time
 //	dlsim_runner_backoff_ms                  histogram  retry backoff sleeps
 //	dlsim_runner_job_wall_ms                 histogram  whole-job wall clock (completed jobs)
+//	dlsim_runner_setup_wall_ms               histogram  generation+link+warmup wall clock
+//	dlsim_runner_measure_wall_ms             histogram  measured-request wall clock
 //	dlsim_sim_instructions_total{workload,config}   counter  simulated instructions retired
 //	dlsim_sim_cycles_total{workload,config}         counter  simulated cycles
 //	dlsim_sim_lib_calls_total{workload,config}      counter  trampoline-routed library calls
@@ -58,10 +60,12 @@ type metrics struct {
 	coalesced   *telemetry.Counter
 	cacheMisses *telemetry.Counter
 
-	queueWaitMS *telemetry.Histogram
-	execMS      *telemetry.Histogram
-	backoffMS   *telemetry.Histogram
-	jobWallMS   *telemetry.Histogram
+	queueWaitMS   *telemetry.Histogram
+	execMS        *telemetry.Histogram
+	backoffMS     *telemetry.Histogram
+	jobWallMS     *telemetry.Histogram
+	setupWallMS   *telemetry.Histogram
+	measureWallMS *telemetry.Histogram
 
 	simInstructions *telemetry.CounterVec
 	simCycles       *telemetry.CounterVec
@@ -106,10 +110,12 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 		coalesced:   reg.Counter("dlsim_runner_coalesced_total", "Submissions coalesced onto an in-flight identical job."),
 		cacheMisses: reg.Counter("dlsim_runner_cache_misses_total", "Submissions that started a new simulation."),
 
-		queueWaitMS: reg.Histogram("dlsim_runner_queue_wait_ms", "Wait from ready-to-run to worker acquired, per attempt.", wallBuckets),
-		execMS:      reg.Histogram("dlsim_runner_exec_ms", "Single-attempt execution time.", wallBuckets),
-		backoffMS:   reg.Histogram("dlsim_runner_backoff_ms", "Retry backoff sleeps.", backoffBuckets),
-		jobWallMS:   reg.Histogram("dlsim_runner_job_wall_ms", "Whole-job wall clock over completed jobs.", wallBuckets),
+		queueWaitMS:   reg.Histogram("dlsim_runner_queue_wait_ms", "Wait from ready-to-run to worker acquired, per attempt.", wallBuckets),
+		execMS:        reg.Histogram("dlsim_runner_exec_ms", "Single-attempt execution time.", wallBuckets),
+		backoffMS:     reg.Histogram("dlsim_runner_backoff_ms", "Retry backoff sleeps.", backoffBuckets),
+		jobWallMS:     reg.Histogram("dlsim_runner_job_wall_ms", "Whole-job wall clock over completed jobs.", wallBuckets),
+		setupWallMS:   reg.Histogram("dlsim_runner_setup_wall_ms", "Per-job setup wall clock: generation, linking (or pool fetch), warmup.", wallBuckets),
+		measureWallMS: reg.Histogram("dlsim_runner_measure_wall_ms", "Per-job measurement wall clock: measured requests only.", wallBuckets),
 
 		simInstructions: reg.CounterVec("dlsim_sim_instructions_total", "Simulated instructions retired in measurement windows.", wl, cf),
 		simCycles:       reg.CounterVec("dlsim_sim_cycles_total", "Simulated cycles in measurement windows.", wl, cf),

@@ -1,0 +1,51 @@
+package runner
+
+import (
+	"context"
+	"testing"
+)
+
+// benchSweepSpecs is a repeated-spec sweep: one workload bundle, one
+// seed, two configs that share link options, and a ladder of warmup
+// budgets over the minimum measured count.  Unpooled, every cell pays
+// generation + linking (mysql's dominant cost at small budgets);
+// pooled, the whole sweep costs one generation, one link, and cheap
+// copy-on-write forks.  This is the shape batch submissions take in
+// practice (sweep one workload across configs/budgets), so the A/B
+// ratio below is the pool's headline throughput win.
+func benchSweepSpecs() []JobSpec {
+	specs := make([]JobSpec, 0, 12)
+	for _, cfg := range []ConfigKind{Base, Enhanced} {
+		for i := 0; i < 6; i++ {
+			specs = append(specs, JobSpec{
+				Workload: "mysql",
+				Config:   cfg,
+				Seed:     1,
+				Warm:     1 + i,
+				Measure:  MinMeasure,
+			})
+		}
+	}
+	return specs
+}
+
+// benchSweep runs the sweep on a fresh Runner per iteration so the
+// pooled side rebuilds its pool every time — the measured win is
+// within-sweep reuse, not a warm cache carried across iterations.
+func benchSweep(b *testing.B, disable bool) {
+	specs := benchSweepSpecs()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := New(Options{Workers: 2, DisablePool: disable, TraceCapacity: -1})
+		if _, err := r.RunAll(ctx, specs); err != nil {
+			b.Fatal(err)
+		}
+		r.Close()
+	}
+	b.ReportMetric(float64(len(specs)), "jobs/op")
+}
+
+func BenchmarkSweepPooled(b *testing.B)   { benchSweep(b, false) }
+func BenchmarkSweepUnpooled(b *testing.B) { benchSweep(b, true) }

@@ -45,8 +45,16 @@ type Result struct {
 	// its Classes describe the request mix behind Samples.
 	Workload *workload.Workload
 
-	// Wall is how long the simulation took on the worker.
-	Wall time.Duration
+	// SetupWall is the wall clock spent before the first measured
+	// request: workload generation (or pool fetch), linking (or
+	// copy-on-write fork), and warmup.  MeasureWall covers only the
+	// measured requests.  Wall is their sum — the whole simulation's
+	// time on the worker — kept so existing consumers keep reading
+	// one number.  Splitting them is what makes pool savings visible:
+	// the pool shrinks SetupWall and cannot touch MeasureWall.
+	SetupWall   time.Duration
+	MeasureWall time.Duration
+	Wall        time.Duration
 
 	// CacheHit reports whether this submission was answered without
 	// starting a new simulation (served from cache or coalesced onto

@@ -11,7 +11,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/pool"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
@@ -66,6 +68,24 @@ type Options struct {
 	// Zero means telemetry.DefaultTraceCapacity; negative disables
 	// tracing entirely (spans become nil no-ops).
 	TraceCapacity int
+
+	// Pool is the shared artifact pool jobs draw generated workloads
+	// and copy-on-write-forked images from.  Nil means a private pool
+	// registered on the runner's metrics registry; pass one explicitly
+	// to share artifacts across runners.  Pooling never changes
+	// results — a forked image is bit-identical to a fresh link (see
+	// internal/pool) — it only skips redundant setup work.
+	Pool *pool.Pool
+
+	// DisablePool turns artifact pooling off: every job generates and
+	// links from scratch, the pre-pool behaviour.  Used by the A/B
+	// throughput benchmark; Pool is ignored when set.
+	DisablePool bool
+
+	// MaxBatches bounds how many batch handles are retained for
+	// lookup by ID (least recently used dropped beyond it).  Zero
+	// means DefaultMaxBatches; negative means unbounded.
+	MaxBatches int
 }
 
 // JobState is a job's lifecycle position.
@@ -194,6 +214,10 @@ type Runner struct {
 	m      *metrics
 	tracer *telemetry.Tracer
 
+	// pool serves generated workloads and COW-forked images to
+	// execute; nil when Options.DisablePool is set.
+	pool *pool.Pool
+
 	mu       sync.Mutex
 	byKey    map[string]*Job
 	byID     map[string]*Job
@@ -212,6 +236,13 @@ type Runner struct {
 	evicted     map[string]struct{}
 	evictRing   []string
 	evictHead   int
+
+	// Batch retention (guarded by mu): batches indexes retained batch
+	// handles by content-derived ID, LRU-bounded by maxBatches.
+	maxBatches int
+	batches    map[string]*Batch
+	batchLRU   *list.List
+	batchElem  map[string]*list.Element
 }
 
 // DefaultMaxRetained is the completed-job retention bound applied when
@@ -251,6 +282,10 @@ func New(opts Options) *Runner {
 	if maxRetained == 0 {
 		maxRetained = DefaultMaxRetained
 	}
+	maxBatches := opts.MaxBatches
+	if maxBatches == 0 {
+		maxBatches = DefaultMaxBatches
+	}
 	r := &Runner{
 		opts:        opts,
 		rootCtx:     ctx,
@@ -265,10 +300,26 @@ func New(opts Options) *Runner {
 		lru:         list.New(),
 		lruElem:     make(map[string]*list.Element),
 		evicted:     make(map[string]struct{}),
+		maxBatches:  maxBatches,
+		batches:     make(map[string]*Batch),
+		batchLRU:    list.New(),
+		batchElem:   make(map[string]*list.Element),
 	}
 	r.m.workers.Set(int64(opts.Workers))
+	if !opts.DisablePool {
+		if opts.Pool != nil {
+			r.pool = opts.Pool
+		} else {
+			r.pool = pool.New(pool.Options{Metrics: r.m.reg})
+		}
+	}
 	return r
 }
+
+// ArtifactPool returns the pool jobs draw workloads and images from —
+// the one passed in Options.Pool or the private one created by New —
+// or nil when pooling is disabled.
+func (r *Runner) ArtifactPool() *pool.Pool { return r.pool }
 
 // MaxRetained returns the completed-job retention bound (negative
 // means unbounded).
@@ -589,7 +640,7 @@ func (r *Runner) attempt(j *Job, sp *telemetry.Span) (res *Result, err error) {
 	if ferr := faultinject.FireCtx(ctx, "runner.execute"); ferr != nil {
 		err = fmt.Errorf("runner: %s/%s: %w", j.Spec.Workload, j.Spec.Config, ferr)
 	} else {
-		res, err = execute(ctx, j.Spec, sp)
+		res, err = r.execute(ctx, j.Spec, sp)
 	}
 	if err == nil {
 		if ferr := faultinject.FireCtx(ctx, "runner.result"); ferr != nil {
@@ -620,6 +671,8 @@ func (r *Runner) finish(j *Job, res *Result, err error) {
 	} else {
 		r.m.completed.Inc()
 		r.m.jobWallMS.Observe(float64(res.Wall) / float64(time.Millisecond))
+		r.m.setupWallMS.Observe(float64(res.SetupWall) / float64(time.Millisecond))
+		r.m.measureWallMS.Observe(float64(res.MeasureWall) / float64(time.Millisecond))
 		r.m.recordResult(res)
 		traceResultAttrs(j.span, res)
 	}
@@ -636,8 +689,11 @@ func (r *Runner) finish(j *Job, res *Result, err error) {
 // experiments.Suite historically ran inline (including the driver
 // seed offset), so results are bit-identical to the sequential path:
 // the trace spans around each phase only observe wall clock and touch
-// no simulation state.  sp may be nil (tracing disabled).
-func execute(ctx context.Context, spec JobSpec, sp *telemetry.Span) (*Result, error) {
+// no simulation state, and the artifact pool — when enabled — serves
+// the generate and link phases from cache, handing the job a bundle
+// and a copy-on-write fork that are bit-identical to fresh ones (see
+// internal/pool).  sp may be nil (tracing disabled).
+func (r *Runner) execute(ctx context.Context, spec JobSpec, sp *telemetry.Span) (*Result, error) {
 	ws, ok := WorkloadByName(spec.Workload)
 	if !ok {
 		return nil, fmt.Errorf("runner: unknown workload %q", spec.Workload)
@@ -646,40 +702,59 @@ func execute(ctx context.Context, spec JobSpec, sp *telemetry.Span) (*Result, er
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	setupStart := time.Now()
 	ph := sp.Child("generate")
-	w := ws.Gen(spec.Seed)
+	var w *workload.Workload
+	if r.pool != nil {
+		var hit bool
+		w, hit = r.pool.Workload(spec.Workload, ws.Gen, spec.Seed)
+		ph.SetAttr("pool_hit", strconv.FormatBool(hit))
+	} else {
+		w = ws.Gen(spec.Seed)
+	}
 	ph.End()
 	ph = sp.Child("link")
-	sys, err := w.NewSystem(cfg)
+	var sys *core.System
+	if r.pool != nil {
+		var hit bool
+		sys, hit, err = r.pool.ImageSystem(spec.Workload, spec.Seed, w, cfg)
+		ph.SetAttr("pool_hit", strconv.FormatBool(hit))
+	} else {
+		sys, err = w.NewSystem(cfg)
+	}
 	ph.End()
 	if err != nil {
 		return nil, fmt.Errorf("runner: %s/%s: %w", spec.Workload, spec.Config, err)
 	}
-	d := workload.NewDriver(w, sys, spec.Seed+17)
+	d := workload.NewDriver(w, sys, workload.DriverSeed(spec.Seed))
 	ph = sp.Child("warmup")
 	err = d.WarmupContext(ctx, spec.Warm)
 	ph.End()
 	if err != nil {
 		return nil, fmt.Errorf("runner: %s/%s: %w", spec.Workload, spec.Config, err)
 	}
+	setupWall := time.Since(setupStart)
+	measureStart := time.Now()
 	ph = sp.Child("measure")
 	samp, err := d.RunContext(ctx, spec.Measure)
 	ph.End()
 	if err != nil {
 		return nil, fmt.Errorf("runner: %s/%s: %w", spec.Workload, spec.Config, err)
 	}
+	measureWall := time.Since(measureStart)
 	key, _ := spec.Key()
 	res := &Result{
-		Spec:     spec,
-		Key:      key,
-		ID:       IDFromKey(key),
-		Counters: sys.Counters(),
-		PKI:      sys.PKI(),
-		Samples:  samp,
-		Trace:    sys.LifetimeRecorder(),
-		Workload: w,
-		Wall:     time.Since(start),
+		Spec:        spec,
+		Key:         key,
+		ID:          IDFromKey(key),
+		Counters:    sys.Counters(),
+		PKI:         sys.PKI(),
+		Samples:     samp,
+		Trace:       sys.LifetimeRecorder(),
+		Workload:    w,
+		SetupWall:   setupWall,
+		MeasureWall: measureWall,
+		Wall:        setupWall + measureWall,
 	}
 	res.freeze()
 	return res, nil

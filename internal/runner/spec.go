@@ -150,11 +150,21 @@ func (j JobSpec) Validate() error {
 	return nil
 }
 
+// MinMeasure is the smallest measured-request budget a job runs with:
+// fewer requests give percentiles no support.  Scaled-down defaults
+// are clamped up to it; explicitly requested budgets below it are
+// rejected by Normalize instead, so a caller asking for measure=5
+// learns the request is unsatisfiable rather than silently receiving
+// a 20-request result cached under a key they never asked for.
+const MinMeasure = 20
+
 // Normalize resolves defaults and folds Scale into the measured
 // request count, returning the canonical form of the spec.  Two specs
 // denoting the same simulation normalise identically.  The measured
 // count is scaled and clamped exactly as experiments.Suite does, so
-// runner results line up with the historical sequential path.
+// runner results line up with the historical sequential path.  An
+// explicit Measure below MinMeasure is an error; only the
+// workload-default and Scale-folding paths clamp.
 func (j JobSpec) Normalize() (JobSpec, error) {
 	if err := j.Validate(); err != nil {
 		return JobSpec{}, err
@@ -166,14 +176,17 @@ func (j JobSpec) Normalize() (JobSpec, error) {
 	}
 	if out.Measure == 0 {
 		out.Measure = ws.Measure
+	} else if out.Measure < MinMeasure {
+		return JobSpec{}, fmt.Errorf("runner: measure=%d below the minimum %d (leave measure unset for the workload default)",
+			out.Measure, MinMeasure)
 	}
 	scale := out.Scale
 	if scale <= 0 {
 		scale = 1
 	}
 	n := int(float64(out.Measure) * scale)
-	if n < 20 {
-		n = 20
+	if n < MinMeasure {
+		n = MinMeasure
 	}
 	out.Measure = n
 	out.Scale = 0 // folded into Measure

@@ -45,6 +45,12 @@ type RequestClass struct {
 }
 
 // Workload is a generated application bundle.
+//
+// A Workload is immutable after generation: NewSystem only reads the
+// objects (see core.NewSystem), and Drivers read Classes without
+// writing them.  One generated Workload may therefore back any number
+// of concurrent systems and drivers — the sharing contract
+// internal/pool relies on to generate each (workload, seed) once.
 type Workload struct {
 	Name    string
 	App     *objfile.Object
@@ -89,9 +95,22 @@ type Driver struct {
 	served int
 }
 
+// DriverSeedOffset decorrelates the request-interleaving RNG from the
+// generation/layout RNG streams that already consumed the raw spec
+// seed.  Every measurement harness must apply the same offset — a
+// drift between call sites silently changes request streams and thus
+// every published number — so the offset lives here, next to the
+// driver it seeds, and callers go through DriverSeed.
+const DriverSeedOffset = 17
+
+// DriverSeed maps a job/suite seed to the driver's interleaving seed.
+// runner.execute and every experiments call site use this helper; see
+// TestDriverSeedPinned for the pinned value.
+func DriverSeed(seed uint64) uint64 { return seed + DriverSeedOffset }
+
 // NewDriver returns a driver over the workload and system.  The seed
 // fixes the class-interleaving order; drivers for systems under
-// comparison must use the same seed.
+// comparison must use the same seed (derive it with DriverSeed).
 func NewDriver(w *Workload, sys *core.System, seed uint64) *Driver {
 	cum := make([]float64, len(w.Classes))
 	total := 0.0

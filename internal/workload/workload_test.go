@@ -324,3 +324,20 @@ func TestDriverPerturbationProducesOutliers(t *testing.T) {
 		t.Errorf("trimming did not remove the outlier tail")
 	}
 }
+
+// TestDriverSeedPinned pins the driver-seed offset: runner.execute and
+// every experiments harness construct drivers via DriverSeed, and a
+// silent change here would alter every request stream and published
+// number.  If you change the offset deliberately, regenerate the
+// experiments golden file too.
+func TestDriverSeedPinned(t *testing.T) {
+	if DriverSeedOffset != 17 {
+		t.Fatalf("DriverSeedOffset = %d, want 17 (pinned; changing it invalidates golden counters)", DriverSeedOffset)
+	}
+	if got := DriverSeed(0); got != 17 {
+		t.Fatalf("DriverSeed(0) = %d, want 17", got)
+	}
+	if got := DriverSeed(7); got != 24 {
+		t.Fatalf("DriverSeed(7) = %d, want 24", got)
+	}
+}

@@ -14,7 +14,7 @@ fi
 go vet ./...
 go build ./...
 go test ./...
-go test -race -timeout 20m ./internal/runner/... ./cmd/dlsimd/...
+go test -race -timeout 20m ./internal/pool/... ./internal/runner/... ./cmd/dlsimd/...
 go test -race -timeout 20m -run 'TestSuiteParallelMatchesSequential|TestSuiteConcurrentUse|TestGoldenCounters' ./internal/experiments/
 make faults
 
@@ -26,4 +26,14 @@ if KB_RUNS=2 scripts/kernel_bench.sh /tmp/BENCH_kernel_ci.json; then
 	grep -E '"(base|enhanced)_speedup"' /tmp/BENCH_kernel_ci.json || true
 else
 	echo "WARNING: kernel benchmark failed (advisory only)" >&2
+fi
+
+# Advisory: artifact-pool sweep throughput, pooled vs unpooled.  Same
+# caveat as above — noisy on a loaded host, so warn instead of fail;
+# re-run `make pool-bench` on a quiet machine before trusting a
+# regression.
+if PB_RUNS=2 scripts/pool_bench.sh /tmp/BENCH_pool_ci.json; then
+	grep '"pooled_speedup"' /tmp/BENCH_pool_ci.json || true
+else
+	echo "WARNING: pool benchmark failed (advisory only)" >&2
 fi
