@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt race faults bench-runner bench-fault obs-bench kernel-bench pool-bench all
+.PHONY: check fmt race faults bench-runner bench-fault obs-bench kernel-bench pool-bench store-bench all
 
 all: check
 
@@ -67,3 +67,11 @@ kernel-bench:
 # `go test -run 'TestPooledBitIdenticalToUnpooled|TestGoldenCounters' ./internal/runner/ ./internal/experiments/`.
 pool-bench:
 	scripts/pool_bench.sh
+
+# Result-store warm-start throughput: a repeated-spec sweep served
+# from a pre-populated store vs computed from an empty one,
+# interleaved A/B; regenerates BENCH_store.json.  Pair with the
+# bit-identity proof:
+# `go test -run 'TestStoreWarmStart|TestHTTPRestartWarmStart' ./internal/runner/ ./cmd/dlsimd/`.
+store-bench:
+	scripts/store_bench.sh

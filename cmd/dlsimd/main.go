@@ -27,6 +27,18 @@
 //	dlsimd [-addr :8344] [-workers N] [-job-timeout 5m] [-max-queue N]
 //	       [-max-retained N] [-retries N] [-request-timeout 30s]
 //	       [-drain-timeout 30s] [-trace-buffer N] [-debug-addr :8345]
+//	       [-store-dir DIR] [-store-max-bytes N]
+//
+// With -store-dir set, every completed result (and every completed
+// batch's aggregate snapshot) is written through to a disk-backed
+// content-addressed store (see internal/store): LRU eviction demotes
+// results to disk instead of dropping them, lookups and submissions
+// fall back to the store before recomputing, and a restarted process
+// pointed at the same directory warm-starts — previously completed
+// job IDs are served from disk with bit-identical counters.  The
+// graceful-drain path flushes the store before exit, and 410 Gone is
+// reserved for entries truly dropped (store disabled, failed jobs, or
+// size-bound compaction victims).
 //
 // API:
 //
@@ -76,6 +88,8 @@ import (
 	"time"
 
 	"repro/internal/runner"
+	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -90,11 +104,41 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
 	traceBuffer := flag.Int("trace-buffer", 0, "recent job traces to retain (0 = default 512, negative disables tracing)")
 	debugAddr := flag.String("debug-addr", "", "optional net/http/pprof listen address (e.g. :8345); empty disables")
+	storeDir := flag.String("store-dir", "", "directory for the disk-backed result store; completed results persist there and warm-start the next process (empty disables persistence)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0, "on-disk size bound of the result store; exceeding it compacts and drops the oldest entries (0 = default 256 MiB, negative = unbounded)")
 	flag.Parse()
 
 	// Zero flags: every line the server emits is a self-contained JSON
 	// object carrying its own timestamp.
 	logger := log.New(os.Stderr, "", 0)
+
+	// The registry and trace ring are shared between the store and
+	// the runner so GET /metrics is one scrape over both tiers and
+	// the store's open/replay span is addressable at
+	// /v1/traces/store-open like any job trace.
+	reg := telemetry.NewRegistry()
+	var tracer *telemetry.Tracer
+	if *traceBuffer >= 0 {
+		tracer = telemetry.NewTracer(*traceBuffer)
+	}
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, store.Options{
+			MaxBytes: *storeMaxBytes,
+			Metrics:  reg,
+			Tracer:   tracer,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dlsimd:", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		ss := st.Stats()
+		fmt.Printf("dlsimd: result store %s (%d entries, %d segments, %d bytes, %d torn records recovered)\n",
+			*storeDir, ss.Entries, ss.Segments, ss.Bytes, ss.TornRecovered)
+	}
+
 	pool := runner.New(runner.Options{
 		Workers:       *workers,
 		JobTimeout:    *jobTimeout,
@@ -103,6 +147,9 @@ func main() {
 		MaxBatches:    *maxBatches,
 		Retry:         runner.RetryPolicy{MaxAttempts: *retries},
 		TraceCapacity: *traceBuffer,
+		Metrics:       reg,
+		Tracer:        tracer,
+		Store:         st,
 	})
 	defer pool.Close()
 
@@ -148,11 +195,21 @@ func main() {
 		deadline, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		// Drain in-flight simulations first (admission is already
-		// off), then stop the HTTP listener within the same budget.
+		// off), then flush the result store — every drained job's
+		// result was written through before its gauges dropped, so a
+		// clean drain plus this flush makes the whole run durable —
+		// and finally stop the HTTP listener within the same budget.
 		if abandoned := pool.Drain(deadline); abandoned > 0 {
 			api.logJSON("drain deadline hit", map[string]any{"abandoned": abandoned})
 		} else {
 			api.logJSON("drained", nil)
+		}
+		if st != nil {
+			if err := st.Close(); err != nil {
+				api.logJSON("store flush failed", map[string]any{"error": err.Error()})
+			} else {
+				api.logJSON("store flushed", map[string]any{"entries": st.Stats().Entries})
+			}
 		}
 		_ = srv.Shutdown(deadline)
 	}()

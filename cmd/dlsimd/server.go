@@ -16,8 +16,10 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/pool"
 	"repro/internal/runner"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
@@ -141,9 +143,11 @@ func route(r *http.Request) string {
 	switch {
 	case strings.HasPrefix(p, "/v1/jobs/"):
 		return "/v1/jobs/{id}"
+	case strings.HasPrefix(p, "/v1/batches/"):
+		return "/v1/batches/{id}"
 	case strings.HasPrefix(p, "/v1/traces/"):
 		return "/v1/traces/{id}"
-	case p == "/v1/jobs", p == "/v1/stats", p == "/metrics", p == "/healthz", p == "/readyz":
+	case p == "/v1/jobs", p == "/v1/batches", p == "/v1/stats", p == "/metrics", p == "/healthz", p == "/readyz":
 		return p
 	default:
 		return "other"
@@ -360,15 +364,21 @@ func (s *server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleBatch reports a batch's progress, per-job states (with each
-// failure's error) and per-config aggregates.  Unknown or
-// retention-evicted batch IDs answer 404; the underlying jobs remain
-// individually addressable via /v1/jobs/{id} for as long as the job
-// cache retains them.
+// failure's error) and per-config aggregates.  Completed batches
+// survive retention eviction and restarts via the disk store; a
+// batch ID recently dropped from retention (and absent from the
+// store) answers 410 Gone like an evicted job, and IDs never seen —
+// or forgotten by the bounded evicted-ID memory — answer 404.  The
+// underlying jobs remain individually addressable via /v1/jobs/{id}.
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	batch, ok := s.pool.Batch(id)
 	if !ok {
-		writeError(w, r, http.StatusNotFound, "no batch %q (unknown, or evicted from batch retention)", id)
+		if s.pool.Evicted(id) {
+			writeError(w, r, http.StatusGone, "batch %q evicted from batch retention; resubmit its sweep to recompute", id)
+			return
+		}
+		writeError(w, r, http.StatusNotFound, "no batch %q", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, batch.Status())
@@ -510,8 +520,8 @@ func marshalResult(res *runner.Result) *resultJSON {
 		TrampCalls:          res.Counters.TrampCalls,
 		TrampSkips:          res.Counters.TrampSkips,
 		Resolutions:         res.Counters.Resolutions,
-		DistinctTrampolines: res.Trace.Distinct(),
-		LibCalls:            res.Trace.Total(),
+		DistinctTrampolines: res.DistinctTrampolines(),
+		LibCalls:            res.LibCalls(),
 		Classes:             make(map[string]classJSON, len(res.Samples)),
 	}
 	out.PKI.TrampInstrs = res.PKI.TrampInstrs
@@ -536,6 +546,14 @@ func summariseClass(s *stats.Sample) classJSON {
 	}
 }
 
+// storeStatsJSON is the store tier's row in /v1/stats: the raw
+// store.Stats plus the derived hit rate, so operators read both cache
+// tiers from one response.
+type storeStatsJSON struct {
+	store.Stats
+	HitRate float64 `json:"hit_rate"`
+}
+
 // statsResponse answers GET /v1/stats.
 type statsResponse struct {
 	runner.Stats
@@ -543,20 +561,40 @@ type statsResponse struct {
 	Draining  bool                `json:"draining"`
 	Workloads []string            `json:"workloads"`
 	Configs   []runner.ConfigKind `json:"configs"`
+
+	// ArtifactPool is the artifact pool's gauge set (workload/image
+	// hits, resident bytes); Store the disk tier's (entries,
+	// segments, bytes, hit rate).  Either is omitted when the tier is
+	// disabled.
+	ArtifactPool *pool.Stats     `json:"pool,omitempty"`
+	Store        *storeStatsJSON `json:"store,omitempty"`
 }
 
 // handleStats reports pool depth, cache effectiveness, failure and
-// retry counters, and job latency.  The numbers come from the same
-// telemetry registry GET /metrics exposes — runner.Stats() is a typed
-// view over those instruments, kept for API compatibility.
+// retry counters, job latency, and the artifact-pool and disk-store
+// gauges.  The numbers come from the same telemetry registry GET
+// /metrics exposes — runner.Stats() is a typed view over those
+// instruments, kept for API compatibility.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, statsResponse{
+	resp := statsResponse{
 		Stats:     s.pool.Stats(),
 		UptimeS:   time.Since(s.started).Seconds(),
 		Draining:  s.draining.Load(),
 		Workloads: runner.WorkloadNames(),
 		Configs:   runner.ConfigKinds(),
-	})
+	}
+	if ap := s.pool.ArtifactPool(); ap != nil {
+		ps := ap.Stats()
+		resp.ArtifactPool = &ps
+	}
+	if st := s.pool.Store(); st != nil {
+		ss := storeStatsJSON{Stats: st.Stats()}
+		if n := ss.Hits + ss.Misses; n > 0 {
+			ss.HitRate = float64(ss.Hits) / float64(n)
+		}
+		resp.Store = &ss
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleHealthz is liveness: 200 whenever the process can serve at

@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 )
@@ -81,6 +82,11 @@ type Batch struct {
 	Specs   []JobSpec // normalized, deduplicated, expansion order
 	jobs    []*Job
 	created time.Time
+
+	// restored holds the final status snapshot of a batch reloaded
+	// from the disk store; such a handle has no live jobs and serves
+	// Status from the snapshot.
+	restored *BatchStatus
 }
 
 // batchID content-addresses a batch by its jobs' canonical keys.
@@ -166,8 +172,12 @@ type BatchStatus struct {
 	Aggregate []BatchAggregate `json:"aggregate,omitempty"`
 }
 
-// Status snapshots the batch.
+// Status snapshots the batch.  A batch restored from the disk store
+// returns its persisted final snapshot.
 func (b *Batch) Status() BatchStatus {
+	if b.restored != nil {
+		return *b.restored
+	}
 	st := BatchStatus{ID: b.ID, Total: len(b.jobs)}
 	type agg struct {
 		jobs             int
@@ -206,7 +216,16 @@ func (b *Batch) Status() BatchStatus {
 				a.trampPKI += res.PKI.TrampInstrs
 				a.setupMS += float64(res.SetupWall) / float64(time.Millisecond)
 				a.measMS += float64(res.MeasureWall) / float64(time.Millisecond)
-				for _, s := range res.Samples {
+				// Sorted class order: float accumulation order must
+				// not depend on map iteration, or two Status() calls
+				// could disagree in the last ULP.
+				classes := make([]string, 0, len(res.Samples))
+				for name := range res.Samples {
+					classes = append(classes, name)
+				}
+				sort.Strings(classes)
+				for _, name := range classes {
+					s := res.Samples[name]
 					n := float64(s.N())
 					a.meanNum += n * s.Mean()
 					a.p99Num += n * s.Percentile(99)
@@ -292,12 +311,41 @@ func (r *Runner) SubmitBatch(sweep SweepSpec) (batch *Batch, reused bool, err er
 			old := r.batchLRU.Remove(r.batchLRU.Front()).(string)
 			delete(r.batches, old)
 			delete(r.batchElem, old)
+			// Parity with job eviction: a batch demoted to the disk
+			// store stays addressable; one truly dropped enters the
+			// evicted ring so lookups answer 410 Gone, not 404.
+			// (Batch and job IDs share the ring — the "b" prefix
+			// keeps the namespaces disjoint.)
+			if r.store == nil || !r.store.Has(old) {
+				r.noteEvicted(old)
+			}
 		}
+	}
+	if r.store != nil {
+		go r.persistBatch(b)
 	}
 	return b, false, nil
 }
 
-// Batch returns the batch with the given ID, if retained.
+// persistBatch waits for every job in the batch to finish, then
+// writes the batch's final snapshot (per-job states and per-config
+// aggregates) through to the disk store under the batch ID.  Jobs
+// always finish — runner shutdown fails them — so this goroutine is
+// bounded by the batch's own lifetime.
+func (r *Runner) persistBatch(b *Batch) {
+	for _, j := range b.jobs {
+		<-j.done
+	}
+	payload, err := encodeBatch(b.ID, b.Specs, b.Status())
+	if err != nil {
+		return
+	}
+	_ = r.store.Put(b.ID, payload)
+}
+
+// Batch returns the batch with the given ID, if retained — falling
+// back to the disk store, where completed batches' final snapshots
+// survive retention eviction and process restarts.
 func (r *Runner) Batch(id string) (*Batch, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -306,6 +354,14 @@ func (r *Runner) Batch(id string) (*Batch, bool) {
 		if e, ok := r.batchElem[id]; ok {
 			r.batchLRU.MoveToBack(e)
 		}
+		return b, ok
 	}
-	return b, ok
+	if r.store != nil {
+		if payload, ok, _ := r.store.Get(id); ok {
+			if pb, err := decodeBatch(payload); err == nil && pb.ID == id {
+				return &Batch{ID: pb.ID, Specs: pb.Specs, restored: &pb.Status}, true
+			}
+		}
+	}
+	return nil, false
 }

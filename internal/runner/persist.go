@@ -1,0 +1,145 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/stats"
+)
+
+// Disk forms of completed work, stored as JSON payloads in the
+// content-addressed store (internal/store) under the same IDs the
+// HTTP API serves.  The envelope carries a version and kind so a
+// record can be rejected rather than misread if the format ever
+// changes; integers round-trip exactly through encoding/json (uint64
+// decodes via strconv, float64 marshals shortest-round-trip), which
+// is what makes a restored result's counters bit-identical to the
+// live run's.
+const (
+	persistVersion = 1
+	kindJob        = "job"
+	kindBatch      = "batch"
+)
+
+// persistedResult is the durable subset of a Result: everything the
+// API and batch aggregation read.  The workload bundle and the
+// trampoline trace recorder are reconstruction artifacts of the live
+// run and are not persisted; their API-visible summaries
+// (distinct trampolines, total library calls) are.
+type persistedResult struct {
+	V    int    `json:"v"`
+	Kind string `json:"kind"`
+
+	Spec JobSpec `json:"spec"`
+	Key  string  `json:"key"`
+	ID   string  `json:"id"`
+
+	Counters cpu.Counters `json:"counters"`
+	PKI      core.PKI     `json:"pki"`
+
+	// Classes holds each request class's raw latency observations in
+	// microseconds (sorted; order is irrelevant to the statistics).
+	Classes map[string][]float64 `json:"classes"`
+
+	DistinctTrampolines int    `json:"distinct_trampolines"`
+	LibCalls            uint64 `json:"lib_calls"`
+
+	SetupWallNS   int64 `json:"setup_wall_ns"`
+	MeasureWallNS int64 `json:"measure_wall_ns"`
+}
+
+// encodeResult serialises a completed Result for the store.
+func encodeResult(res *Result) ([]byte, error) {
+	p := persistedResult{
+		V:                   persistVersion,
+		Kind:                kindJob,
+		Spec:                res.Spec,
+		Key:                 res.Key,
+		ID:                  res.ID,
+		Counters:            res.Counters,
+		PKI:                 res.PKI,
+		Classes:             make(map[string][]float64, len(res.Samples)),
+		DistinctTrampolines: res.DistinctTrampolines(),
+		LibCalls:            res.LibCalls(),
+		SetupWallNS:         int64(res.SetupWall),
+		MeasureWallNS:       int64(res.MeasureWall),
+	}
+	for class, s := range res.Samples {
+		p.Classes[class] = append([]float64(nil), s.Values()...)
+	}
+	return json.Marshal(p)
+}
+
+// decodeResult rebuilds a Result from its disk form.  The result is
+// marked Restored: its Workload and Trace are nil, and the trampoline
+// summary comes from the persisted fields.
+func decodeResult(b []byte) (*Result, error) {
+	var p persistedResult
+	if err := json.Unmarshal(b, &p); err != nil {
+		return nil, fmt.Errorf("runner: corrupt stored result: %w", err)
+	}
+	if p.V != persistVersion || p.Kind != kindJob {
+		return nil, fmt.Errorf("runner: stored record is not a v%d job result (v=%d kind=%q)", persistVersion, p.V, p.Kind)
+	}
+	res := &Result{
+		Spec:        p.Spec,
+		Key:         p.Key,
+		ID:          p.ID,
+		Counters:    p.Counters,
+		PKI:         p.PKI,
+		Samples:     make(map[string]*stats.Sample, len(p.Classes)),
+		SetupWall:   time.Duration(p.SetupWallNS),
+		MeasureWall: time.Duration(p.MeasureWallNS),
+		Wall:        time.Duration(p.SetupWallNS + p.MeasureWallNS),
+		Restored:    true,
+		distinct:    p.DistinctTrampolines,
+		libCalls:    p.LibCalls,
+	}
+	for class, xs := range p.Classes {
+		s := &stats.Sample{}
+		s.AddAll(xs)
+		res.Samples[class] = s
+	}
+	res.freeze()
+	return res, nil
+}
+
+// persistedBatch is a completed batch's durable form: the expanded
+// specs (for provenance) and the final status snapshot, aggregates
+// included.  Per-job results live as their own store records; the
+// batch record is what lets GET /v1/batches/{id} answer across
+// restarts without re-walking jobs.
+type persistedBatch struct {
+	V    int    `json:"v"`
+	Kind string `json:"kind"`
+
+	ID     string      `json:"id"`
+	Specs  []JobSpec   `json:"specs"`
+	Status BatchStatus `json:"status"`
+}
+
+// encodeBatch serialises a batch's final snapshot for the store.
+func encodeBatch(id string, specs []JobSpec, st BatchStatus) ([]byte, error) {
+	return json.Marshal(persistedBatch{
+		V:      persistVersion,
+		Kind:   kindBatch,
+		ID:     id,
+		Specs:  specs,
+		Status: st,
+	})
+}
+
+// decodeBatch rebuilds a batch snapshot from its disk form.
+func decodeBatch(b []byte) (*persistedBatch, error) {
+	var p persistedBatch
+	if err := json.Unmarshal(b, &p); err != nil {
+		return nil, fmt.Errorf("runner: corrupt stored batch: %w", err)
+	}
+	if p.V != persistVersion || p.Kind != kindBatch {
+		return nil, fmt.Errorf("runner: stored record is not a v%d batch (v=%d kind=%q)", persistVersion, p.V, p.Kind)
+	}
+	return &p, nil
+}

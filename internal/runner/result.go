@@ -60,6 +60,39 @@ type Result struct {
 	// starting a new simulation (served from cache or coalesced onto
 	// an in-flight identical job).
 	CacheHit bool
+
+	// Restored reports that this result was reloaded from the disk
+	// store rather than computed in this process.  The workload
+	// bundle and the trampoline trace recorder are not persisted, so
+	// Workload and Trace are nil on a restored result; their
+	// API-visible summaries are carried in the fields behind
+	// DistinctTrampolines and LibCalls instead.  Counters, PKI and
+	// Samples are bit-identical to the original run's.
+	Restored bool
+
+	// Persisted trampoline summary, set only on restored results.
+	distinct int
+	libCalls uint64
+}
+
+// DistinctTrampolines returns the number of distinct trampolines the
+// run recorded — from the live trace recorder, or from the persisted
+// summary on a restored result.
+func (r *Result) DistinctTrampolines() int {
+	if r.Trace != nil {
+		return r.Trace.Distinct()
+	}
+	return r.distinct
+}
+
+// LibCalls returns the total trampoline-routed library calls over the
+// run's lifetime — from the live trace recorder, or from the
+// persisted summary on a restored result.
+func (r *Result) LibCalls() uint64 {
+	if r.Trace != nil {
+		return r.Trace.Total()
+	}
+	return r.libCalls
 }
 
 // freeze pre-sorts every sample so later concurrent reads (Percentile,

@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/pool"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
@@ -68,6 +69,23 @@ type Options struct {
 	// Zero means telemetry.DefaultTraceCapacity; negative disables
 	// tracing entirely (spans become nil no-ops).
 	TraceCapacity int
+
+	// Tracer, when set, is used instead of building a private ring
+	// from TraceCapacity — pass one to share a trace ring with other
+	// components (dlsimd shares it with the store's open/replay
+	// trace).
+	Tracer *telemetry.Tracer
+
+	// Store is the disk-backed second tier below the in-memory result
+	// cache (see internal/store).  When set, every completed result
+	// is written through to it, LRU eviction demotes instead of
+	// deletes (the entry stays servable from disk), and Submit /
+	// Job / Batch lookups fall back to it before recomputing — which
+	// is what lets a restarted process warm-start from a prior run's
+	// results.  Nil disables persistence.  The runner registers
+	// itself as the store's drop observer so entries dropped by store
+	// compaction keep answering 410 Gone.
+	Store *store.Store
 
 	// Pool is the shared artifact pool jobs draw generated workloads
 	// and copy-on-write-forked images from.  Nil means a private pool
@@ -218,6 +236,9 @@ type Runner struct {
 	// execute; nil when Options.DisablePool is set.
 	pool *pool.Pool
 
+	// store is the disk-backed result tier; nil disables persistence.
+	store *store.Store
+
 	mu       sync.Mutex
 	byKey    map[string]*Job
 	byID     map[string]*Job
@@ -274,8 +295,8 @@ func New(opts Options) *Runner {
 		seed = 1
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	var tracer *telemetry.Tracer
-	if opts.TraceCapacity >= 0 {
+	tracer := opts.Tracer
+	if tracer == nil && opts.TraceCapacity >= 0 {
 		tracer = telemetry.NewTracer(opts.TraceCapacity)
 	}
 	maxRetained := opts.MaxRetained
@@ -313,6 +334,21 @@ func New(opts Options) *Runner {
 			r.pool = pool.New(pool.Options{Metrics: r.m.reg})
 		}
 	}
+	if opts.Store != nil {
+		r.store = opts.Store
+		// Entries dropped by store compaction are truly gone (unless
+		// still held in memory): remember them so lookups answer 410
+		// Gone rather than 404.  The store invokes this outside its
+		// own lock, so taking r.mu here cannot deadlock against
+		// runner→store calls.
+		r.store.OnDrop(func(id string) {
+			r.mu.Lock()
+			if _, inMemory := r.byID[id]; !inMemory {
+				r.noteEvicted(id)
+			}
+			r.mu.Unlock()
+		})
+	}
 	return r
 }
 
@@ -320,6 +356,10 @@ func New(opts Options) *Runner {
 // the one passed in Options.Pool or the private one created by New —
 // or nil when pooling is disabled.
 func (r *Runner) ArtifactPool() *pool.Pool { return r.pool }
+
+// Store returns the disk-backed result tier, nil when persistence is
+// disabled.
+func (r *Runner) Store() *store.Store { return r.store }
 
 // MaxRetained returns the completed-job retention bound (negative
 // means unbounded).
@@ -396,6 +436,15 @@ func (r *Runner) Submit(spec JobSpec) (job *Job, reused bool, err error) {
 		r.mu.Unlock()
 		return j, true, nil
 	}
+	// Second tier: a result persisted by this or an earlier process
+	// serves the submission without recomputing (warm start).  A
+	// store hit is a cache hit — it is admitted even when the queue
+	// is full, like any other cached answer.
+	if j, ok := r.restoreJobLocked(IDFromKey(key), key); ok {
+		r.m.cacheHits.Inc()
+		r.mu.Unlock()
+		return j, true, nil
+	}
 	if r.opts.MaxQueue > 0 && int(r.m.queued.Value()) >= r.opts.MaxQueue {
 		r.m.shed.Inc()
 		r.mu.Unlock()
@@ -467,12 +516,17 @@ func (r *Runner) RunAll(ctx context.Context, specs []JobSpec) ([]Result, error) 
 	return out, nil
 }
 
-// Job returns the job with the given short ID, if known.
+// Job returns the job with the given short ID, if known — falling
+// back to the disk store, so results demoted by the in-memory LRU (or
+// computed by an earlier process against the same store) remain
+// addressable without recomputation.
 func (r *Runner) Job(id string) (*Job, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	j, ok := r.byID[id]
-	return j, ok
+	if j, ok := r.byID[id]; ok {
+		return j, ok
+	}
+	return r.restoreJobLocked(id, "")
 }
 
 // Evicted reports whether a job with this ID was recently evicted from
@@ -499,6 +553,13 @@ func (r *Runner) retain(j *Job) {
 		// resurrect a stale entry in the retention order.
 		return
 	}
+	r.retainLocked(j)
+}
+
+// retainLocked appends j to the retention order and applies the
+// bound.  Caller holds r.mu and has already ensured j is in the
+// lookup maps.
+func (r *Runner) retainLocked(j *Job) {
 	r.lruElem[j.ID] = r.lru.PushBack(j)
 	if r.maxRetained > 0 {
 		for r.lru.Len() > r.maxRetained {
@@ -509,8 +570,11 @@ func (r *Runner) retain(j *Job) {
 }
 
 // evictOldest drops the least recently used completed job from the
-// lookup maps and the retention order, remembering its ID as evicted.
-// Caller holds r.mu.
+// lookup maps and the retention order.  With a store attached a
+// successful job's eviction is a demotion — the result stays servable
+// from disk and the ID is not remembered as gone; only entries absent
+// from the store (failed jobs, or write-through failures) enter the
+// evicted ring and answer 410.  Caller holds r.mu.
 func (r *Runner) evictOldest() {
 	e := r.lru.Front()
 	if e == nil {
@@ -520,7 +584,9 @@ func (r *Runner) evictOldest() {
 	delete(r.lruElem, j.ID)
 	delete(r.byKey, j.Key)
 	delete(r.byID, j.ID)
-	r.noteEvicted(j.ID)
+	if r.store == nil || !r.store.Has(j.ID) {
+		r.noteEvicted(j.ID)
+	}
 	r.m.evictions.Inc()
 }
 
@@ -660,6 +726,16 @@ func (r *Runner) attempt(j *Job, sp *telemetry.Span) (res *Result, err error) {
 
 // finish completes the job and folds its outcome into the metrics.
 func (r *Runner) finish(j *Job, res *Result, err error) {
+	// Write the result through to the disk tier before the job's
+	// gauges drop: Drain observing an idle runner then implies every
+	// completed result has been handed to the store, so the shutdown
+	// path's store flush loses nothing.  Put failures are counted by
+	// the store and leave the result memory-only.
+	if err == nil && r.store != nil && !res.Restored {
+		if b, perr := encodeResult(res); perr == nil {
+			_ = r.store.Put(j.ID, b)
+		}
+	}
 	if j.State() == StateRunning {
 		r.m.running.Dec()
 	} else {

@@ -1,0 +1,70 @@
+package runner
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// benchStoreSweep measures the restart story end to end: the sweep
+// from benchSweepSpecs run through a fresh Runner + freshly opened
+// Store per iteration.  Cold, the store directory is empty, so every
+// job simulates and persists — compute plus write-through, the first
+// process generation.  Warm, the directory was populated once before
+// the timer, so each iteration pays segment replay plus twelve disk
+// reads and simulates nothing — the second generation.  The ratio is
+// the warm-start win a restarted dlsimd gets over recomputing its
+// whole result set.
+func benchStoreSweep(b *testing.B, warm bool) {
+	specs := benchSweepSpecs()
+	ctx := context.Background()
+	dir := b.TempDir()
+	if warm {
+		st, err := store.Open(dir, store.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := New(Options{Workers: 2, Store: st, TraceCapacity: -1})
+		if _, err := r.RunAll(ctx, specs); err != nil {
+			b.Fatal(err)
+		}
+		r.Close()
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := dir
+		if !warm {
+			// Each cold iteration starts from an empty directory, so
+			// no generation ever sees another's results.
+			b.StopTimer()
+			d = b.TempDir()
+			b.StartTimer()
+		}
+		st, err := store.Open(d, store.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := New(Options{Workers: 2, Store: st, TraceCapacity: -1})
+		if _, err := r.RunAll(ctx, specs); err != nil {
+			b.Fatal(err)
+		}
+		r.Close()
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if warm {
+			if got := st.Stats().Writes; got != 0 {
+				b.Fatalf("warm iteration wrote %d records; the sweep should be served entirely from disk", got)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(specs)), "jobs/op")
+}
+
+func BenchmarkSweepColdStore(b *testing.B) { benchStoreSweep(b, false) }
+func BenchmarkSweepWarmStore(b *testing.B) { benchStoreSweep(b, true) }

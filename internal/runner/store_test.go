@@ -1,0 +1,212 @@
+package runner
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// TestStoreWarmStart is the restart contract: a result computed by
+// one process generation is a cache hit in the next — served from
+// disk, never recomputed, with bit-identical counters.
+func TestStoreWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	spec := fastSpec(7)
+
+	st1 := openStore(t, dir)
+	r1 := New(Options{Workers: 2, Store: st1})
+	first, err := r1.Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh runner over a reopened store: the same spec must come
+	// back reused (a store hit), not recomputed.
+	st2 := openStore(t, dir)
+	r2 := New(Options{Workers: 2, Store: st2})
+	defer r2.Close()
+	j, reused, err := r2.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reused {
+		t.Fatal("warm-start Submit reused=false; job would recompute")
+	}
+	res, ok := j.Result()
+	if !ok {
+		t.Fatal("restored job has no result")
+	}
+	if !res.Restored {
+		t.Error("restored result not flagged Restored")
+	}
+	if first.ID != res.ID || first.Key != res.Key {
+		t.Fatalf("identity drifted across restart: %s/%s vs %s/%s", first.ID, first.Key, res.ID, res.Key)
+	}
+	// Bit-identical: every architectural counter, the derived PKI
+	// decomposition, and the trampoline summaries survive the
+	// JSON round trip exactly.
+	if !reflect.DeepEqual(first.Counters, res.Counters) {
+		t.Errorf("counters drifted:\nlive:     %+v\nrestored: %+v", first.Counters, res.Counters)
+	}
+	if !reflect.DeepEqual(first.PKI, res.PKI) {
+		t.Errorf("PKI drifted:\nlive:     %+v\nrestored: %+v", first.PKI, res.PKI)
+	}
+	if first.DistinctTrampolines() != res.DistinctTrampolines() {
+		t.Errorf("distinct trampolines: live %d, restored %d", first.DistinctTrampolines(), res.DistinctTrampolines())
+	}
+	if first.LibCalls() != res.LibCalls() {
+		t.Errorf("lib calls: live %d, restored %d", first.LibCalls(), res.LibCalls())
+	}
+	if hits := st2.Stats().Hits; hits == 0 {
+		t.Error("store recorded no hits during warm start")
+	}
+	// The restored job is a real cache entry: a second submit
+	// coalesces in memory without touching the store again.
+	before := st2.Stats().Hits
+	if _, reused, _ := r2.Submit(spec); !reused {
+		t.Error("second submit after restore missed the in-memory cache")
+	}
+	if st2.Stats().Hits != before {
+		t.Error("second submit re-read the store instead of the memory tier")
+	}
+}
+
+// TestStoreDemotion pins the eviction semantics change: with a store
+// attached, LRU eviction demotes results to disk instead of dropping
+// them — the job stays addressable and is never reported 410-gone.
+func TestStoreDemotion(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	st := openStore(t, dir)
+	r := New(Options{Workers: 2, MaxRetained: 1, Store: st})
+	defer r.Close()
+
+	a, err := r.Run(ctx, fastSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(ctx, fastSpec(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Capacity 1: job A has been evicted from memory by now.
+	if r.Evicted(a.ID) {
+		t.Fatal("Evicted(A) = true despite the store holding A (demotion should not mark gone)")
+	}
+	j, ok := r.Job(a.ID)
+	if !ok {
+		t.Fatal("demoted job not addressable via Job()")
+	}
+	res, ok := j.Result()
+	if !ok || !res.Restored {
+		t.Fatalf("demoted job result: ok=%v restored=%v", ok, res != nil && res.Restored)
+	}
+	if !reflect.DeepEqual(a.Counters, res.Counters) {
+		t.Errorf("demoted counters drifted:\nlive:     %+v\nrestored: %+v", a.Counters, res.Counters)
+	}
+}
+
+// TestStoreBatchPersistRestore: a completed batch's aggregate
+// snapshot is written through and is readable — with identical
+// totals and aggregates — from a later process generation.
+func TestStoreBatchPersistRestore(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	st1 := openStore(t, dir)
+	r1 := New(Options{Workers: 2, Store: st1})
+	sweep := SweepSpec{Workload: "memcached", Configs: []ConfigKind{Base, Enhanced}, Seeds: []uint64{1, 2}, Warm: 5, Measure: 25}
+	b, _, err := r1.SubmitBatch(sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want := b.Status()
+	// The batch snapshot persists asynchronously once the last job
+	// completes; wait for it to land.
+	deadline := time.Now().Add(5 * time.Second)
+	for !st1.Has(b.ID) {
+		if time.Now().After(deadline) {
+			t.Fatal("batch snapshot never reached the store")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	r1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStore(t, dir)
+	r2 := New(Options{Workers: 2, Store: st2})
+	defer r2.Close()
+	rb, ok := r2.Batch(b.ID)
+	if !ok {
+		t.Fatal("batch not restorable from the store")
+	}
+	got := rb.Status()
+	if got.ID != want.ID || got.Total != want.Total || got.Done != want.Done ||
+		got.Failed != want.Failed || !got.Completed {
+		t.Fatalf("restored status drifted:\nlive:     %+v\nrestored: %+v", want, got)
+	}
+	if !reflect.DeepEqual(want.Aggregate, got.Aggregate) {
+		t.Errorf("restored aggregates drifted:\nlive:     %+v\nrestored: %+v", want.Aggregate, got.Aggregate)
+	}
+	if len(rb.Specs) != len(b.Specs) {
+		t.Errorf("restored specs %d, want %d", len(rb.Specs), len(b.Specs))
+	}
+}
+
+// TestStoreDropMarksEvicted: when size-bounded compaction drops an
+// entry that is no longer in memory, the runner is told and the ID
+// answers "evicted" (410 at the HTTP layer) instead of pretending it
+// was never seen.
+func TestStoreDropMarksEvicted(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	// A store this small cannot hold even one persisted result, so
+	// every demotion is eventually dropped by compaction.
+	st, err := store.Open(dir, store.Options{MaxBytes: 1 << 10, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	r := New(Options{Workers: 2, MaxRetained: 1, Store: st})
+	defer r.Close()
+
+	a, err := r.Run(ctx, fastSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(2); seed < 6; seed++ {
+		if _, err := r.Run(ctx, fastSpec(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Has(a.ID) {
+		t.Skip("store retained A despite the 1KB bound; cannot exercise drop")
+	}
+	if !r.Evicted(a.ID) {
+		t.Error("store-dropped job not marked evicted")
+	}
+	if _, ok := r.Job(a.ID); ok {
+		t.Error("store-dropped job still addressable")
+	}
+}

@@ -1,0 +1,54 @@
+package runner
+
+// The disk-tier lookup path: promoting persisted results back into
+// the in-memory cache.  The store itself lives in internal/store;
+// this file is the glue that turns its byte payloads back into
+// completed *Job handles.
+
+// closedChan is a pre-closed done channel shared by every restored
+// job — they were complete before this process ever saw them.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// restoreJobLocked looks id up in the disk store and, on a hit,
+// promotes it into the in-memory cache as a completed job.  wantKey,
+// when non-empty, must match the stored result's canonical key (a
+// Submit-path paranoia check; the ID is a truncated hash of the key).
+// Caller holds r.mu; the runner→store lock order is safe because the
+// store never calls back into the runner while holding its own lock.
+func (r *Runner) restoreJobLocked(id, wantKey string) (*Job, bool) {
+	if r.store == nil {
+		return nil, false
+	}
+	payload, ok, err := r.store.Get(id)
+	if !ok || err != nil {
+		return nil, false
+	}
+	res, err := decodeResult(payload)
+	if err != nil {
+		// Foreign or corrupt record (e.g. a batch snapshot probed by
+		// a job lookup): treat as a miss, never as an error.
+		return nil, false
+	}
+	if res.ID != id || (wantKey != "" && res.Key != wantKey) {
+		return nil, false
+	}
+	j := &Job{
+		ID:       id,
+		Key:      res.Key,
+		Spec:     res.Spec,
+		done:     closedChan,
+		state:    StateDone,
+		result:   res,
+		attempts: 1,
+	}
+	r.byKey[j.Key] = j
+	r.byID[id] = j
+	// The ID is addressable again; it is no longer "gone".
+	delete(r.evicted, id)
+	r.retainLocked(j)
+	return j, true
+}

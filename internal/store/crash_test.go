@@ -1,0 +1,255 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// recordSize is the on-disk footprint of one record: the u32 length +
+// u32 CRC header, then flags byte, u16 id length, id, payload.
+func recordSize(id string, payload []byte) int64 {
+	return int64(headerLen + 3 + len(id) + len(payload))
+}
+
+func segFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// soleSegment returns the path of the only segment file in dir,
+// failing the test if there is more or less than one.
+func soleSegment(t *testing.T, dir string) string {
+	t.Helper()
+	names := segFiles(t, dir)
+	if len(names) != 1 {
+		t.Fatalf("want exactly one segment, have %v", names)
+	}
+	return names[0]
+}
+
+// writeN fills a fresh store with n records id-00..id-NN carrying
+// distinguishable payloads, closes it, and returns the payloads.
+func writeN(t *testing.T, dir string, n int) map[string][]byte {
+	t.Helper()
+	s := open(t, dir, Options{})
+	want := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("id-%02d", i)
+		val := []byte(fmt.Sprintf("payload-%02d-%s", i, "0123456789abcdef"))
+		want[id] = val
+		mustPut(t, s, id, val)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// truncateFile chops the file to newSize, simulating a crash that
+// tore the final append.
+func truncateFile(t *testing.T, path string, newSize int64) {
+	t.Helper()
+	if err := os.Truncate(path, newSize); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func flipByte(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xff
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A crash mid-append leaves a partial body at the tail.  Reopen must
+// recover every fully-written record, surface none of the partial
+// one, and truncate the file back to the last intact record.
+func TestTornTailMidBodyRecovers(t *testing.T) {
+	dir := t.TempDir()
+	want := writeN(t, dir, 10)
+	seg := soleSegment(t, dir)
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop 5 bytes off: the final record loses part of its payload.
+	truncateFile(t, seg, fi.Size()-5)
+
+	s := open(t, dir, Options{})
+	if s.Len() != 9 {
+		t.Fatalf("Len = %d, want 9 (all full records, no partials)", s.Len())
+	}
+	if s.Has("id-09") {
+		t.Fatal("partial record id-09 surfaced after recovery")
+	}
+	for i := 0; i < 9; i++ {
+		id := fmt.Sprintf("id-%02d", i)
+		if got := mustGet(t, s, id); string(got) != string(want[id]) {
+			t.Fatalf("%s = %q, want %q", id, got, want[id])
+		}
+	}
+	if st := s.Stats(); st.TornRecovered != 1 {
+		t.Fatalf("torn_recovered = %d, want 1", st.TornRecovered)
+	}
+	// The torn bytes must be gone from disk: the file ends exactly at
+	// the last intact record.
+	fi2, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSize := fi.Size() - recordSize("id-09", want["id-09"])
+	if fi2.Size() != wantSize {
+		t.Fatalf("post-recovery size = %d, want %d", fi2.Size(), wantSize)
+	}
+
+	// Appends after recovery land where the torn record was; the next
+	// replay must see old and new records alike.
+	mustPut(t, s, "id-09", want["id-09"])
+	s.Close()
+	s2 := open(t, dir, Options{})
+	if s2.Len() != 10 {
+		t.Fatalf("after re-put Len = %d, want 10", s2.Len())
+	}
+	if got := mustGet(t, s2, "id-09"); string(got) != string(want["id-09"]) {
+		t.Fatalf("id-09 = %q after recovery+rewrite", got)
+	}
+	if st := s2.Stats(); st.TornRecovered != 0 {
+		t.Fatalf("clean reopen reported torn_recovered = %d", st.TornRecovered)
+	}
+}
+
+// A crash can also tear mid-header (fewer than 8 bytes of the length
+// and CRC written).
+func TestTornTailMidHeaderRecovers(t *testing.T) {
+	dir := t.TempDir()
+	want := writeN(t, dir, 3)
+	seg := soleSegment(t, dir)
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leave 4 bytes of the final record: half a header, no body.
+	cut := fi.Size() - recordSize("id-02", want["id-02"]) + 4
+	truncateFile(t, seg, cut)
+
+	s := open(t, dir, Options{})
+	if s.Len() != 2 || s.Has("id-02") {
+		t.Fatalf("Len = %d, Has(id-02) = %v; want 2 records and no partial", s.Len(), s.Has("id-02"))
+	}
+	if st := s.Stats(); st.TornRecovered != 1 {
+		t.Fatalf("torn_recovered = %d, want 1", st.TornRecovered)
+	}
+}
+
+// A tail record whose bytes are all present but corrupt (e.g. the
+// crash interleaved with a partial sector write) fails its checksum
+// and is discarded like any other torn tail.
+func TestTornTailBadChecksumRecovers(t *testing.T) {
+	dir := t.TempDir()
+	want := writeN(t, dir, 3)
+	seg := soleSegment(t, dir)
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip the final payload byte: length still plausible, CRC wrong.
+	flipByte(t, seg, fi.Size()-1)
+
+	s := open(t, dir, Options{})
+	if s.Len() != 2 || s.Has("id-02") {
+		t.Fatalf("Len = %d, Has(id-02) = %v; want corrupt tail dropped", s.Len(), s.Has("id-02"))
+	}
+	for _, id := range []string{"id-00", "id-01"} {
+		if got := mustGet(t, s, id); string(got) != string(want[id]) {
+			t.Fatalf("%s = %q, want %q", id, got, want[id])
+		}
+	}
+	if st := s.Stats(); st.TornRecovered != 1 {
+		t.Fatalf("torn_recovered = %d, want 1", st.TornRecovered)
+	}
+}
+
+// Replay stops at the first bad record: corruption in the middle of a
+// segment conservatively truncates everything from that point on.
+// Records before the corruption always survive.
+func TestMidFileCorruptionTruncatesSuffix(t *testing.T) {
+	dir := t.TempDir()
+	want := writeN(t, dir, 5)
+	seg := soleSegment(t, dir)
+	// Corrupt a payload byte inside record #2 (records 0 and 1 intact).
+	off := int64(len(magic))
+	for i := 0; i < 2; i++ {
+		id := fmt.Sprintf("id-%02d", i)
+		off += recordSize(id, want[id])
+	}
+	flipByte(t, seg, off+recordSize("id-02", want["id-02"])-1)
+
+	s := open(t, dir, Options{})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (replay stops at first corrupt record)", s.Len())
+	}
+	for _, id := range []string{"id-00", "id-01"} {
+		if got := mustGet(t, s, id); string(got) != string(want[id]) {
+			t.Fatalf("%s = %q, want %q", id, got, want[id])
+		}
+	}
+	for _, id := range []string{"id-02", "id-03", "id-04"} {
+		if s.Has(id) {
+			t.Fatalf("%s survived past a corrupt predecessor", id)
+		}
+	}
+}
+
+// A segment torn before even its magic finished writing is reset to
+// an empty valid segment rather than rejected.
+func TestShortSegmentResets(t *testing.T) {
+	dir := t.TempDir()
+	writeN(t, dir, 1)
+	seg := soleSegment(t, dir)
+	truncateFile(t, seg, 3) // less than the 8-byte magic
+
+	s := open(t, dir, Options{})
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0 after reset", s.Len())
+	}
+	if st := s.Stats(); st.TornRecovered != 1 {
+		t.Fatalf("torn_recovered = %d, want 1", st.TornRecovered)
+	}
+	mustPut(t, s, "fresh", []byte("ok"))
+	s.Close()
+	s2 := open(t, dir, Options{})
+	if got := mustGet(t, s2, "fresh"); string(got) != "ok" {
+		t.Fatalf("fresh = %q after reset+reuse", got)
+	}
+}
+
+// A full-length file that is not a store segment must be rejected,
+// not silently clobbered.
+func TestBadMagicRejected(t *testing.T) {
+	dir := t.TempDir()
+	writeN(t, dir, 1)
+	seg := soleSegment(t, dir)
+	flipByte(t, seg, 0)
+
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open accepted a segment with corrupt magic")
+	}
+}

@@ -37,3 +37,12 @@ if PB_RUNS=2 scripts/pool_bench.sh /tmp/BENCH_pool_ci.json; then
 else
 	echo "WARNING: pool benchmark failed (advisory only)" >&2
 fi
+
+# Advisory: result-store warm-start throughput, pre-populated store
+# vs cold compute.  Same caveat — warn instead of fail; re-run
+# `make store-bench` on a quiet machine before trusting a regression.
+if SB_RUNS=2 scripts/store_bench.sh /tmp/BENCH_store_ci.json; then
+	grep '"warm_speedup"' /tmp/BENCH_store_ci.json || true
+else
+	echo "WARNING: store benchmark failed (advisory only)" >&2
+fi
