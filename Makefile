@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt race faults bench-runner bench-fault obs-bench kernel-bench pool-bench store-bench all
+.PHONY: check fmt race faults chaos bench-runner bench-fault obs-bench kernel-bench pool-bench store-bench cluster-bench all
 
 all: check
 
@@ -25,7 +25,7 @@ fmt:
 # and ~10x slower under race, so only these targeted tests run here;
 # `make check` covers the rest.)
 race:
-	$(GO) test -race -timeout 20m ./internal/pool/... ./internal/runner/... ./cmd/dlsimd/...
+	$(GO) test -race -timeout 20m ./internal/pool/... ./internal/runner/... ./internal/cluster/... ./cmd/dlsimd/...
 	$(GO) test -race -timeout 20m -run 'TestSuiteParallelMatchesSequential|TestSuiteConcurrentUse|TestGoldenCounters' ./internal/experiments/
 
 # Robustness pass: the concurrent subsystems under low-probability
@@ -34,7 +34,7 @@ race:
 # the runner's default retry policy; the suite must still pass.
 faults:
 	DLSIM_FAULTS='runner.execute=error:0.02,dlsimd.submit=delay:0.2:2ms' DLSIM_FAULT_SEED=42 \
-		$(GO) test -race -timeout 20m ./internal/faultinject/... ./internal/runner/... ./cmd/dlsimd/...
+		$(GO) test -race -timeout 20m ./internal/faultinject/... ./internal/runner/... ./internal/cluster/... ./cmd/dlsimd/...
 	DLSIM_FAULTS='runner.execute=error:0.02' DLSIM_FAULT_SEED=42 \
 		$(GO) test -race -timeout 20m -run 'TestSuiteSurvivesTransientFaults|TestSuiteRetriedResultsBitIdentical' ./internal/experiments/
 
@@ -67,6 +67,21 @@ kernel-bench:
 # `go test -run 'TestPooledBitIdenticalToUnpooled|TestGoldenCounters' ./internal/runner/ ./internal/experiments/`.
 pool-bench:
 	scripts/pool_bench.sh
+
+# Chaos suite under the race detector: a 3-node loopback cluster
+# takes injected forwarding faults (error/delay/hang via
+# internal/faultinject) and a hard owner kill mid-batch, and must
+# converge to per-config aggregates bit-identical to a single node
+# with failovers recorded and never a 5xx that skipped failover.
+chaos:
+	$(GO) test -race -timeout 20m -count=1 -run 'TestChaos' -v ./cmd/dlsimd/
+
+# Cluster throughput and failover latency: a sweep through one node
+# vs a 3-node loopback cluster, interleaved, plus the round-trip of a
+# failed-over read (mean + p99); regenerates BENCH_cluster.json.
+# Pair with the bit-identity proof: `make chaos`.
+cluster-bench:
+	scripts/cluster_bench.sh
 
 # Result-store warm-start throughput: a repeated-spec sweep served
 # from a pre-populated store vs computed from an empty one,

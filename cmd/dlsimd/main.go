@@ -28,6 +28,15 @@
 //	       [-max-retained N] [-retries N] [-request-timeout 30s]
 //	       [-drain-timeout 30s] [-trace-buffer N] [-debug-addr :8345]
 //	       [-store-dir DIR] [-store-max-bytes N]
+//	       [-cluster-self NAME -cluster-peers "a=URL,b=URL,..."]
+//
+// With -cluster-self set, the node joins a static sharded cluster
+// (see internal/cluster and DESIGN.md §12): job and batch IDs are
+// consistent-hash-routed to their owning replica, dead or flaky peers
+// are routed around via health probes, per-peer circuit breakers and
+// deterministic ring failover, and /readyz reports per-peer status.
+// The member list comes from -cluster-peers or $DLSIM_CLUSTER_PEERS;
+// every node must be configured with the same names.
 //
 // With -store-dir set, every completed result (and every completed
 // batch's aggregate snapshot) is written through to a disk-backed
@@ -84,13 +93,37 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/runner"
 	"repro/internal/store"
 	"repro/internal/telemetry"
 )
+
+// parsePeers parses a "name=url,name=url,..." member list.  The entry
+// for self may omit "=url" ("a,b=http://...,c=http://..." is invalid
+// for remote members but fine for self, whose URL is never dialed).
+func parsePeers(list string) ([]cluster.Peer, error) {
+	var peers []cluster.Peer
+	for _, ent := range strings.Split(list, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		name, url, _ := strings.Cut(ent, "=")
+		if name == "" {
+			return nil, fmt.Errorf("cluster peer %q: empty name", ent)
+		}
+		peers = append(peers, cluster.Peer{Name: name, URL: url})
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster peer list %q: no members", list)
+	}
+	return peers, nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8344", "listen address")
@@ -106,6 +139,15 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "optional net/http/pprof listen address (e.g. :8345); empty disables")
 	storeDir := flag.String("store-dir", "", "directory for the disk-backed result store; completed results persist there and warm-start the next process (empty disables persistence)")
 	storeMaxBytes := flag.Int64("store-max-bytes", 0, "on-disk size bound of the result store; exceeding it compacts and drops the oldest entries (0 = default 256 MiB, negative = unbounded)")
+	clusterSelf := flag.String("cluster-self", "", "this node's name in the cluster member list; empty disables cluster mode")
+	clusterPeers := flag.String("cluster-peers", "", `static member list "name=url,name=url,..." (self may omit =url); falls back to $DLSIM_CLUSTER_PEERS`)
+	clusterProbe := flag.Duration("cluster-probe-interval", time.Second, "health-probe period for peers")
+	clusterFailThreshold := flag.Int("cluster-fail-threshold", 3, "consecutive probe failures that mark a peer down")
+	clusterBreakerThreshold := flag.Int("cluster-breaker-threshold", 5, "consecutive forward failures that open a peer's circuit breaker")
+	clusterBreakerCooldown := flag.Duration("cluster-breaker-cooldown", 2*time.Second, "open-breaker cooldown before a half-open trial")
+	clusterForwardTimeout := flag.Duration("cluster-forward-timeout", 5*time.Second, "per-hop timeout for forwarded requests")
+	clusterHedge := flag.Duration("cluster-hedge-delay", 0, "hedged-GET delay: race the next replica if the owner hasn't answered a result read in this long (0 disables)")
+	clusterRetries := flag.Int("cluster-retries", 0, "max forward attempts per peer before failing over (0 = default 2)")
 	flag.Parse()
 
 	// Zero flags: every line the server emits is a self-contained JSON
@@ -153,10 +195,41 @@ func main() {
 	})
 	defer pool.Close()
 
+	var cl *cluster.Cluster
+	if *clusterSelf != "" {
+		list := *clusterPeers
+		if list == "" {
+			list = os.Getenv("DLSIM_CLUSTER_PEERS")
+		}
+		peers, err := parsePeers(list)
+		if err == nil {
+			cl, err = cluster.New(cluster.Options{
+				Self:             *clusterSelf,
+				Peers:            peers,
+				ProbeInterval:    *clusterProbe,
+				FailThreshold:    *clusterFailThreshold,
+				BreakerThreshold: *clusterBreakerThreshold,
+				BreakerCooldown:  *clusterBreakerCooldown,
+				ForwardTimeout:   *clusterForwardTimeout,
+				HedgeDelay:       *clusterHedge,
+				Retry:            cluster.RetryPolicy{MaxAttempts: *clusterRetries},
+				Metrics:          reg,
+				Tracer:           tracer,
+			})
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dlsimd:", err)
+			os.Exit(1)
+		}
+		defer cl.Close()
+		fmt.Printf("dlsimd: cluster mode, self=%s, %d members\n", *clusterSelf, len(peers))
+	}
+
 	api := newServer(pool, serverConfig{
 		logger:         logger,
 		requestTimeout: *requestTimeout,
 		retryAfter:     time.Second,
+		cluster:        cl,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

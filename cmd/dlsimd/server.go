@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/faultinject"
 	"repro/internal/pool"
 	"repro/internal/runner"
@@ -36,8 +37,16 @@ type serverConfig struct {
 	requestTimeout time.Duration
 
 	// retryAfter is the Retry-After hint attached to 429 responses
-	// when admission control sheds a submission.  Zero means 1s.
+	// when admission control sheds a submission and to 503s answered
+	// when an ID's owner peer is unreachable.  Zero means 1s.
 	retryAfter time.Duration
+
+	// cluster, when non-nil, enables sharded multi-node mode: job and
+	// batch requests are consistent-hash-routed by their
+	// content-derived IDs, with health-checked failover, per-peer
+	// circuit breakers and optional hedged result reads (see
+	// internal/cluster).  Nil serves everything locally.
+	cluster *cluster.Cluster
 }
 
 // server is the dlsimd HTTP front end over a runner pool.
@@ -202,6 +211,12 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	ctx = context.WithValue(ctx, requestIDKey{}, reqID)
 	r = r.WithContext(ctx)
 	w.Header().Set("X-Request-ID", reqID)
+	if s.cfg.cluster != nil {
+		// Name the serving node so clients (and the chaos suite) can
+		// see where a routed request landed; a relayed response keeps
+		// the remote peer's value instead.
+		w.Header().Set(cluster.NodeHeader, s.cfg.cluster.Self())
+	}
 
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 	start := time.Now()
@@ -253,6 +268,40 @@ func writeError(w http.ResponseWriter, r *http.Request, status int, format strin
 	})
 }
 
+// setRetryAfter stamps the Retry-After hint (whole seconds, rounded
+// up) on a response the client should repeat later: 429s from
+// admission shedding and 503s answered while an ID's owner peer is
+// unreachable or circuit-broken.
+func (s *server) setRetryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.retryAfter+time.Second-1)/time.Second)))
+}
+
+// routeCluster consistent-hash-routes one request by its
+// content-derived ID.  It returns the forwarding outcome;
+// Outcome.Handled means a peer's response was already relayed.  A
+// request that arrived forwarded is always served locally (one-hop
+// rule: the forwarder already walked the ring, so serving here — even
+// as a non-owner — is the failover, and content-derived IDs make that
+// idempotent).
+func (s *server) routeCluster(w http.ResponseWriter, r *http.Request, req cluster.Request) cluster.Outcome {
+	cl := s.cfg.cluster
+	if cl == nil || r.Header.Get(cluster.ForwardedByHeader) != "" {
+		return cluster.Outcome{}
+	}
+	return cl.Route(w, r, req)
+}
+
+// clusterMiss answers a local lookup miss after a failed-over GET: the
+// ID's owner is unreachable and may still hold the result, so a 404
+// would overclaim.  503 + Retry-After tells the client to come back
+// once the owner returns (or a resubmission has recomputed the ID
+// elsewhere — either way the ID itself stays valid).
+func (s *server) clusterMiss(w http.ResponseWriter, r *http.Request, kind, id string) {
+	s.setRetryAfter(w)
+	writeError(w, r, http.StatusServiceUnavailable,
+		"%s %q: owner peer unreachable and no local copy; retry, or resubmit to recompute", kind, id)
+}
+
 // submitResponse answers POST /v1/jobs.
 type submitResponse struct {
 	ID     string          `json:"id"`
@@ -283,10 +332,35 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, "invalid job spec: %v", err)
 		return
 	}
+	if s.cfg.cluster != nil {
+		// Route by the job's content-derived ID.  The normalized spec
+		// is forwarded (not the raw body), so the owner computes the
+		// same ID; validation errors stay local and cheap.
+		norm, err := spec.Normalize()
+		if err != nil {
+			writeError(w, r, http.StatusBadRequest, "%v", err)
+			return
+		}
+		key, _ := norm.Key()
+		body, err := json.Marshal(norm)
+		if err != nil {
+			writeError(w, r, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		if out := s.routeCluster(w, r, cluster.Request{
+			ID:     runner.IDFromKey(key),
+			Method: http.MethodPost,
+			Path:   "/v1/jobs",
+			Body:   body,
+		}); out.Handled {
+			return
+		}
+		spec = norm
+	}
 	job, reused, err := s.pool.Submit(spec)
 	switch {
 	case errors.Is(err, runner.ErrQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.retryAfter+time.Second-1)/time.Second)))
+		s.setRetryAfter(w)
 		writeError(w, r, http.StatusTooManyRequests, "%v", err)
 		return
 	case errors.Is(err, runner.ErrRunnerClosed):
@@ -338,10 +412,32 @@ func (s *server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, "invalid sweep spec: %v", err)
 		return
 	}
+	if s.cfg.cluster != nil {
+		// Route by the sweep's content-derived batch ID so an identical
+		// sweep always lands on (and dedups at) the same owner.
+		id, err := sweep.ID()
+		if err != nil {
+			writeError(w, r, http.StatusBadRequest, "%v", err)
+			return
+		}
+		body, err := json.Marshal(sweep)
+		if err != nil {
+			writeError(w, r, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		if out := s.routeCluster(w, r, cluster.Request{
+			ID:     id,
+			Method: http.MethodPost,
+			Path:   "/v1/batches",
+			Body:   body,
+		}); out.Handled {
+			return
+		}
+	}
 	batch, reused, err := s.pool.SubmitBatch(sweep)
 	switch {
 	case errors.Is(err, runner.ErrQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.retryAfter+time.Second-1)/time.Second)))
+		s.setRetryAfter(w)
 		writeError(w, r, http.StatusTooManyRequests, "%v", err)
 		return
 	case errors.Is(err, runner.ErrRunnerClosed):
@@ -372,8 +468,21 @@ func (s *server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 // underlying jobs remain individually addressable via /v1/jobs/{id}.
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	out := s.routeCluster(w, r, cluster.Request{
+		ID:     id,
+		Method: http.MethodGet,
+		Path:   "/v1/batches/" + id,
+		Hedge:  true,
+	})
+	if out.Handled {
+		return
+	}
 	batch, ok := s.pool.Batch(id)
 	if !ok {
+		if out.FailedOver {
+			s.clusterMiss(w, r, "batch", id)
+			return
+		}
 		if s.pool.Evicted(id) {
 			writeError(w, r, http.StatusGone, "batch %q evicted from batch retention; resubmit its sweep to recompute", id)
 			return
@@ -440,8 +549,24 @@ type jobResponse struct {
 // memory forgot them — answer 404.
 func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	out := s.routeCluster(w, r, cluster.Request{
+		ID:     id,
+		Method: http.MethodGet,
+		Path:   "/v1/jobs/" + id,
+		Hedge:  true,
+	})
+	if out.Handled {
+		return
+	}
 	job, ok := s.pool.Job(id)
 	if !ok {
+		if out.FailedOver {
+			// The owner may still hold this result; the local store
+			// read-through (inside pool.Job) was the second chance and
+			// it missed, so answer retryable rather than 404/410.
+			s.clusterMiss(w, r, "job", id)
+			return
+		}
 		if s.pool.Evicted(id) {
 			writeError(w, r, http.StatusGone, "job %q evicted from the result cache; resubmit its spec to recompute", id)
 			return
@@ -603,13 +728,33 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// readyzResponse answers GET /readyz.  Cluster is nil in single-node
+// mode; in cluster mode Status reports "degraded" (still 200 — the
+// node itself accepts work) when any peer is down or a breaker is
+// non-closed, with per-peer detail for operators.
+type readyzResponse struct {
+	Status  string          `json:"status"`
+	Cluster *cluster.Status `json:"cluster,omitempty"`
+}
+
 // handleReadyz is readiness: 200 while accepting new jobs, 503 once
 // draining — load balancers should stop routing here, but in-flight
-// jobs are still being finished and polled.
+// jobs are still being finished and polled.  In cluster mode the body
+// also reports per-peer health and breaker state; a degraded cluster
+// keeps answering 200 because this node can still serve (requests for
+// down owners fail over), but the status string flips to "degraded".
 func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeError(w, r, http.StatusServiceUnavailable, "draining")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	resp := readyzResponse{Status: "ready"}
+	if cl := s.cfg.cluster; cl != nil {
+		st := cl.Status()
+		resp.Cluster = &st
+		if st.Degraded {
+			resp.Status = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

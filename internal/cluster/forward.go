@@ -1,0 +1,399 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/telemetry"
+)
+
+// Headers threaded across hops.
+const (
+	// ForwardedByHeader marks a request as already forwarded once.  A
+	// node receiving it serves locally no matter who owns the ID —
+	// forwarding is at most one hop, so failover can never loop.
+	ForwardedByHeader = "X-DLSim-Forwarded-By"
+
+	// NodeHeader names the member that actually served the response.
+	NodeHeader = "X-DLSim-Node"
+
+	// FailoverHeader is set ("1") on any response produced after at
+	// least one failover attempt — the chaos suite's proof that no
+	// 5xx escapes without the cluster having tried a replica.
+	FailoverHeader = "X-DLSim-Failover"
+
+	// RequestIDHeader is the correlation ID threaded across nodes.
+	RequestIDHeader = "X-Request-ID"
+)
+
+// RetryPolicy governs per-peer retransmission of transiently failed
+// forwards, mirroring internal/runner's RetryPolicy shape (the
+// classification differs: every transport error, timeout and 5xx is
+// transient by construction here, because content-derived IDs make
+// re-sends idempotent).
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per peer including
+	// the first (0 = default 2; negative or 1 disables retries).
+	MaxAttempts int
+
+	// BaseDelay is the backoff before the first retry, doubling per
+	// retry (0 = default 10ms).
+	BaseDelay time.Duration
+
+	// MaxDelay caps the exponential growth (0 = default 200ms).
+	MaxDelay time.Duration
+
+	// Jitter is the fraction of each backoff randomised uniformly in
+	// [1-Jitter, 1+Jitter] (0 = default 0.2; negative disables).
+	Jitter float64
+}
+
+// normalized resolves zero fields to the defaults.
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 2
+	}
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 200 * time.Millisecond
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	return p
+}
+
+// backoff returns the delay before retry number `retry` (1-based):
+// BaseDelay·2^(retry-1) with ±Jitter, hard-capped at MaxDelay (jitter
+// before clamp, like runner's fixed policy).
+func (p RetryPolicy) backoff(retry int) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < retry && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if p.Jitter > 0 {
+		d = time.Duration(float64(d) * (1 - p.Jitter + 2*p.Jitter*rand.Float64()))
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d
+}
+
+// Request describes one routable API call.
+type Request struct {
+	// ID is the content-derived job or batch ID routing the request.
+	ID string
+
+	// Method and Path form the forwarded call; Body is the forwarded
+	// request body (nil for GETs).
+	Method string
+	Path   string
+	Body   []byte
+
+	// Hedge allows a hedged read: when the cluster's HedgeDelay is
+	// armed and the owner stalls, the same GET races the next replica.
+	// Only meaningful for idempotent reads.
+	Hedge bool
+}
+
+// Outcome reports what Route did.
+type Outcome struct {
+	// Handled means a peer's response was relayed to the client;
+	// the caller must not write anything further.
+	Handled bool
+
+	// FailedOver means at least one replica ahead of the resolution
+	// point was down, broken open, or failed — the caller served a
+	// locally resolved request only because the ring walk fell
+	// through to self.  GET handlers use it to answer 503 (owner
+	// unreachable, result may exist there) instead of 404 on a local
+	// miss.
+	FailedOver bool
+
+	// Peer is the member that served, when Handled.
+	Peer string
+}
+
+// peerResp is a fully buffered peer response, safe to relay after the
+// hop's context is gone.
+type peerResp struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// maxRelayBody bounds how much of a peer response is buffered for
+// relay (results are small JSON; a batch status tops out well below
+// this).
+const maxRelayBody = 8 << 20
+
+// Route resolves one request against the ring.  If self owns the ID
+// it returns immediately (serve locally).  Otherwise it walks the
+// failover sequence: skips peers that are down by probe or breaker,
+// forwards to the first available one (with per-peer retries, and a
+// hedged second read when armed), and relays the peer's response.
+// When every remote candidate ahead of self is unavailable, the walk
+// falls through to self and the caller serves locally — idempotent by
+// construction, so a re-routed submission recomputes bit-identical
+// results.  Route never writes a 5xx of its own; the relayed response
+// carries FailoverHeader whenever a replica was bypassed.
+func (c *Cluster) Route(w http.ResponseWriter, r *http.Request, req Request) Outcome {
+	var out Outcome
+	reqID := r.Header.Get(RequestIDHeader)
+	if reqID == "" {
+		reqID = w.Header().Get(RequestIDHeader)
+	}
+	var sp *telemetry.Span
+	if c.tracer != nil {
+		sp = c.tracer.Start("fwd-" + reqID).Root()
+		sp.SetAttr("id", req.ID)
+		sp.SetAttr("owner", c.ring.owner(req.ID))
+	}
+
+	cands := c.candidates(req.ID)
+	for i := 0; i < len(cands); i++ {
+		p := cands[i]
+		if p.self {
+			// Owner, or failover landed here: serve locally.
+			if out.FailedOver {
+				w.Header().Set(FailoverHeader, "1")
+				c.spanNote(sp, "local-failover", c.self, 0)
+			}
+			return out
+		}
+		if !p.healthy() || !p.br.allow() {
+			out.FailedOver = true
+			c.failovers.Inc()
+			c.spanNote(sp, "skip", p.name, 0)
+			continue
+		}
+
+		var resp *peerResp
+		var err error
+		if req.Hedge && c.hedgeDelay > 0 {
+			var winner *peer
+			resp, winner, err = c.hedgedTry(r.Context(), p, c.nextAvailable(cands, i+1), req, reqID, sp)
+			if err == nil && winner != nil {
+				p = winner
+			}
+		} else {
+			resp, err = c.tryPeer(r.Context(), p, req, reqID, sp)
+		}
+		if err != nil {
+			out.FailedOver = true
+			c.failovers.Inc()
+			continue
+		}
+		if out.FailedOver {
+			w.Header().Set(FailoverHeader, "1")
+		}
+		c.relay(w, resp)
+		out.Handled = true
+		out.Peer = p.name
+		return out
+	}
+	// Unreachable: self is always on the ring, so the walk above
+	// resolves before the sequence is exhausted.
+	return out
+}
+
+// nextAvailable returns the first non-self candidate at or after
+// index i that is routable, or nil.
+func (c *Cluster) nextAvailable(cands []*peer, i int) *peer {
+	for ; i < len(cands); i++ {
+		p := cands[i]
+		if p.self {
+			return nil
+		}
+		if p.healthy() && p.br.allow() {
+			return p
+		}
+	}
+	return nil
+}
+
+// hedgedTry forwards to the owner and, if it stalls past HedgeDelay
+// and a second replica is available, races the same read against it,
+// returning the first success (and which peer produced it).  Both
+// attempts share the request context; the loser is abandoned to its
+// own per-hop timeout — its result lands in a buffered channel, so
+// nothing leaks.
+func (c *Cluster) hedgedTry(ctx context.Context, owner, next *peer, req Request, reqID string, sp *telemetry.Span) (*peerResp, *peer, error) {
+	type tryResult struct {
+		resp *peerResp
+		err  error
+		peer *peer
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan tryResult, 2)
+	launch := func(p *peer) {
+		go func() {
+			resp, err := c.tryPeer(hctx, p, req, reqID, sp)
+			results <- tryResult{resp, err, p}
+		}()
+	}
+	launch(owner)
+	inFlight := 1
+	if next != nil {
+		select {
+		case res := <-results:
+			if res.err == nil {
+				return res.resp, res.peer, nil
+			}
+			inFlight--
+			// Owner already failed: the "hedge" is now just failover
+			// within the same call.
+			c.failovers.Inc()
+		case <-time.After(c.hedgeDelay):
+			c.hedges.Inc()
+		}
+		launch(next)
+		inFlight++
+	}
+	var lastErr error
+	for ; inFlight > 0; inFlight-- {
+		res := <-results
+		if res.err == nil {
+			if res.peer != owner {
+				c.hedgeWins.Inc()
+			}
+			return res.resp, res.peer, nil
+		}
+		lastErr = res.err
+	}
+	return nil, nil, lastErr
+}
+
+// tryPeer forwards the request to one peer with the retry policy:
+// transient failures (transport errors, timeouts, 5xx — all
+// idempotent to re-send here) back off and retry up to MaxAttempts,
+// then the peer is given up on (the caller fails over).  Outcomes
+// feed the peer's breaker and the forward metrics.
+func (c *Cluster) tryPeer(ctx context.Context, p *peer, req Request, reqID string, sp *telemetry.Span) (*peerResp, error) {
+	var lastErr error
+	for attempt := 1; attempt <= c.retry.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			select {
+			case <-time.After(c.retry.backoff(attempt - 1)):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		resp, err := c.doOnce(ctx, p, req, reqID)
+		c.noteAttempt(sp, p, resp, err, attempt)
+		if err == nil {
+			p.br.success()
+			c.brState.With(p.name).Set(int64(p.br.state()))
+			c.forwards.With(p.name, "ok").Inc()
+			return resp, nil
+		}
+		lastErr = err
+		p.br.failure()
+		c.brState.With(p.name).Set(int64(p.br.state()))
+		c.forwards.With(p.name, "error").Inc()
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	return nil, lastErr
+}
+
+// doOnce performs one forwarded hop: fault-injection point, per-hop
+// timeout, header threading, full body buffering, latency histogram.
+// A status >= 500 is a failure — the next replica can serve the same
+// content-derived ID, so relaying a peer's 5xx would waste the ring.
+func (c *Cluster) doOnce(ctx context.Context, p *peer, req Request, reqID string) (*peerResp, error) {
+	if err := faultinject.FireCtx(ctx, "cluster.forward"); err != nil {
+		return nil, err
+	}
+	hctx, cancel := context.WithTimeout(ctx, c.forwardTO)
+	defer cancel()
+	var body io.Reader
+	if req.Body != nil {
+		body = bytes.NewReader(req.Body)
+	}
+	hr, err := http.NewRequestWithContext(hctx, req.Method, p.url+req.Path, body)
+	if err != nil {
+		return nil, err
+	}
+	if req.Body != nil {
+		hr.Header.Set("Content-Type", "application/json")
+	}
+	hr.Header.Set(RequestIDHeader, reqID)
+	hr.Header.Set(ForwardedByHeader, c.self)
+
+	start := time.Now()
+	resp, err := c.client.Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(io.LimitReader(resp.Body, maxRelayBody))
+	c.peerLatency.With(p.name).Observe(float64(time.Since(start)) / 1e6)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 500 {
+		return nil, fmt.Errorf("cluster: peer %s answered %d", p.name, resp.StatusCode)
+	}
+	return &peerResp{status: resp.StatusCode, header: resp.Header, body: buf}, nil
+}
+
+// relay writes a buffered peer response to the client, preserving the
+// headers that matter across the hop (content type, shed hints, and
+// the serving node's identity — the peer's NodeHeader wins over the
+// relaying node's).
+func (c *Cluster) relay(w http.ResponseWriter, resp *peerResp) {
+	for _, h := range []string{"Content-Type", "Retry-After", NodeHeader} {
+		if v := resp.header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(resp.body)))
+	w.WriteHeader(resp.status)
+	_, _ = w.Write(resp.body)
+}
+
+// spanNote records a non-attempt routing event (skip, local
+// failover) in the forward span tree.
+func (c *Cluster) spanNote(sp *telemetry.Span, event, peer string, _ int) {
+	if sp == nil {
+		return
+	}
+	child := sp.Child(event)
+	child.SetAttr("peer", peer)
+	child.End()
+}
+
+// noteAttempt records one forwarded attempt in the span tree.
+func (c *Cluster) noteAttempt(sp *telemetry.Span, p *peer, resp *peerResp, err error, attempt int) {
+	if sp == nil {
+		return
+	}
+	child := sp.Child("forward")
+	child.SetAttr("peer", p.name)
+	child.SetAttr("attempt", strconv.Itoa(attempt))
+	if err != nil {
+		child.SetAttr("error", err.Error())
+	} else {
+		child.SetAttr("status", strconv.Itoa(resp.status))
+	}
+	child.End()
+}

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over member names.  Each member owns
+// `virtual` points on a 64-bit circle; an ID is owned by the member
+// whose point is the first at or clockwise after the ID's hash.
+// Virtual points smooth the load split (with one point per member a
+// 3-node ring can be arbitrarily lopsided) and keep remapping minimal
+// when the member list changes: only the keys between a removed
+// member's points and their successors move.
+//
+// The ring is immutable after construction — the member list is
+// static configuration — so lookups are lock-free.
+type ring struct {
+	points  []ringPoint // sorted by hash
+	members []string    // sorted, for deterministic iteration
+}
+
+// ringPoint is one virtual node: a position on the circle and the
+// member that owns it.
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// hash64 positions a key on the circle: FNV-1a for the byte walk,
+// then a splitmix64 finalizer.  Raw FNV-1a diffuses short keys
+// ("b#17", 8-hex-char IDs) poorly into the high bits that ring order
+// sorts by, which clumps each member's virtual points together and
+// degenerates the failover order; the finalizer's multiply-xor-shift
+// cascade spreads every input bit across the full 64-bit circle.
+func hash64(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// newRing builds the ring with `virtual` points per member.
+func newRing(members []string, virtual int) *ring {
+	r := &ring{
+		points:  make([]ringPoint, 0, len(members)*virtual),
+		members: append([]string(nil), members...),
+	}
+	sort.Strings(r.members)
+	for _, m := range r.members {
+		for i := 0; i < virtual; i++ {
+			r.points = append(r.points, ringPoint{
+				hash:   hash64(fmt.Sprintf("%s#%d", m, i)),
+				member: m,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Ties (vanishingly rare with 64-bit hashes) break by name so
+		// every node computes the same ring.
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// owner returns the member owning the ID.
+func (r *ring) owner(id string) string {
+	return r.points[r.successor(hash64(id))].member
+}
+
+// successor returns the index of the first point at or after h,
+// wrapping past the top of the circle.
+func (r *ring) successor(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// sequence returns every member in ring order starting at the ID's
+// owner: the failover order.  The owner is first; each later entry is
+// the next distinct member clockwise, so every node computes the same
+// candidate list and a failed-over request lands deterministically.
+func (r *ring) sequence(id string) []string {
+	out := make([]string, 0, len(r.members))
+	seen := make(map[string]bool, len(r.members))
+	start := r.successor(hash64(id))
+	for i := 0; len(out) < len(r.members) && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, p.member)
+		}
+	}
+	return out
+}

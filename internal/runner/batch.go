@@ -74,6 +74,19 @@ func (s SweepSpec) Expand() ([]JobSpec, error) {
 	return specs, nil
 }
 
+// ID returns the sweep's content-derived batch ID — the same ID
+// SubmitBatch would register it under — without submitting anything.
+// The HTTP layer uses it to route batch submissions across cluster
+// replicas by consistent hash before any work is enqueued.  The error
+// is the expansion's (invalid spec, empty axes, oversized sweep).
+func (s SweepSpec) ID() (string, error) {
+	specs, err := s.Expand()
+	if err != nil {
+		return "", err
+	}
+	return batchID(specs), nil
+}
+
 // Batch is a handle on one submitted sweep.  Its ID is derived from
 // the canonical keys of its jobs, so resubmitting the same sweep
 // (even with axes reordered or duplicated) addresses the same batch.

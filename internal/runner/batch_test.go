@@ -20,6 +20,36 @@ func fastSweep() SweepSpec {
 	}
 }
 
+// TestSweepIDMatchesSubmit pins that SweepSpec.ID — the routing key
+// the cluster layer hashes before forwarding a sweep — is exactly the
+// ID SubmitBatch registers, and that it is insensitive to axis order.
+func TestSweepIDMatchesSubmit(t *testing.T) {
+	defer leakcheck.Check(t)
+	id, err := fastSweep().ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := fastSweep()
+	shuffled.Configs = []ConfigKind{Enhanced, Base}
+	shuffled.Seeds = []uint64{2, 1}
+	if id2, _ := shuffled.ID(); id2 != id {
+		t.Errorf("axis order changed the sweep ID: %s vs %s", id2, id)
+	}
+
+	r := New(Options{Workers: 1, TraceCapacity: -1})
+	defer r.Close()
+	b, _, err := r.SubmitBatch(fastSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ID != id {
+		t.Errorf("SubmitBatch ID %s != SweepSpec.ID %s", b.ID, id)
+	}
+	if _, err := (SweepSpec{Workload: "memcached"}).ID(); err == nil {
+		t.Error("empty-axis sweep produced an ID, want error")
+	}
+}
+
 func TestSweepExpand(t *testing.T) {
 	specs, err := fastSweep().Expand()
 	if err != nil {

@@ -14,7 +14,7 @@ fi
 go vet ./...
 go build ./...
 go test ./...
-go test -race -timeout 20m ./internal/pool/... ./internal/runner/... ./cmd/dlsimd/...
+go test -race -timeout 20m ./internal/pool/... ./internal/runner/... ./internal/cluster/... ./cmd/dlsimd/...
 go test -race -timeout 20m -run 'TestSuiteParallelMatchesSequential|TestSuiteConcurrentUse|TestGoldenCounters' ./internal/experiments/
 make faults
 
@@ -45,4 +45,15 @@ if SB_RUNS=2 scripts/store_bench.sh /tmp/BENCH_store_ci.json; then
 	grep '"warm_speedup"' /tmp/BENCH_store_ci.json || true
 else
 	echo "WARNING: store benchmark failed (advisory only)" >&2
+fi
+
+# Advisory: cluster forwarding tax and failover latency, one node vs
+# three loopback nodes.  Same caveat — warn instead of fail; re-run
+# `make cluster-bench` on a quiet machine before trusting a
+# regression.  The chaos determinism proof already ran above (the
+# race pass over cmd/dlsimd includes the chaos suite).
+if CB_RUNS=1 CB_BENCHTIME=1x CB_FO_BENCHTIME=100x scripts/cluster_bench.sh /tmp/BENCH_cluster_ci.json; then
+	grep -E '"(three_node_overhead|failover_p99_us)"' /tmp/BENCH_cluster_ci.json || true
+else
+	echo "WARNING: cluster benchmark failed (advisory only)" >&2
 fi
