@@ -426,6 +426,50 @@ func TestClusterFailoverRecomputesOnDeadOwner(t *testing.T) {
 	}
 }
 
+// TestClusterForwardedFailoverMissAnswers503 pins the serving side of
+// the failed-over-miss contract on an intermediate replica: a
+// forwarded GET that carries the failover marker and misses locally
+// answers 503 + Retry-After + miss marker (the dead owner may still
+// hold the result), while the same miss on a plain owner-forwarded
+// GET stays an honest 404.
+func TestClusterForwardedFailoverMissAnswers503(t *testing.T) {
+	leakcheck.Check(t)
+	h := startCluster(t, 3, nil)
+	const unknown = "job-deadbeef"
+
+	get := func(failover bool) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, h.nodes[0].url+"/v1/jobs/"+unknown, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(cluster.ForwardedByHeader, "test")
+		if failover {
+			req.Header.Set(cluster.FailoverHeader, "1")
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	if resp := get(false); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("owner-forwarded miss = %d, want 404", resp.StatusCode)
+	}
+	resp := get(true)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("failed-over miss = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("failed-over miss without Retry-After")
+	}
+	if resp.Header.Get(cluster.MissHeader) != "1" {
+		t.Error("failed-over miss without the miss marker — the forwarder would count it as a peer fault")
+	}
+}
+
 // TestClusterForwardedRequestServedLocally checks the one-hop rule at
 // the HTTP layer: a request carrying the forwarded marker is served
 // where it lands even when the node does not own the ID.

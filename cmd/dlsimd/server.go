@@ -282,11 +282,17 @@ func (s *server) setRetryAfter(w http.ResponseWriter) {
 // request that arrived forwarded is always served locally (one-hop
 // rule: the forwarder already walked the ring, so serving here — even
 // as a non-owner — is the failover, and content-derived IDs make that
-// idempotent).
+// idempotent).  A forwarded request stamped with the failover marker
+// reached a non-owner because the ID's owner was bypassed, so it
+// reports FailedOver: a local GET miss must then answer retryable
+// (clusterMiss), never 404 — the owner may still hold the result.
 func (s *server) routeCluster(w http.ResponseWriter, r *http.Request, req cluster.Request) cluster.Outcome {
 	cl := s.cfg.cluster
-	if cl == nil || r.Header.Get(cluster.ForwardedByHeader) != "" {
+	if cl == nil {
 		return cluster.Outcome{}
+	}
+	if r.Header.Get(cluster.ForwardedByHeader) != "" {
+		return cluster.Outcome{FailedOver: r.Header.Get(cluster.FailoverHeader) == "1"}
 	}
 	return cl.Route(w, r, req)
 }
@@ -295,9 +301,13 @@ func (s *server) routeCluster(w http.ResponseWriter, r *http.Request, req cluste
 // ID's owner is unreachable and may still hold the result, so a 404
 // would overclaim.  503 + Retry-After tells the client to come back
 // once the owner returns (or a resubmission has recomputed the ID
-// elsewhere — either way the ID itself stays valid).
+// elsewhere — either way the ID itself stays valid).  The miss marker
+// tells a forwarding peer this is "replica doesn't hold it", not a
+// node fault: it keeps walking the ring instead of relaying or
+// tripping the breaker.
 func (s *server) clusterMiss(w http.ResponseWriter, r *http.Request, kind, id string) {
 	s.setRetryAfter(w)
+	w.Header().Set(cluster.MissHeader, "1")
 	writeError(w, r, http.StatusServiceUnavailable,
 		"%s %q: owner peer unreachable and no local copy; retry, or resubmit to recompute", kind, id)
 }

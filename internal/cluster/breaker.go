@@ -67,6 +67,21 @@ func (b *breaker) allow() bool {
 	return true
 }
 
+// canForward reports whether a forward could proceed right now,
+// WITHOUT consuming the half-open trial slot.  Candidate selection
+// (e.g. picking a hedge peer that may never be contacted) must use
+// this; allow() is reserved for the moment a request actually
+// launches, so an unused selection can never strand the breaker with
+// a trial that nobody resolves.
+func (b *breaker) canForward() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openedAt.IsZero() {
+		return true
+	}
+	return b.now().Sub(b.openedAt) >= b.cooldown && !b.trial
+}
+
 // success records a successful forward: any state resets to closed.
 func (b *breaker) success() {
 	b.mu.Lock()

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -137,6 +138,38 @@ func TestBreakerTransitions(t *testing.T) {
 	b.success()
 	if b.state() != breakerClosed || !b.allow() {
 		t.Fatal("successful trial did not close the breaker")
+	}
+}
+
+// TestBreakerCanForwardDoesNotConsumeTrial pins the peek/claim split:
+// candidate selection may look at a half-open breaker any number of
+// times without consuming the single trial slot, which only allow()
+// claims.  (A consumed-but-never-launched trial would otherwise
+// exclude a recovered peer from routing forever.)
+func TestBreakerCanForwardDoesNotConsumeTrial(t *testing.T) {
+	b := newBreaker(1, time.Minute)
+	now := time.Unix(1000, 0)
+	b.now = func() time.Time { return now }
+
+	b.failure() // opens
+	if b.canForward() {
+		t.Fatal("open breaker reports canForward")
+	}
+	now = now.Add(time.Minute) // half-open
+	for i := 0; i < 3; i++ {
+		if !b.canForward() {
+			t.Fatalf("half-open peek %d refused — a previous peek consumed the trial", i)
+		}
+	}
+	if !b.allow() {
+		t.Fatal("half-open breaker refused the trial after peeks")
+	}
+	if b.canForward() {
+		t.Fatal("canForward ignores an in-flight trial")
+	}
+	b.success()
+	if !b.canForward() {
+		t.Fatal("closed breaker refuses forwards")
 	}
 }
 
@@ -316,6 +349,140 @@ func TestHedgedGetWinsOnSlowOwner(t *testing.T) {
 	}
 	if c.hedges.Value() != 1 || c.hedgeWins.Value() != 1 {
 		t.Errorf("hedges=%d wins=%d, want 1/1", c.hedges.Value(), c.hedgeWins.Value())
+	}
+}
+
+// TestHedgeMissWaitsForSlowOwner pins the spurious-404 fix: a hedge
+// fired at a non-owner that misses locally (503 + MissHeader, the
+// clusterMiss shape) must not be relayed — the slow-but-healthy
+// owner's eventual 200 is the answer.  The miss is also not a peer
+// fault: the hedge peer's breaker stays closed.
+func TestHedgeMissWaitsForSlowOwner(t *testing.T) {
+	leakcheck.Check(t)
+	owner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(150 * time.Millisecond)
+		_, _ = w.Write([]byte("owner-result"))
+	})
+	var hedged atomic.Int64
+	missing := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hedged.Add(1)
+		if r.Header.Get(FailoverHeader) != "1" {
+			t.Error("hedge hop to non-owner not marked as failover on the wire")
+		}
+		w.Header().Set(MissHeader, "1")
+		http.Error(w, "no local copy", http.StatusServiceUnavailable)
+	})
+	c, _ := testCluster(t, owner, missing, func(o *Options) {
+		o.HedgeDelay = 20 * time.Millisecond
+	})
+
+	bID := idRoutedVia(t, c.ring, "b", "c")
+	w, out := route(c, Request{ID: bID, Method: "GET", Path: "/v1/jobs/" + bID, Hedge: true})
+	if !out.Handled || out.Peer != "b" {
+		t.Fatalf("outcome = %+v, want the owner's answer", out)
+	}
+	if w.Code != 200 || w.Body.String() != "owner-result" {
+		t.Fatalf("hedged read relayed %d %q, want the owner's 200", w.Code, w.Body.String())
+	}
+	if hedged.Load() == 0 {
+		t.Fatal("hedge never fired — test exercised nothing")
+	}
+	if got := c.forwards.With("c", "miss").Value(); got != 1 {
+		t.Errorf("miss forwards to c = %d, want 1", got)
+	}
+	if st := c.peers["c"].br.state(); st != breakerClosed {
+		t.Errorf("hedge peer's breaker = %v after a miss, want closed", st)
+	}
+}
+
+// TestHedgeFailoverMarksResponse pins the header contract: when the
+// owner fails before the hedge delay and the next replica serves, the
+// relayed response must carry the failover marker.
+func TestHedgeFailoverMarksResponse(t *testing.T) {
+	leakcheck.Check(t)
+	bad := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	})
+	good := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("ok"))
+	})
+	c, _ := testCluster(t, bad, good, func(o *Options) {
+		o.HedgeDelay = 500 * time.Millisecond // owner fails long before it
+	})
+
+	bID := idRoutedVia(t, c.ring, "b", "c")
+	w, out := route(c, Request{ID: bID, Method: "GET", Path: "/x", Hedge: true})
+	if !out.Handled || !out.FailedOver || out.Peer != "c" {
+		t.Fatalf("outcome = %+v, want handled by c with failover", out)
+	}
+	if w.Code != 200 || w.Header().Get(FailoverHeader) != "1" {
+		t.Errorf("failed-over hedge response %d, %s=%q — failover not marked",
+			w.Code, FailoverHeader, w.Header().Get(FailoverHeader))
+	}
+	if c.Failovers() == 0 {
+		t.Error("failover counter did not move")
+	}
+}
+
+// TestFailoverMissKeepsWalking pins the intermediate-replica story:
+// with the owner down, a non-owner's local miss (404 here — even a
+// peer that forgets the MissHeader stamp) is never relayed; the walk
+// continues and falls through to self, so the caller — not the
+// non-owner — decides what a miss means.
+func TestFailoverMissKeepsWalking(t *testing.T) {
+	leakcheck.Check(t)
+	dead := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	})
+	missing := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(FailoverHeader) != "1" {
+			t.Error("failover hop to non-owner not marked on the wire")
+		}
+		http.Error(w, "no such job", http.StatusNotFound)
+	})
+	c, _ := testCluster(t, dead, missing, nil)
+
+	bID := idRoutedVia(t, c.ring, "b", "c")
+	w, out := route(c, Request{ID: bID, Method: "GET", Path: "/v1/jobs/" + bID})
+	if out.Handled || !out.FailedOver {
+		t.Fatalf("outcome = %+v, want unhandled fall-through to self with failover", out)
+	}
+	if w.Code == http.StatusNotFound {
+		t.Fatal("non-owner's 404 was relayed to the client")
+	}
+	if w.Header().Get(FailoverHeader) != "1" {
+		t.Error("local fall-through after failover not marked")
+	}
+	if got := c.forwards.With("c", "miss").Value(); got != 1 {
+		t.Errorf("miss forwards to c = %d, want 1 (no retries on a miss)", got)
+	}
+	if st := c.peers["c"].br.state(); st != breakerClosed {
+		t.Errorf("missing peer's breaker = %v, want closed (a miss is not a fault)", st)
+	}
+}
+
+// TestOversizePeerBodyFailsOver pins the relay cap: a peer body past
+// maxRelayBody must fail the forward (and fail over) rather than be
+// truncated and relayed as a clean 200.
+func TestOversizePeerBodyFailsOver(t *testing.T) {
+	leakcheck.Check(t)
+	huge := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write(bytes.Repeat([]byte("x"), maxRelayBody+1))
+	})
+	good := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("ok"))
+	})
+	c, _ := testCluster(t, huge, good, func(o *Options) {
+		o.Retry = RetryPolicy{MaxAttempts: 1, BaseDelay: time.Millisecond}
+	})
+
+	bID := idRoutedVia(t, c.ring, "b", "c")
+	w, out := route(c, Request{ID: bID, Method: "GET", Path: "/x"})
+	if !out.Handled || !out.FailedOver || out.Peer != "c" {
+		t.Fatalf("outcome = %+v, want failover to c past the oversize body", out)
+	}
+	if w.Code != 200 || w.Body.String() != "ok" {
+		t.Errorf("relayed %d with %d-byte body, want c's 200 ok", w.Code, w.Body.Len())
 	}
 }
 

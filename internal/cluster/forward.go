@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand/v2"
@@ -26,12 +27,30 @@ const (
 
 	// FailoverHeader is set ("1") on any response produced after at
 	// least one failover attempt — the chaos suite's proof that no
-	// 5xx escapes without the cluster having tried a replica.
+	// 5xx escapes without the cluster having tried a replica.  It is
+	// also set on forwarded *requests* aimed at a non-owner (failover
+	// and hedge hops), telling the serving peer that the ID's owner
+	// was bypassed: a local lookup miss there must answer retryable
+	// (503 + MissHeader) rather than 404, because the owner may still
+	// hold the result.
 	FailoverHeader = "X-DLSim-Failover"
+
+	// MissHeader is set ("1") on a peer's retryable local-miss
+	// response to a failed-over or hedged read.  The forwarding node
+	// classifies such a response as "this replica does not hold the
+	// ID" — not a peer fault, not a relayable answer — and keeps
+	// walking the ring (or keeps waiting for the owner).
+	MissHeader = "X-DLSim-Miss"
 
 	// RequestIDHeader is the correlation ID threaded across nodes.
 	RequestIDHeader = "X-Request-ID"
 )
+
+// errPeerMiss marks a forwarded read that a healthy non-owner replica
+// answered with "I don't hold this ID": the transport and the peer
+// are fine (the breaker records a success), but the response must not
+// be relayed — the owner may still hold the result.
+var errPeerMiss = errors.New("cluster: replica does not hold the ID")
 
 // RetryPolicy governs per-peer retransmission of transiently failed
 // forwards, mirroring internal/runner's RetryPolicy shape (the
@@ -188,16 +207,22 @@ func (c *Cluster) Route(w http.ResponseWriter, r *http.Request, req Request) Out
 		var err error
 		if req.Hedge && c.hedgeDelay > 0 {
 			var winner *peer
-			resp, winner, err = c.hedgedTry(r.Context(), p, c.nextAvailable(cands, i+1), req, reqID, sp)
+			var failedOver bool
+			resp, winner, failedOver, err = c.hedgedTry(r.Context(), p, c.nextAvailable(cands, i+1), req, reqID, sp, out.FailedOver)
+			if failedOver {
+				out.FailedOver = true
+			}
 			if err == nil && winner != nil {
 				p = winner
 			}
 		} else {
-			resp, err = c.tryPeer(r.Context(), p, req, reqID, sp)
+			resp, err = c.tryPeer(r.Context(), p, req, reqID, sp, out.FailedOver)
 		}
 		if err != nil {
 			out.FailedOver = true
-			c.failovers.Inc()
+			if !errors.Is(err, errPeerMiss) {
+				c.failovers.Inc()
+			}
 			continue
 		}
 		if out.FailedOver {
@@ -214,14 +239,17 @@ func (c *Cluster) Route(w http.ResponseWriter, r *http.Request, req Request) Out
 }
 
 // nextAvailable returns the first non-self candidate at or after
-// index i that is routable, or nil.
+// index i that is routable, or nil.  It must not consume breaker
+// state: the returned peer may never be contacted (the owner can
+// answer before the hedge fires), so it only peeks via canForward —
+// the half-open trial slot is claimed by allow() at launch time.
 func (c *Cluster) nextAvailable(cands []*peer, i int) *peer {
 	for ; i < len(cands); i++ {
 		p := cands[i]
 		if p.self {
 			return nil
 		}
-		if p.healthy() && p.br.allow() {
+		if p.healthy() && p.br.canForward() {
 			return p
 		}
 	}
@@ -230,11 +258,15 @@ func (c *Cluster) nextAvailable(cands []*peer, i int) *peer {
 
 // hedgedTry forwards to the owner and, if it stalls past HedgeDelay
 // and a second replica is available, races the same read against it,
-// returning the first success (and which peer produced it).  Both
-// attempts share the request context; the loser is abandoned to its
-// own per-hop timeout — its result lands in a buffered channel, so
-// nothing leaks.
-func (c *Cluster) hedgedTry(ctx context.Context, owner, next *peer, req Request, reqID string, sp *telemetry.Span) (*peerResp, *peer, error) {
+// returning the first success (and which peer produced it).  The
+// hedge hop targets a non-owner, so it is marked as a failover on the
+// wire: a miss there (errPeerMiss) just means "keep waiting for the
+// owner", never a relayable 404.  failedOver reports whether the
+// owner's attempt failed — any response returned after that must
+// carry FailoverHeader.  Both attempts share the request context; the
+// loser is abandoned to its own per-hop timeout — its result lands in
+// a buffered channel, so nothing leaks.
+func (c *Cluster) hedgedTry(ctx context.Context, owner, next *peer, req Request, reqID string, sp *telemetry.Span, ownerIsFailover bool) (_ *peerResp, _ *peer, failedOver bool, _ error) {
 	type tryResult struct {
 		resp *peerResp
 		err  error
@@ -243,50 +275,65 @@ func (c *Cluster) hedgedTry(ctx context.Context, owner, next *peer, req Request,
 	hctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	results := make(chan tryResult, 2)
-	launch := func(p *peer) {
+	launch := func(p *peer, failover bool) {
 		go func() {
-			resp, err := c.tryPeer(hctx, p, req, reqID, sp)
+			resp, err := c.tryPeer(hctx, p, req, reqID, sp, failover)
 			results <- tryResult{resp, err, p}
 		}()
 	}
-	launch(owner)
+	launch(owner, ownerIsFailover)
 	inFlight := 1
+	var lastErr error
 	if next != nil {
 		select {
 		case res := <-results:
 			if res.err == nil {
-				return res.resp, res.peer, nil
+				return res.resp, res.peer, failedOver, nil
 			}
 			inFlight--
 			// Owner already failed: the "hedge" is now just failover
 			// within the same call.
+			failedOver = true
+			lastErr = res.err
 			c.failovers.Inc()
 		case <-time.After(c.hedgeDelay):
 			c.hedges.Inc()
 		}
-		launch(next)
-		inFlight++
+		// Claim the breaker slot only now that the request actually
+		// launches; a concurrent route may have taken a half-open
+		// trial since nextAvailable peeked.
+		if next.br.allow() {
+			launch(next, true)
+			inFlight++
+		}
 	}
-	var lastErr error
 	for ; inFlight > 0; inFlight-- {
 		res := <-results
-		if res.err == nil {
-			if res.peer != owner {
-				c.hedgeWins.Inc()
+		if res.err != nil {
+			if res.peer == owner {
+				failedOver = true
 			}
-			return res.resp, res.peer, nil
+			lastErr = res.err
+			continue
 		}
-		lastErr = res.err
+		if res.peer != owner {
+			c.hedgeWins.Inc()
+		}
+		return res.resp, res.peer, failedOver, nil
 	}
-	return nil, nil, lastErr
+	return nil, nil, failedOver, lastErr
 }
 
 // tryPeer forwards the request to one peer with the retry policy:
 // transient failures (transport errors, timeouts, 5xx — all
 // idempotent to re-send here) back off and retry up to MaxAttempts,
 // then the peer is given up on (the caller fails over).  Outcomes
-// feed the peer's breaker and the forward metrics.
-func (c *Cluster) tryPeer(ctx context.Context, p *peer, req Request, reqID string, sp *telemetry.Span) (*peerResp, error) {
+// feed the peer's breaker and the forward metrics.  failover marks
+// the hop as aimed at a non-owner; a local-miss answer from such a
+// peer (errPeerMiss) is final for this peer — the peer is healthy
+// (the breaker records a success) and re-asking it cannot help, so
+// the caller moves on without retries.
+func (c *Cluster) tryPeer(ctx context.Context, p *peer, req Request, reqID string, sp *telemetry.Span, failover bool) (*peerResp, error) {
 	var lastErr error
 	for attempt := 1; attempt <= c.retry.MaxAttempts; attempt++ {
 		if attempt > 1 {
@@ -296,7 +343,7 @@ func (c *Cluster) tryPeer(ctx context.Context, p *peer, req Request, reqID strin
 				return nil, ctx.Err()
 			}
 		}
-		resp, err := c.doOnce(ctx, p, req, reqID)
+		resp, err := c.doOnce(ctx, p, req, reqID, failover)
 		c.noteAttempt(sp, p, resp, err, attempt)
 		if err == nil {
 			p.br.success()
@@ -305,6 +352,12 @@ func (c *Cluster) tryPeer(ctx context.Context, p *peer, req Request, reqID strin
 			return resp, nil
 		}
 		lastErr = err
+		if errors.Is(err, errPeerMiss) {
+			p.br.success()
+			c.brState.With(p.name).Set(int64(p.br.state()))
+			c.forwards.With(p.name, "miss").Inc()
+			return nil, err
+		}
 		p.br.failure()
 		c.brState.With(p.name).Set(int64(p.br.state()))
 		c.forwards.With(p.name, "error").Inc()
@@ -319,7 +372,12 @@ func (c *Cluster) tryPeer(ctx context.Context, p *peer, req Request, reqID strin
 // timeout, header threading, full body buffering, latency histogram.
 // A status >= 500 is a failure — the next replica can serve the same
 // content-derived ID, so relaying a peer's 5xx would waste the ring.
-func (c *Cluster) doOnce(ctx context.Context, p *peer, req Request, reqID string) (*peerResp, error) {
+// On a failover hop the request carries FailoverHeader, and the
+// peer's "I don't hold this ID" answer — MissHeader, or a 404/410
+// from an older peer that doesn't stamp it — maps to errPeerMiss
+// instead of a relayable response: only the ID's owner may assert
+// not-found to the client.
+func (c *Cluster) doOnce(ctx context.Context, p *peer, req Request, reqID string, failover bool) (*peerResp, error) {
 	if err := faultinject.FireCtx(ctx, "cluster.forward"); err != nil {
 		return nil, err
 	}
@@ -338,6 +396,9 @@ func (c *Cluster) doOnce(ctx context.Context, p *peer, req Request, reqID string
 	}
 	hr.Header.Set(RequestIDHeader, reqID)
 	hr.Header.Set(ForwardedByHeader, c.self)
+	if failover {
+		hr.Header.Set(FailoverHeader, "1")
+	}
 
 	start := time.Now()
 	resp, err := c.client.Do(hr)
@@ -345,10 +406,20 @@ func (c *Cluster) doOnce(ctx context.Context, p *peer, req Request, reqID string
 		return nil, err
 	}
 	defer resp.Body.Close()
-	buf, err := io.ReadAll(io.LimitReader(resp.Body, maxRelayBody))
+	buf, err := io.ReadAll(io.LimitReader(resp.Body, maxRelayBody+1))
 	c.peerLatency.With(p.name).Observe(float64(time.Since(start)) / 1e6)
 	if err != nil {
 		return nil, err
+	}
+	if len(buf) > maxRelayBody {
+		// Relaying a truncated body would hand the client broken JSON
+		// with a clean status; fail the forward instead.
+		return nil, fmt.Errorf("cluster: peer %s response exceeds the %d-byte relay cap", p.name, maxRelayBody)
+	}
+	miss := resp.Header.Get(MissHeader) == "1" ||
+		(failover && (resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusGone))
+	if miss {
+		return nil, fmt.Errorf("%w (peer %s answered %d)", errPeerMiss, p.name, resp.StatusCode)
 	}
 	if resp.StatusCode >= 500 {
 		return nil, fmt.Errorf("cluster: peer %s answered %d", p.name, resp.StatusCode)
