@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt race faults chaos bench-runner bench-fault obs-bench kernel-bench pool-bench store-bench cluster-bench all
+.PHONY: check fmt race faults chaos bench-runner bench-fault obs-bench kernel-bench pool-bench store-bench cluster-bench timeline-bench all
 
 all: check
 
@@ -54,6 +54,15 @@ bench-fault:
 # wall clock with tracing on vs off; regenerates BENCH_obs.json.
 obs-bench:
 	scripts/obs_bench.sh
+
+# Advisory A/B of timeline interval sampling on the kernel hot loop:
+# sampler detached vs attached at the production 64Ki-instruction
+# interval, with allocation counts.  The full gated run (feeding
+# BENCH_obs.json) is part of `make obs-bench`; this target is the
+# quick standalone check.  Pair with the zero-cost-off proofs:
+# `go test -run 'TestTimelineOffNoAllocs|TestSamplerBitIdentical' ./internal/cpu/`.
+timeline-bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkRunTimeline(Off|On)$$' -benchmem ./internal/cpu/
 
 # Simulation-kernel throughput before/after the de-mapped hot loop;
 # regenerates BENCH_kernel.json.  Pair with the bit-identity proof:

@@ -28,6 +28,7 @@
 //	       [-max-retained N] [-retries N] [-request-timeout 30s]
 //	       [-drain-timeout 30s] [-trace-buffer N] [-debug-addr :8345]
 //	       [-store-dir DIR] [-store-max-bytes N]
+//	       [-metrics-history 5s] [-metrics-history-points N]
 //	       [-cluster-self NAME -cluster-peers "a=URL,b=URL,..."]
 //
 // With -cluster-self set, the node joins a static sharded cluster
@@ -71,10 +72,20 @@
 //	                     error (partial failure is reported, not
 //	                     hidden), and per-config aggregates over
 //	                     completed jobs
+//	GET  /v1/jobs/{id}/timeline  the job's phase-resolved counter
+//	                     timeline: per-interval deltas of every
+//	                     microarchitectural counter sampled during the
+//	                     measure window (JSON, or CSV via ?format=csv /
+//	                     Accept: text/csv); cluster-aware like any
+//	                     result read
 //	GET  /v1/traces/{id} the job's span tree: queued/attempt/backoff
 //	                     phases with generate/link/warmup/measure steps
 //	GET  /v1/stats       pool depth, cache hits/misses, retries/panics/
-//	                     shed counters, job latency
+//	                     shed counters, job latency, and (in cluster
+//	                     mode) per-peer forward/failover/hedge counts
+//	GET  /v1/metrics/history  short-horizon time series of every scalar
+//	                     instrument, snapshotted every -metrics-history
+//	                     period into a bounded ring
 //	GET  /metrics        Prometheus text exposition of all instruments
 //	GET  /healthz        liveness (200 while the process serves)
 //	GET  /readyz         readiness (503 once draining)
@@ -148,6 +159,8 @@ func main() {
 	clusterForwardTimeout := flag.Duration("cluster-forward-timeout", 5*time.Second, "per-hop timeout for forwarded requests")
 	clusterHedge := flag.Duration("cluster-hedge-delay", 0, "hedged-GET delay: race the next replica if the owner hasn't answered a result read in this long (0 disables)")
 	clusterRetries := flag.Int("cluster-retries", 0, "max forward attempts per peer before failing over (0 = default 2)")
+	historyInterval := flag.Duration("metrics-history", telemetry.DefaultHistoryInterval, "metrics-history snapshot period behind GET /v1/metrics/history (0 disables the ring)")
+	historyPoints := flag.Int("metrics-history-points", 0, "metrics-history ring capacity in snapshots (0 = default 720: one hour at the default period)")
 	flag.Parse()
 
 	// Zero flags: every line the server emits is a self-contained JSON
@@ -225,11 +238,19 @@ func main() {
 		fmt.Printf("dlsimd: cluster mode, self=%s, %d members\n", *clusterSelf, len(peers))
 	}
 
+	var hist *telemetry.History
+	if *historyInterval > 0 {
+		hist = telemetry.NewHistory(reg, *historyPoints, *historyInterval)
+		hist.Start()
+		defer hist.Close()
+	}
+
 	api := newServer(pool, serverConfig{
 		logger:         logger,
 		requestTimeout: *requestTimeout,
 		retryAfter:     time.Second,
 		cluster:        cl,
+		history:        hist,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

@@ -10,6 +10,8 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -22,6 +24,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/store"
 	"repro/internal/telemetry"
+	"repro/internal/timeline"
 )
 
 // serverConfig tunes the HTTP front end's robustness behaviour.
@@ -47,6 +50,11 @@ type serverConfig struct {
 	// circuit breakers and optional hedged result reads (see
 	// internal/cluster).  Nil serves everything locally.
 	cluster *cluster.Cluster
+
+	// history, when non-nil, is the metrics-history ring behind GET
+	// /v1/metrics/history (see telemetry.History).  Nil disables the
+	// endpoint (404).
+	history *telemetry.History
 }
 
 // server is the dlsimd HTTP front end over a runner pool.
@@ -105,16 +113,43 @@ func newServer(pool *runner.Runner, cfg serverConfig) *server {
 	reg.GaugeFunc("dlsim_uptime_seconds", "Seconds since process start.",
 		func() float64 { return time.Since(started).Seconds() })
 
+	registerRuntimeGauges(reg)
+
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/timeline", s.handleJobTimeline)
 	s.mux.HandleFunc("POST /v1/batches", s.handleSubmitBatch)
 	s.mux.HandleFunc("GET /v1/batches/{id}", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/metrics/history", s.handleMetricsHistory)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s
+}
+
+// registerRuntimeGauges adds the process-level dashboard gauges:
+// build identity (a constant-1 info gauge carrying version labels,
+// the Prometheus idiom) and Go runtime health (goroutines, heap).
+// Registration is idempotent, so multiple servers over one registry
+// (the loopback cluster harness) are fine.
+func registerRuntimeGauges(reg *telemetry.Registry) {
+	version := "devel"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		version = bi.Main.Version
+	}
+	reg.GaugeVec("dlsim_build_info",
+		"Build identity; always 1, labelled with the module version and Go toolchain.",
+		"version", "go_version").With(version, runtime.Version()).Set(1)
+	reg.GaugeFunc("dlsim_go_goroutines", "Live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("dlsim_go_heap_bytes", "Heap bytes in use (runtime.MemStats.HeapAlloc).",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
 }
 
 // startDrain stops admission: /readyz reports 503 (so load balancers
@@ -150,6 +185,10 @@ func newRequestID() string {
 func route(r *http.Request) string {
 	p := r.URL.Path
 	switch {
+	case strings.HasPrefix(p, "/v1/jobs/") && strings.HasSuffix(p, "/timeline"):
+		return "/v1/jobs/{id}/timeline"
+	case p == "/v1/metrics/history":
+		return p
 	case strings.HasPrefix(p, "/v1/jobs/"):
 		return "/v1/jobs/{id}"
 	case strings.HasPrefix(p, "/v1/batches/"):
@@ -599,6 +638,138 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// timelineResponse answers GET /v1/jobs/{id}/timeline in JSON form.
+// The series is marshalled identically on every node, which is what
+// makes an owner fetch and a forwarded fetch byte-identical.
+type timelineResponse struct {
+	ID     string           `json:"id"`
+	Series *timeline.Series `json:"series"`
+}
+
+// wantCSV reports whether the client asked for CSV, via ?format=csv
+// or an Accept: text/csv header.
+func wantCSV(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "csv" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "text/csv")
+}
+
+// handleJobTimeline serves a completed job's phase-resolved counter
+// series (JSON by default, CSV via Accept/?format=csv).  Fetches are
+// cluster-routed exactly like the job itself — consistent-hash owner,
+// hedged read, ring failover — and the requested format travels in
+// the forwarded path, since peers never see the client's Accept
+// header.  Jobs that ran with timelines disabled, jobs still in
+// flight, and series records lost to crash recovery answer 404 while
+// the result itself stays servable.
+func (s *server) handleJobTimeline(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	csvOut := wantCSV(r)
+	path := "/v1/jobs/" + id + "/timeline"
+	if csvOut {
+		path += "?format=csv"
+	}
+	out := s.routeCluster(w, r, cluster.Request{
+		ID:     id,
+		Method: http.MethodGet,
+		Path:   path,
+		Hedge:  true,
+	})
+	if out.Handled {
+		return
+	}
+	series, ok := s.pool.Timeline(id)
+	if !ok {
+		if out.FailedOver {
+			// The owner may still hold the series; answer retryable.
+			s.clusterMiss(w, r, "timeline", id)
+			return
+		}
+		if job, known := s.pool.Job(id); known {
+			switch {
+			case job.State() == runner.StateQueued || job.State() == runner.StateRunning:
+				writeError(w, r, http.StatusNotFound,
+					"job %q has no timeline yet (state %s); poll /v1/jobs/%s until done", id, job.State(), id)
+			case job.Spec.TimelineOff:
+				writeError(w, r, http.StatusNotFound,
+					"job %q ran with timelines disabled (timeline_off); resubmit without it to collect one", id)
+			default:
+				writeError(w, r, http.StatusNotFound,
+					"no timeline for job %q (failed job, or its series record did not survive)", id)
+			}
+			return
+		}
+		if s.pool.Evicted(id) {
+			writeError(w, r, http.StatusGone,
+				"job %q evicted from the result cache; resubmit its spec to recompute", id)
+			return
+		}
+		writeError(w, r, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	if csvOut {
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		_ = timeline.WriteCSV(w, series)
+		return
+	}
+	writeJSON(w, http.StatusOK, timelineResponse{ID: id, Series: series})
+}
+
+// historyIndexResponse answers GET /v1/metrics/history without a
+// name: the queryable series names plus ring geometry.
+type historyIndexResponse struct {
+	IntervalS float64  `json:"interval_s"`
+	Samples   int      `json:"samples"`
+	Names     []string `json:"names"`
+}
+
+// historySeriesResponse answers GET /v1/metrics/history?name=...
+type historySeriesResponse struct {
+	Name      string                   `json:"name"`
+	IntervalS float64                  `json:"interval_s"`
+	Points    []telemetry.HistoryPoint `json:"points"`
+}
+
+// handleMetricsHistory serves the metrics-history ring: without
+// ?name= it lists the queryable series, with it it returns that
+// series' (time, value) points — optionally bounded to the last
+// ?minutes=N.  Series names are exactly the exposition names GET
+// /metrics prints (histograms appear as name_count / name_sum), so a
+// dashboard can go from a scrape to a short-horizon chart with no
+// external time-series store.
+func (s *server) handleMetricsHistory(w http.ResponseWriter, r *http.Request) {
+	h := s.cfg.history
+	if h == nil {
+		writeError(w, r, http.StatusNotFound, "metrics history disabled (-metrics-history 0)")
+		return
+	}
+	q := r.URL.Query()
+	var since time.Time
+	if m := q.Get("minutes"); m != "" {
+		f, err := strconv.ParseFloat(m, 64)
+		if err != nil || f <= 0 {
+			writeError(w, r, http.StatusBadRequest, "invalid minutes %q (want a positive number)", m)
+			return
+		}
+		since = time.Now().Add(-time.Duration(f * float64(time.Minute)))
+	}
+	name := q.Get("name")
+	if name == "" {
+		writeJSON(w, http.StatusOK, historyIndexResponse{
+			IntervalS: h.Interval().Seconds(),
+			Samples:   h.Len(),
+			Names:     h.Names(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, historySeriesResponse{
+		Name:      name,
+		IntervalS: h.Interval().Seconds(),
+		Points:    h.Query(name, since),
+	})
+}
+
 // handleTrace serves a job's phase breakdown as a JSON span tree.
 // The trace shares the job's ID, so clients poll /v1/jobs/{id} and
 // fetch /v1/traces/{id} with the same handle.  Traces live in a
@@ -699,10 +870,12 @@ type statsResponse struct {
 
 	// ArtifactPool is the artifact pool's gauge set (workload/image
 	// hits, resident bytes); Store the disk tier's (entries,
-	// segments, bytes, hit rate).  Either is omitted when the tier is
-	// disabled.
+	// segments, bytes, hit rate); Cluster the routing tier's (per-peer
+	// health, breaker state and forward outcomes, plus failover and
+	// hedge totals).  Each is omitted when its tier is disabled.
 	ArtifactPool *pool.Stats     `json:"pool,omitempty"`
 	Store        *storeStatsJSON `json:"store,omitempty"`
+	Cluster      *cluster.Stats  `json:"cluster,omitempty"`
 }
 
 // handleStats reports pool depth, cache effectiveness, failure and
@@ -728,6 +901,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			ss.HitRate = float64(ss.Hits) / float64(n)
 		}
 		resp.Store = &ss
+	}
+	if cl := s.cfg.cluster; cl != nil {
+		cs := cl.Stats()
+		resp.Cluster = &cs
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

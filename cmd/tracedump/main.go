@@ -4,17 +4,26 @@
 // symbol, call count — together with the ABTB working-set curve that
 // Figure 5 is built from.
 //
+// With -timeline it instead dumps the phase-resolved counter series
+// (internal/timeline) sampled while the requests run: per-interval
+// deltas of every microarchitectural counter, as JSON or CSV — the
+// same format GET /v1/jobs/{id}/timeline serves, for offline use
+// without a dlsimd process.
+//
 // Usage:
 //
 //	tracedump [-workload apache] [-requests N] [-top N] [-seed N]
+//	tracedump -timeline [-interval N] [-format json|csv] [...]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/timeline"
 	"repro/internal/workload"
 )
 
@@ -23,29 +32,78 @@ func main() {
 	requests := flag.Int("requests", 200, "requests to trace")
 	top := flag.Int("top", 30, "trampolines to list")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	tl := flag.Bool("timeline", false, "dump the sampled counter timeline instead of the trampoline profile")
+	interval := flag.Uint64("interval", 0, "timeline sample interval in retired instructions (0 = default 64Ki)")
+	format := flag.String("format", "json", "timeline output format: json | csv")
 	flag.Parse()
 
-	if err := run(*wl, *requests, *top, *seed); err != nil {
+	var err error
+	if *tl {
+		err = runTimeline(*wl, *requests, *seed, *interval, *format)
+	} else {
+		err = run(*wl, *requests, *top, *seed)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracedump:", err)
 		os.Exit(1)
 	}
 }
 
-func run(wl string, requests, top int, seed uint64) error {
+// runTimeline replays the workload with an interval sampler attached
+// for the request phase (warmup is excluded, mirroring the service's
+// measure-window discipline) and writes the series to stdout.
+func runTimeline(wl string, requests int, seed, interval uint64, format string) error {
+	if format != "json" && format != "csv" {
+		return fmt.Errorf("unknown timeline format %q (want json or csv)", format)
+	}
+	sys, d, err := setup(wl, seed)
+	if err != nil {
+		return err
+	}
+	if err := d.Warmup(20); err != nil {
+		return err
+	}
+	col := timeline.NewCollector(interval, timeline.DefaultMaxPoints)
+	col.Attach(sys.CPU())
+	if _, err := d.Run(requests); err != nil {
+		col.Close()
+		return err
+	}
+	s := col.Close()
+	if s == nil {
+		return fmt.Errorf("no instructions retired; nothing to sample")
+	}
+	if format == "csv" {
+		return timeline.WriteCSV(os.Stdout, s)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// setup builds the (system, driver) pair both modes share.
+func setup(wl string, seed uint64) (*core.System, *workload.Driver, error) {
 	gens := map[string]func(uint64) *workload.Workload{
 		"apache": workload.Apache, "firefox": workload.Firefox,
 		"memcached": workload.Memcached, "mysql": workload.MySQL,
 	}
 	gen, ok := gens[wl]
 	if !ok {
-		return fmt.Errorf("unknown workload %q", wl)
+		return nil, nil, fmt.Errorf("unknown workload %q", wl)
 	}
 	w := gen(seed)
 	sys, err := w.NewSystem(core.Base(seed))
 	if err != nil {
+		return nil, nil, err
+	}
+	return sys, workload.NewDriver(w, sys, seed+17), nil
+}
+
+func run(wl string, requests, top int, seed uint64) error {
+	sys, d, err := setup(wl, seed)
+	if err != nil {
 		return err
 	}
-	d := workload.NewDriver(w, sys, seed+17)
 	if err := d.Warmup(20); err != nil {
 		return err
 	}

@@ -415,3 +415,54 @@ func (c *Cluster) Status() Status {
 	}
 	return st
 }
+
+// PeerForwards is one remote peer's forwarded-request outcome counts.
+type PeerForwards struct {
+	Peer  string `json:"peer"`
+	OK    uint64 `json:"ok"`
+	Miss  uint64 `json:"miss"`
+	Error uint64 `json:"error"`
+}
+
+// Stats is the cluster tier served inside GET /v1/stats: the /readyz
+// health view plus this node's forwarding activity, so one endpoint
+// summarizes the routing layer next to the pool and store tiers.  All
+// values are read from the same telemetry counters /metrics exports.
+type Stats struct {
+	Status
+
+	// Forwards lists per-remote-peer forward outcomes, ring order,
+	// remote peers only (a node never forwards to itself).
+	Forwards []PeerForwards `json:"forwards,omitempty"`
+
+	// Failovers counts requests this node answered from a non-owner
+	// replica after the owner was skipped or failed; Hedges counts
+	// hedged secondary reads launched, HedgeWins those that answered
+	// first.
+	Failovers uint64 `json:"failovers"`
+	Hedges    uint64 `json:"hedges"`
+	HedgeWins uint64 `json:"hedge_wins"`
+}
+
+// Stats snapshots the cluster tier for /v1/stats.
+func (c *Cluster) Stats() Stats {
+	st := Stats{
+		Status:    c.Status(),
+		Failovers: c.failovers.Value(),
+		Hedges:    c.hedges.Value(),
+		HedgeWins: c.hedgeWins.Value(),
+	}
+	for _, name := range c.ring.members {
+		p := c.peers[name]
+		if p.self {
+			continue
+		}
+		st.Forwards = append(st.Forwards, PeerForwards{
+			Peer:  p.name,
+			OK:    c.forwards.With(p.name, "ok").Value(),
+			Miss:  c.forwards.With(p.name, "miss").Value(),
+			Error: c.forwards.With(p.name, "error").Value(),
+		})
+	}
+	return st
+}

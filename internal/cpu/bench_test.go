@@ -67,3 +67,44 @@ func BenchmarkSimulatedInstructionsEnhanced(b *testing.B) {
 	}
 	b.ReportMetric(float64(instrs)/float64(b.N), "instrs/op")
 }
+
+// BenchmarkRunTimelineOff is the sampling-disabled baseline for the
+// timeline overhead comparison: identical to the enhanced-config
+// throughput bench, with no sampler ever attached.  The acceptance
+// bound is a ≤1% delta against the pre-sampling kernel and zero
+// allocations per run (see TestTimelineOffNoAllocs).
+func BenchmarkRunTimelineOff(b *testing.B) {
+	c := benchImage(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		res, err := c.RunSymbol("main", 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += res.Instructions
+	}
+	b.ReportMetric(float64(instrs)/float64(b.N), "instrs/op")
+}
+
+// BenchmarkRunTimelineOn measures the same workload with a sampler
+// attached at the default production interval (64Ki instructions).
+// The callback is a counting no-op so the bench isolates the kernel's
+// own sampling cost: the boundary bookkeeping, not the collector.
+func BenchmarkRunTimelineOn(b *testing.B) {
+	c := benchImage(b, true)
+	var fired uint64
+	c.SetSampler(64<<10, func(IntervalSample) { fired++ })
+	b.ReportAllocs()
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		res, err := c.RunSymbol("main", 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += res.Instructions
+	}
+	b.ReportMetric(float64(instrs)/float64(b.N), "instrs/op")
+}

@@ -171,6 +171,26 @@ func (c Counters) Sub(prev Counters) Counters {
 	}
 }
 
+// IntervalSample is a cumulative snapshot of the CPU's measurement
+// state taken at an interval-sampling boundary (see SetSampler).  It
+// carries the full Counters set plus ABTB/Bloom detail that is kept
+// out of Counters so the golden aggregate-counter set stays frozen:
+// insertions into the ABTB, Bloom-filter store snoops (lookups), and
+// snoops that hit the filter and flushed the table (true GOT stores
+// plus false positives), and the count of retired GOT stores
+// performed by the resolver.
+//
+// Values are running totals since the last ResetStats; consumers
+// difference consecutive samples to obtain per-interval deltas.
+type IntervalSample struct {
+	Counters Counters
+
+	ABTBInserts    uint64 // entries installed into the ABTB
+	BloomLookups   uint64 // retired stores snooped against the Bloom filter
+	BloomFlushHits uint64 // snoops that hit the filter and flushed (incl. false positives)
+	GOTStores      uint64 // retired resolver stores into the GOT
+}
+
 // execPage holds per-PC dynamic execution counts for one
 // instruction-index page, indexed by the PC's in-page byte offset.
 // Hanging the counters off the fetch page (allocated lazily, only for
@@ -242,6 +262,21 @@ type CPU struct {
 	// invalidations to the other cores' ABTBs (§3.1).
 	TraceStore func(addr uint64)
 
+	// Interval sampling (SetSampler): when onSample is non-nil, Run
+	// invokes it each time retired instructions cross nextSampleAt,
+	// then advances nextSampleAt by sampleEvery.  The check rides the
+	// Run loop's existing per-step budget comparison — a single
+	// precomputed limit — so the disabled path is bit-identical to a
+	// build without sampling and adds no per-instruction work.
+	sampleEvery  uint64
+	nextSampleAt uint64
+	onSample     func(IntervalSample)
+
+	// gotStores counts retired resolver stores into the GOT.  It is
+	// deliberately not a Counters field: the golden-counter test
+	// freezes that set, and timeline samples carry it separately.
+	gotStores uint64
+
 	c Counters
 }
 
@@ -308,11 +343,30 @@ func (c *CPU) Run(entry uint64, maxInstrs uint64) (RunResult, error) {
 		maxInstrs = 100_000_000
 	}
 	start := c.c
+	// The loop stops at limit = min(budget end, next sample boundary):
+	// one comparison per step whether or not sampling is enabled, so
+	// the timeline-off path does exactly the work it did before
+	// sampling existed.  Sample boundaries persist across Run calls
+	// (nextSampleAt is an absolute retired-instruction count), so a
+	// measure window made of many short runs samples on one grid.
+	budgetEnd := start.Instructions + maxInstrs
+	limit := budgetEnd
+	if c.onSample != nil && c.nextSampleAt < limit {
+		limit = c.nextSampleAt
+	}
 	c.sp = c.img.StackTop() - 64
 	pc := entry
 	for {
-		if c.c.Instructions-start.Instructions >= maxInstrs {
-			return c.runDelta(start), fmt.Errorf("cpu: instruction budget %d exhausted at pc %#x", maxInstrs, pc)
+		if c.c.Instructions >= limit {
+			if c.c.Instructions >= budgetEnd {
+				return c.runDelta(start), fmt.Errorf("cpu: instruction budget %d exhausted at pc %#x", maxInstrs, pc)
+			}
+			c.takeSample()
+			limit = budgetEnd
+			if c.nextSampleAt < limit {
+				limit = c.nextSampleAt
+			}
+			continue
 		}
 		next, halted, err := c.step(pc)
 		if err != nil {
@@ -323,6 +377,72 @@ func (c *CPU) Run(entry uint64, maxInstrs uint64) (RunResult, error) {
 		}
 		pc = next
 	}
+}
+
+// takeSample emits one interval sample and advances the boundary past
+// the current instruction count.  A single step can retire hundreds of
+// instructions (a Resolve), so one crossing may cover several
+// boundaries; exactly one sample is emitted and the skipped intervals
+// are visible to consumers as a larger instruction delta.
+func (c *CPU) takeSample() {
+	c.onSample(c.IntervalSnapshot())
+	for c.nextSampleAt <= c.c.Instructions {
+		c.nextSampleAt += c.sampleEvery
+	}
+}
+
+// SetSampler enables interval sampling: fn is invoked from Run each
+// time retired instructions cross a boundary, every instructions
+// apart, with a cumulative IntervalSample.  The first boundary is
+// every instructions from the current count, so callers attach the
+// sampler immediately after ResetStats to sample a measurement window
+// from zero.  every==0 or fn==nil disables sampling.
+//
+// fn runs synchronously inside Run; it must not call back into the
+// CPU other than SetSampleInterval.
+func (c *CPU) SetSampler(every uint64, fn func(IntervalSample)) {
+	if every == 0 || fn == nil {
+		c.sampleEvery, c.nextSampleAt, c.onSample = 0, 0, nil
+		return
+	}
+	c.sampleEvery = every
+	c.onSample = fn
+	c.nextSampleAt = c.c.Instructions + every
+}
+
+// SetSampleInterval changes the sampling interval for subsequent
+// boundaries without disturbing the current one.  Collectors use it
+// from inside the sample callback when they compact: after merging
+// adjacent points they double the interval so the series stays
+// bounded.  No-op when sampling is disabled or every is zero.
+func (c *CPU) SetSampleInterval(every uint64) {
+	if c.onSample != nil && every != 0 {
+		c.sampleEvery = every
+	}
+}
+
+// SampleInterval returns the active sampling interval in instructions,
+// or 0 when sampling is disabled.
+func (c *CPU) SampleInterval() uint64 {
+	if c.onSample == nil {
+		return 0
+	}
+	return c.sampleEvery
+}
+
+// IntervalSnapshot returns the current cumulative sample: the full
+// counter set plus the ABTB/Bloom totals that live outside Counters.
+// Collectors call it directly at the end of a measurement window to
+// flush the final partial interval.
+func (c *CPU) IntervalSnapshot() IntervalSample {
+	c.syncCounters()
+	s := IntervalSample{Counters: c.c, GOTStores: c.gotStores}
+	if c.ab != nil {
+		s.ABTBInserts = c.ab.Inserts()
+		s.BloomLookups = c.ab.StoreSnoops()
+		s.BloomFlushHits = c.ab.FlushingStores()
+	}
+	return s
 }
 
 // runDelta returns the instructions and cycles retired since start.
@@ -600,6 +720,7 @@ func (c *CPU) execResolve(pc, predicted uint64, predValid bool) (uint64, bool, e
 
 	// The GOT store that redirects future trampoline executions.
 	c.dataWrite(gotAddr, funcAddr)
+	c.gotStores++
 	// In the §3.4 variant there is no Bloom filter watching that
 	// store; the modified resolver executes the architecturally
 	// visible ABTB-invalidate instruction instead.
@@ -755,6 +876,7 @@ func (c *CPU) TrampFreq() map[uint64]uint64 {
 // mappings) and architectural state; used to exclude warmup.
 func (c *CPU) ResetStats() {
 	c.c = Counters{}
+	c.gotStores = 0
 	c.l1i.ResetStats()
 	c.l1d.ResetStats() // resets shared L2 twice; harmless
 	c.itlb.ResetStats()

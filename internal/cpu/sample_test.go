@@ -1,0 +1,201 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/linker"
+)
+
+// TestSamplerBoundaries pins the sampler contract: callbacks fire at
+// (or just past) every interval boundary, samples are cumulative and
+// monotone, and boundary overshoot is bounded by the largest single
+// step (the resolver footprint + 1).
+func TestSamplerBoundaries(t *testing.T) {
+	im := buildProgram(t, 16, linker.BindLazy)
+	cfg := DefaultConfig()
+	c := New(im, cfg)
+
+	const every = 64
+	var samples []IntervalSample
+	c.SetSampler(every, func(s IntervalSample) { samples = append(samples, s) })
+	run(t, c, 8)
+
+	total := c.Counters().Instructions
+	// A single step may retire the resolver's whole footprint and cross
+	// several boundaries at once; crossing yields one sample and the
+	// grid re-arms past the current count.  So the sample count is
+	// bounded by the grid above and by the worst-case step below.
+	overshoot := uint64(cfg.ResolverInstrs) + 1
+	if max := int(total / every); len(samples) > max {
+		t.Errorf("got %d samples for %d instructions at interval %d, want <= %d",
+			len(samples), total, every, max)
+	}
+	if min := int(total/(every+overshoot)) - 1; len(samples) < min {
+		t.Errorf("got %d samples for %d instructions at interval %d, want >= %d",
+			len(samples), total, every, min)
+	}
+	if len(samples) == 0 {
+		t.Fatal("sampler never fired")
+	}
+	var prev uint64
+	for i, s := range samples {
+		got := s.Counters.Instructions
+		if got <= prev {
+			t.Errorf("sample %d: Instructions = %d not past prev %d", i, got, prev)
+		}
+		// Each sample fires within one step of its arming boundary,
+		// which is itself at most `every` past the previous sample.
+		if i > 0 && got-prev > every+overshoot {
+			t.Errorf("sample %d: gap %d exceeds interval+overshoot %d",
+				i, got-prev, every+overshoot)
+		}
+		if got < every {
+			t.Errorf("sample %d: Instructions = %d before first boundary %d", i, got, every)
+		}
+		prev = got
+	}
+}
+
+// TestSamplerBitIdentical proves sampling is invisible to the
+// simulation: a sampled CPU and an unsampled CPU running the same
+// program finish with equal counters.
+func TestSamplerBitIdentical(t *testing.T) {
+	imA := buildProgram(t, 8, linker.BindLazy)
+	imB := buildProgram(t, 8, linker.BindLazy)
+	plain := New(imA, DefaultConfig())
+	sampled := New(imB, DefaultConfig())
+
+	fired := 0
+	sampled.SetSampler(128, func(IntervalSample) { fired++ })
+	run(t, plain, 5)
+	run(t, sampled, 5)
+	if fired == 0 {
+		t.Fatal("sampler never fired")
+	}
+	if plain.Counters() != sampled.Counters() {
+		t.Errorf("counters diverge:\n  plain   %+v\n  sampled %+v",
+			plain.Counters(), sampled.Counters())
+	}
+}
+
+// TestSamplerSpansRuns checks that the sampling grid is an absolute
+// retired-instruction count persisting across Run calls: many short
+// runs produce the same boundaries as one long run would.
+func TestSamplerSpansRuns(t *testing.T) {
+	im := buildProgram(t, 4, linker.BindLazy)
+	c := New(im, DefaultConfig())
+
+	const every = 1 << 10
+	var samples []uint64
+	c.SetSampler(every, func(s IntervalSample) {
+		samples = append(samples, s.Counters.Instructions)
+	})
+	perRun := func() uint64 {
+		res, err := c.RunSymbol("main", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Instructions
+	}
+	one := perRun()
+	if one >= every {
+		t.Fatalf("test premise broken: one run retires %d >= interval %d", one, every)
+	}
+	runs := 1
+	for c.Counters().Instructions < 4*every {
+		perRun()
+		runs++
+	}
+	if len(samples) < 3 {
+		t.Fatalf("crossed %d boundaries over %d runs, want >= 3 samples (got %d)",
+			c.Counters().Instructions/every, runs, len(samples))
+	}
+	for i, got := range samples {
+		if boundary := uint64(i+1) * every; got < boundary || got >= boundary+every {
+			t.Errorf("sample %d at %d instructions, want in [%d, %d)",
+				i, got, boundary, boundary+every)
+		}
+	}
+}
+
+// TestSamplerDisable checks both off switches: never enabling, and
+// disabling after enabling.
+func TestSamplerDisable(t *testing.T) {
+	im := buildProgram(t, 4, linker.BindLazy)
+	c := New(im, DefaultConfig())
+	run(t, c, 2) // no sampler set: must not panic
+
+	fired := 0
+	c.SetSampler(16, func(IntervalSample) { fired++ })
+	run(t, c, 5)
+	if fired == 0 {
+		t.Fatal("sampler never fired while enabled")
+	}
+	c.SetSampler(0, nil)
+	before := fired
+	run(t, c, 5)
+	if fired != before {
+		t.Errorf("sampler fired %d more times after disable", fired-before)
+	}
+	if c.SampleInterval() != 0 {
+		t.Errorf("SampleInterval() = %d after disable, want 0", c.SampleInterval())
+	}
+}
+
+// TestSetSampleIntervalWidens checks mid-run re-arming (the compaction
+// path): widening the interval moves the next boundary onto the new
+// grid without firing stale boundaries.
+func TestSetSampleIntervalWidens(t *testing.T) {
+	im := buildProgram(t, 4, linker.BindLazy)
+	c := New(im, DefaultConfig())
+
+	var samples []uint64
+	c.SetSampler(256, func(s IntervalSample) {
+		samples = append(samples, s.Counters.Instructions)
+		c.SetSampleInterval(1 << 20) // widen drastically on first fire
+	})
+	run(t, c, 40)
+	if len(samples) != 1 {
+		t.Fatalf("got %d samples, want exactly 1 (widened beyond run length after the first)", len(samples))
+	}
+	if c.SampleInterval() != 1<<20 {
+		t.Errorf("SampleInterval() = %d, want %d", c.SampleInterval(), 1<<20)
+	}
+}
+
+// TestIntervalSnapshotExtras checks the extra (non-Counters) series:
+// GOT stores and ABTB/Bloom totals surface through IntervalSnapshot
+// and reset with ResetStats.
+func TestIntervalSnapshotExtras(t *testing.T) {
+	im := buildProgram(t, 8, linker.BindLazy)
+	c := New(im, DefaultConfig())
+	run(t, c, 1)
+	s := c.IntervalSnapshot()
+	if s.GOTStores != 8 {
+		t.Errorf("GOTStores = %d, want 8 (one per lazy resolution)", s.GOTStores)
+	}
+	if s.Counters != c.Counters() {
+		t.Errorf("snapshot counters %+v != Counters() %+v", s.Counters, c.Counters())
+	}
+	c.ResetStats()
+	if s = c.IntervalSnapshot(); s.GOTStores != 0 {
+		t.Errorf("GOTStores = %d after ResetStats, want 0", s.GOTStores)
+	}
+}
+
+// TestTimelineOffNoAllocs pins the timeline-off hot path at zero
+// allocations: a warmed CPU with no sampler attached must run without
+// touching the heap, exactly as before sampling existed.
+func TestTimelineOffNoAllocs(t *testing.T) {
+	im := buildProgram(t, 16, linker.BindLazy)
+	c := New(im, DefaultConfig())
+	run(t, c, 3) // resolve everything; steady state
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := c.RunSymbol("main", 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("timeline-off RunSymbol allocates %.1f objects/run, want 0", allocs)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/timeline"
 )
 
 // SweepSpec names a parameter sweep: one workload crossed with a set
@@ -27,6 +29,12 @@ type SweepSpec struct {
 	Scale   float64 `json:"scale,omitempty"`
 	Warm    int     `json:"warm,omitempty"`
 	Measure int     `json:"measure,omitempty"`
+
+	// TimelineInterval and TimelineOff apply to every expanded job
+	// (see JobSpec); zero values keep the default sampling grid and
+	// therefore every pre-timeline batch ID.
+	TimelineInterval uint64 `json:"timeline_interval,omitempty"`
+	TimelineOff      bool   `json:"timeline_off,omitempty"`
 }
 
 // MaxBatchJobs bounds one sweep's expansion, so a single request
@@ -52,12 +60,14 @@ func (s SweepSpec) Expand() ([]JobSpec, error) {
 	for _, cfg := range s.Configs {
 		for _, seed := range s.Seeds {
 			spec := JobSpec{
-				Workload: s.Workload,
-				Config:   cfg,
-				Seed:     seed,
-				Scale:    s.Scale,
-				Warm:     s.Warm,
-				Measure:  s.Measure,
+				Workload:         s.Workload,
+				Config:           cfg,
+				Seed:             seed,
+				Scale:            s.Scale,
+				Warm:             s.Warm,
+				Measure:          s.Measure,
+				TimelineInterval: s.TimelineInterval,
+				TimelineOff:      s.TimelineOff,
 			}
 			norm, err := spec.Normalize()
 			if err != nil {
@@ -169,6 +179,17 @@ type BatchAggregate struct {
 	TrampPKI float64    `json:"tramp_instrs_pki"`
 }
 
+// BatchTimeline is one config's merged phase timeline over the
+// batch's completed jobs: the per-job series element-wise summed on a
+// common interval grid (see timeline.Merge).  Jobs counts the series
+// merged — jobs that ran with timelines disabled, or whose series
+// were restored from disk without being fetched, do not contribute.
+type BatchTimeline struct {
+	Config ConfigKind       `json:"config"`
+	Jobs   int              `json:"jobs"`
+	Series *timeline.Series `json:"series"`
+}
+
 // BatchStatus is a point-in-time snapshot of a batch: progress,
 // per-job states (including each failed job's error — partial
 // failure is reported, never hidden), and per-config aggregates over
@@ -183,6 +204,7 @@ type BatchStatus struct {
 	Completed bool             `json:"completed"`
 	Jobs      []BatchJobStatus `json:"jobs"`
 	Aggregate []BatchAggregate `json:"aggregate,omitempty"`
+	Timelines []BatchTimeline  `json:"timelines,omitempty"`
 }
 
 // Status snapshots the batch.  A batch restored from the disk store
@@ -198,6 +220,7 @@ func (b *Batch) Status() BatchStatus {
 		p99Num           float64
 		setupMS, measMS  float64
 		trampPKI         float64
+		series           []*timeline.Series
 	}
 	aggs := make(map[ConfigKind]*agg)
 	order := make([]ConfigKind, 0, 4)
@@ -223,6 +246,9 @@ func (b *Batch) Status() BatchStatus {
 					order = append(order, j.Spec.Config)
 				}
 				a.jobs++
+				if res.Timeline != nil {
+					a.series = append(a.series, res.Timeline)
+				}
 				if res.Counters.Instructions > 0 {
 					a.cpi += float64(res.Counters.Cycles) / float64(res.Counters.Instructions)
 				}
@@ -264,6 +290,17 @@ func (b *Batch) Status() BatchStatus {
 			out.P99US = a.p99Num / a.wN
 		}
 		st.Aggregate = append(st.Aggregate, out)
+		// Merged per-config timeline, kept beside (not inside) the
+		// aggregate row: the chaos suite asserts aggregates are
+		// bit-identical across failover scenarios, and that property
+		// must not depend on which jobs' series are in memory.
+		if merged := timeline.Merge(a.series); merged != nil {
+			st.Timelines = append(st.Timelines, BatchTimeline{
+				Config: cfg,
+				Jobs:   len(a.series),
+				Series: merged,
+			})
+		}
 	}
 	return st
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/stats"
+	"repro/internal/timeline"
 )
 
 // Disk forms of completed work, stored as JSON payloads in the
@@ -22,7 +23,15 @@ const (
 	persistVersion = 1
 	kindJob        = "job"
 	kindBatch      = "batch"
+	kindTimeline   = "timeline"
 )
+
+// timelineStoreID derives the store ID a job's timeline record lives
+// under.  The "t" prefix keeps it disjoint from job IDs (16 hex
+// chars) and batch IDs ("b" prefix), so a timeline is a separate
+// record beside its result: a torn timeline tail lost to crash
+// recovery never takes the result with it, and vice versa.
+func timelineStoreID(jobID string) string { return "t" + jobID }
 
 // persistedResult is the durable subset of a Result: everything the
 // API and batch aggregation read.  The workload bundle and the
@@ -105,6 +114,43 @@ func decodeResult(b []byte) (*Result, error) {
 	}
 	res.freeze()
 	return res, nil
+}
+
+// persistedTimeline is a job timeline's durable form.  Points are
+// uint64 deltas, which round-trip exactly through encoding/json — the
+// same discipline as counters, so a restored series is byte-identical
+// to the live run's.
+type persistedTimeline struct {
+	V    int    `json:"v"`
+	Kind string `json:"kind"`
+
+	ID     string           `json:"id"` // the owning job's ID, without the "t" prefix
+	Series *timeline.Series `json:"series"`
+}
+
+// encodeTimeline serialises a job's series for the store.
+func encodeTimeline(jobID string, s *timeline.Series) ([]byte, error) {
+	return json.Marshal(persistedTimeline{
+		V:      persistVersion,
+		Kind:   kindTimeline,
+		ID:     jobID,
+		Series: s,
+	})
+}
+
+// decodeTimeline rebuilds a series from its disk form.
+func decodeTimeline(b []byte) (*timeline.Series, error) {
+	var p persistedTimeline
+	if err := json.Unmarshal(b, &p); err != nil {
+		return nil, fmt.Errorf("runner: corrupt stored timeline: %w", err)
+	}
+	if p.V != persistVersion || p.Kind != kindTimeline {
+		return nil, fmt.Errorf("runner: stored record is not a v%d timeline (v=%d kind=%q)", persistVersion, p.V, p.Kind)
+	}
+	if p.Series == nil || len(p.Series.Points) == 0 {
+		return nil, fmt.Errorf("runner: stored timeline %s has no points", p.ID)
+	}
+	return p.Series, nil
 }
 
 // persistedBatch is a completed batch's durable form: the expanded

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/stats"
+	"repro/internal/timeline"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -44,6 +45,12 @@ type Result struct {
 	// Workload is the generated application bundle the job simulated;
 	// its Classes describe the request mix behind Samples.
 	Workload *workload.Workload
+
+	// Timeline is the job's phase-resolved counter series over the
+	// measurement window (nil when the spec disabled collection).
+	// Restored results carry nil here even when a series was
+	// persisted; Runner.Timeline falls back to the store record.
+	Timeline *timeline.Series
 
 	// SetupWall is the wall clock spent before the first measured
 	// request: workload generation (or pool fetch), linking (or

@@ -16,6 +16,7 @@ import (
 	"repro/internal/pool"
 	"repro/internal/store"
 	"repro/internal/telemetry"
+	"repro/internal/timeline"
 	"repro/internal/workload"
 )
 
@@ -735,6 +736,13 @@ func (r *Runner) finish(j *Job, res *Result, err error) {
 		if b, perr := encodeResult(res); perr == nil {
 			_ = r.store.Put(j.ID, b)
 		}
+		// The timeline is a separate record beside the result: losing
+		// one to a torn tail never corrupts the other.
+		if res.Timeline != nil {
+			if b, perr := encodeTimeline(j.ID, res.Timeline); perr == nil {
+				_ = r.store.Put(timelineStoreID(j.ID), b)
+			}
+		}
 	}
 	if j.State() == StateRunning {
 		r.m.running.Dec()
@@ -810,11 +818,23 @@ func (r *Runner) execute(ctx context.Context, spec JobSpec, sp *telemetry.Span) 
 		return nil, fmt.Errorf("runner: %s/%s: %w", spec.Workload, spec.Config, err)
 	}
 	setupWall := time.Since(setupStart)
+	// Arm timeline sampling only now: WarmupContext ended with
+	// ResetStats, so the series covers exactly the measurement window.
+	// A disabled timeline leaves the kernel's sampler disarmed — the
+	// measured zero-overhead path.
+	var col *timeline.Collector
+	if spec.TimelineInterval > 0 {
+		col = timeline.NewCollector(spec.TimelineInterval, timeline.DefaultMaxPoints)
+		col.Attach(sys.CPU())
+	}
 	measureStart := time.Now()
 	ph = sp.Child("measure")
 	samp, err := d.RunContext(ctx, spec.Measure)
 	ph.End()
 	if err != nil {
+		if col != nil {
+			col.Close() // disarm the sampler before the fork is discarded
+		}
 		return nil, fmt.Errorf("runner: %s/%s: %w", spec.Workload, spec.Config, err)
 	}
 	measureWall := time.Since(measureStart)
@@ -831,6 +851,9 @@ func (r *Runner) execute(ctx context.Context, spec JobSpec, sp *telemetry.Span) 
 		SetupWall:   setupWall,
 		MeasureWall: measureWall,
 		Wall:        setupWall + measureWall,
+	}
+	if col != nil {
+		res.Timeline = col.Close()
 	}
 	res.freeze()
 	return res, nil

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/timeline"
 	"repro/internal/workload"
 )
 
@@ -134,6 +135,18 @@ type JobSpec struct {
 	// Measure overrides the measured request count before scaling.
 	// Zero means the workload default.
 	Measure int `json:"measure,omitempty"`
+
+	// TimelineInterval selects the interval-sampling granularity in
+	// retired instructions for the job's phase timeline.  Zero means
+	// timeline.DefaultInterval; values below timeline.MinInterval are
+	// raised to it.  The interval only changes observation granularity
+	// — aggregate counters are bit-identical at any setting.
+	TimelineInterval uint64 `json:"timeline_interval,omitempty"`
+
+	// TimelineOff disables timeline collection for this job: the
+	// kernel runs with sampling disarmed (the measured zero-overhead
+	// path) and GET /v1/jobs/{id}/timeline answers 404.
+	TimelineOff bool `json:"timeline_off,omitempty"`
 }
 
 // Validate checks the spec against the registries.
@@ -190,6 +203,13 @@ func (j JobSpec) Normalize() (JobSpec, error) {
 	}
 	out.Measure = n
 	out.Scale = 0 // folded into Measure
+	if out.TimelineOff {
+		out.TimelineInterval = 0
+	} else if out.TimelineInterval == 0 {
+		out.TimelineInterval = timeline.DefaultInterval
+	} else if out.TimelineInterval < timeline.MinInterval {
+		out.TimelineInterval = timeline.MinInterval
+	}
 	return out, nil
 }
 
@@ -201,8 +221,20 @@ func (j JobSpec) Key() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return fmt.Sprintf("%s|%s|seed=%d|warm=%d|measure=%d",
-		n.Workload, n.Config, n.Seed, n.Warm, n.Measure), nil
+	key := fmt.Sprintf("%s|%s|seed=%d|warm=%d|measure=%d",
+		n.Workload, n.Config, n.Seed, n.Warm, n.Measure)
+	// Timeline settings only affect observation, but jobs are cached
+	// by key and the cached result carries the series — a non-default
+	// granularity therefore gets its own key.  Default settings leave
+	// the key exactly as before timelines existed, preserving every
+	// content-derived ID.
+	switch {
+	case n.TimelineOff:
+		key += "|tl=off"
+	case n.TimelineInterval != timeline.DefaultInterval:
+		key += fmt.Sprintf("|tl=%d", n.TimelineInterval)
+	}
+	return key, nil
 }
 
 // IDFromKey derives the short hex job ID used by the dlsimd HTTP API

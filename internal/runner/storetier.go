@@ -5,6 +5,8 @@ package runner
 // this file is the glue that turns its byte payloads back into
 // completed *Job handles.
 
+import "repro/internal/timeline"
+
 // closedChan is a pre-closed done channel shared by every restored
 // job — they were complete before this process ever saw them.
 var closedChan = func() chan struct{} {
@@ -12,6 +14,36 @@ var closedChan = func() chan struct{} {
 	close(ch)
 	return ch
 }()
+
+// Timeline returns the phase timeline of the job with the given short
+// ID: from the in-memory result when the job completed in this
+// process, otherwise from the store record persisted beside the
+// result.  It answers false for unknown jobs, jobs that ran with
+// timelines disabled, jobs still in flight, and timeline records lost
+// to crash recovery — the result itself stays servable in every one
+// of those cases.
+func (r *Runner) Timeline(id string) (*timeline.Series, bool) {
+	r.mu.Lock()
+	j, inMem := r.byID[id]
+	r.mu.Unlock()
+	if inMem {
+		if res, ok := j.Result(); ok && res.Timeline != nil {
+			return res.Timeline, true
+		}
+	}
+	if r.store == nil {
+		return nil, false
+	}
+	payload, ok, err := r.store.Get(timelineStoreID(id))
+	if !ok || err != nil {
+		return nil, false
+	}
+	s, err := decodeTimeline(payload)
+	if err != nil {
+		return nil, false
+	}
+	return s, true
+}
 
 // restoreJobLocked looks id up in the disk store and, on a hit,
 // promotes it into the in-memory cache as a completed job.  wantKey,

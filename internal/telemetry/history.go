@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// History is a fixed-size ring of periodic registry snapshots: every
+// interval it records the value of each counter, gauge and function
+// gauge (and each histogram's _count and _sum), keyed by the series'
+// Prometheus exposition name (`name` or `name{label="v",...}`).  It
+// turns point-in-time /metrics scrapes into queryable short-horizon
+// time series — GET /v1/metrics/history serves it — without any
+// external storage.
+//
+// Memory is bounded by construction: capacity snapshots, each a map
+// of series→value, where the series set is itself bounded by the
+// registry's label-cardinality rules.
+type History struct {
+	reg      *Registry
+	interval time.Duration
+
+	mu      sync.Mutex
+	times   []int64              // unix seconds, ring-ordered
+	samples []map[string]float64 // parallel to times
+	head    int                  // next write position
+	n       int                  // filled entries
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// DefaultHistoryInterval is the snapshot period applied when
+// NewHistory is given a zero interval.
+const DefaultHistoryInterval = 5 * time.Second
+
+// DefaultHistoryCapacity is the ring size applied when NewHistory is
+// given a non-positive capacity: one hour at the default interval.
+const DefaultHistoryCapacity = 720
+
+// NewHistory returns a history ring over reg.  It does not snapshot
+// until Start is called (or Record, for callers driving it manually).
+func NewHistory(reg *Registry, capacity int, interval time.Duration) *History {
+	if capacity <= 0 {
+		capacity = DefaultHistoryCapacity
+	}
+	if interval <= 0 {
+		interval = DefaultHistoryInterval
+	}
+	return &History{
+		reg:      reg,
+		interval: interval,
+		times:    make([]int64, capacity),
+		samples:  make([]map[string]float64, capacity),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Interval returns the snapshot period.
+func (h *History) Interval() time.Duration { return h.interval }
+
+// Start launches the periodic snapshot goroutine.  Call Close to stop
+// it; Start must be called at most once.
+func (h *History) Start() {
+	go func() {
+		defer close(h.done)
+		t := time.NewTicker(h.interval)
+		defer t.Stop()
+		for {
+			select {
+			case now := <-t.C:
+				h.Record(now)
+			case <-h.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the snapshot goroutine and waits for it to exit.  Safe
+// only after Start.
+func (h *History) Close() {
+	close(h.stop)
+	<-h.done
+}
+
+// Record takes one snapshot of the registry at the given time.  It is
+// what the Start goroutine calls each tick; tests call it directly to
+// drive the ring deterministically.
+func (h *History) Record(now time.Time) {
+	snap := snapshotValues(h.reg)
+	h.mu.Lock()
+	h.times[h.head] = now.Unix()
+	h.samples[h.head] = snap
+	h.head = (h.head + 1) % len(h.times)
+	if h.n < len(h.times) {
+		h.n++
+	}
+	h.mu.Unlock()
+}
+
+// snapshotValues flattens the registry into series name → value.
+// Histograms contribute their _count and _sum series (enough for rate
+// and mean-over-window queries); bucket vectors are deliberately not
+// retained — the ring would multiply their cardinality by its depth.
+func snapshotValues(reg *Registry) map[string]float64 {
+	out := make(map[string]float64, 64)
+	for _, f := range reg.sortedFamilies() {
+		if f.fn != nil {
+			out[f.name] = f.fn()
+			continue
+		}
+		for _, key := range f.sortedChildren() {
+			f.mu.Lock()
+			m := f.children[key]
+			f.mu.Unlock()
+			lbls := labelString(f.labels, key)
+			switch v := m.(type) {
+			case *Counter:
+				out[f.name+lbls] = float64(v.Value())
+			case *Gauge:
+				out[f.name+lbls] = float64(v.Value())
+			case *Histogram:
+				out[f.name+"_count"+lbls] = float64(v.Count())
+				out[f.name+"_sum"+lbls] = v.Sum()
+			}
+		}
+	}
+	return out
+}
+
+// HistoryPoint is one (time, value) observation of a series.
+type HistoryPoint struct {
+	T int64   `json:"t"` // unix seconds
+	V float64 `json:"v"`
+}
+
+// Names returns every series name present in the most recent
+// snapshot, sorted.  Empty until the first Record.
+func (h *History) Names() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return nil
+	}
+	last := (h.head - 1 + len(h.times)) % len(h.times)
+	names := make([]string, 0, len(h.samples[last]))
+	for name := range h.samples[last] {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Query returns the series' points at or after since, oldest first.
+// Snapshots that predate the series' registration simply lack it and
+// are skipped, so a freshly registered metric has a short history
+// rather than a zero-filled one.
+func (h *History) Query(name string, since time.Time) []HistoryPoint {
+	cut := since.Unix()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]HistoryPoint, 0, h.n)
+	start := (h.head - h.n + len(h.times)) % len(h.times)
+	for i := 0; i < h.n; i++ {
+		idx := (start + i) % len(h.times)
+		if h.times[idx] < cut {
+			continue
+		}
+		if v, ok := h.samples[idx][name]; ok {
+			out = append(out, HistoryPoint{T: h.times[idx], V: v})
+		}
+	}
+	return out
+}
+
+// Len returns the number of snapshots currently held.
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}

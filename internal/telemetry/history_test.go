@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestHistorySnapshot checks the flattening rules: plain counters and
+// gauges by name, labelled children by exposition name, histograms as
+// _count/_sum, function gauges live.
+func TestHistorySnapshot(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("jobs_total", "")
+	c.Add(3)
+	g := reg.Gauge("queue_depth", "")
+	g.Set(7)
+	reg.CounterVec("forwards_total", "", "peer").With("b").Add(2)
+	h := reg.Histogram("latency_seconds", "", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(2.5)
+	fn := 41.0
+	reg.GaugeFunc("goroutines", "", func() float64 { fn++; return fn })
+
+	hist := NewHistory(reg, 4, time.Second)
+	hist.Record(time.Unix(100, 0))
+
+	names := hist.Names()
+	want := []string{
+		"forwards_total{peer=\"b\"}", "goroutines", "jobs_total",
+		"latency_seconds_count", "latency_seconds_sum", "queue_depth",
+	}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("Names() = %v\nwant       %v", names, want)
+	}
+	get := func(name string) float64 {
+		t.Helper()
+		pts := hist.Query(name, time.Unix(0, 0))
+		if len(pts) != 1 {
+			t.Fatalf("Query(%q) = %v, want one point", name, pts)
+		}
+		if pts[0].T != 100 {
+			t.Fatalf("Query(%q) T = %d, want 100", name, pts[0].T)
+		}
+		return pts[0].V
+	}
+	if v := get("jobs_total"); v != 3 {
+		t.Errorf("jobs_total = %v, want 3", v)
+	}
+	if v := get(`forwards_total{peer="b"}`); v != 2 {
+		t.Errorf("labelled counter = %v, want 2", v)
+	}
+	if v := get("latency_seconds_count"); v != 2 {
+		t.Errorf("histogram count = %v, want 2", v)
+	}
+	if v := get("latency_seconds_sum"); v != 3 {
+		t.Errorf("histogram sum = %v, want 3", v)
+	}
+	if v := get("goroutines"); v != 42 {
+		t.Errorf("gauge func = %v, want 42 (evaluated at Record)", v)
+	}
+}
+
+// TestHistoryRingWraps checks capacity bounds and since-filtering.
+func TestHistoryRingWraps(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("x", "")
+	hist := NewHistory(reg, 3, time.Second)
+	for i := 0; i < 5; i++ {
+		g.Set(int64(i))
+		hist.Record(time.Unix(int64(100+i), 0))
+	}
+	if hist.Len() != 3 {
+		t.Errorf("Len() = %d, want capacity 3", hist.Len())
+	}
+	pts := hist.Query("x", time.Unix(0, 0))
+	if len(pts) != 3 {
+		t.Fatalf("Query returned %d points, want 3", len(pts))
+	}
+	// Oldest first, and only the 3 newest survive the wrap.
+	for i, p := range pts {
+		if p.T != int64(102+i) || p.V != float64(2+i) {
+			t.Errorf("point %d = %+v, want T=%d V=%d", i, p, 102+i, 2+i)
+		}
+	}
+	if got := hist.Query("x", time.Unix(104, 0)); len(got) != 1 || got[0].V != 4 {
+		t.Errorf("since-filtered query = %v, want just the final point", got)
+	}
+	if got := hist.Query("absent", time.Unix(0, 0)); len(got) != 0 {
+		t.Errorf("query for unknown series = %v, want empty", got)
+	}
+}
+
+// TestHistoryStartClose exercises the ticker goroutine lifecycle with
+// a tiny interval; mostly a leak/deadlock check under -race.
+func TestHistoryStartClose(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("y", "").Add(1)
+	hist := NewHistory(reg, 8, time.Millisecond)
+	hist.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for hist.Len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	hist.Close()
+	if hist.Len() == 0 {
+		t.Error("ticker never recorded a snapshot")
+	}
+	if hist.Interval() != time.Millisecond {
+		t.Errorf("Interval() = %v, want 1ms", hist.Interval())
+	}
+}
+
+// TestHistoryDefaults checks the zero-value clamps.
+func TestHistoryDefaults(t *testing.T) {
+	h := NewHistory(NewRegistry(), 0, 0)
+	if len(h.times) != DefaultHistoryCapacity {
+		t.Errorf("capacity = %d, want %d", len(h.times), DefaultHistoryCapacity)
+	}
+	if h.interval != DefaultHistoryInterval {
+		t.Errorf("interval = %v, want %v", h.interval, DefaultHistoryInterval)
+	}
+}

@@ -132,7 +132,7 @@ func TestHistogramQuantileMatchesExact(t *testing.T) {
 		}
 	}
 	// Mean is exact (sum/count), not bucketed.
-	if got, want := h.Mean(), exact.Mean(); !close(got, want, 1e-9) {
+	if got, want := h.Mean(), exact.Mean(); !approxEq(got, want, 1e-9) {
 		t.Errorf("mean = %v, want %v", got, want)
 	}
 	// Quantiles are monotone in p.
@@ -162,7 +162,7 @@ func TestHistogramEdgeCases(t *testing.T) {
 	}
 }
 
-func close(a, b, eps float64) bool {
+func approxEq(a, b, eps float64) bool {
 	d := a - b
 	if d < 0 {
 		d = -d

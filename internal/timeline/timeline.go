@@ -1,0 +1,304 @@
+// Package timeline turns the CPU's interval samples into bounded,
+// delta-encoded time series: one Point per sampling interval, each
+// holding the counter deltas accrued inside that interval.
+//
+// The series is bounded by compaction.  A Collector accepts samples at
+// the CPU's configured interval; when the point count reaches its cap
+// it merges adjacent pairs and doubles the interval (telling the CPU
+// to widen its sampling grid to match), so an arbitrarily long run
+// produces at most MaxPoints points at interval base×2^k.  Compaction
+// is a pure function of the sample stream, which is itself a pure
+// function of the job spec — the same spec always yields a
+// byte-identical series.
+package timeline
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/cpu"
+)
+
+// DefaultInterval is the default sampling granularity in retired
+// instructions (64Ki), chosen so typical jobs (tens of millions of
+// instructions) produce a few hundred points before any compaction.
+const DefaultInterval = 64 << 10
+
+// MinInterval floors the configurable interval: sampling more often
+// than every 4Ki instructions costs kernel exits without adding
+// phase-level information.
+const MinInterval = 4 << 10
+
+// DefaultMaxPoints bounds a series; must be even so compaction merges
+// exact pairs.
+const DefaultMaxPoints = 512
+
+// Point holds the counter deltas accrued in one sampling interval.
+// Instructions is authoritative for the interval's width: interior
+// points cover ≈Interval instructions (boundary overshoot is bounded
+// by the resolver footprint), the final point covers whatever remained
+// of the measurement window.
+type Point struct {
+	Instructions uint64 `json:"instructions"`
+	Cycles       uint64 `json:"cycles"`
+
+	TrampCalls  uint64 `json:"tramp_calls"`
+	TrampSkips  uint64 `json:"tramp_skips"`
+	TrampInstrs uint64 `json:"tramp_instrs"`
+
+	Resolutions uint64 `json:"resolutions"`
+	GOTStores   uint64 `json:"got_stores"`
+	Stores      uint64 `json:"stores"`
+
+	ABTBHits    uint64 `json:"abtb_hits"`
+	ABTBInserts uint64 `json:"abtb_inserts"`
+	ABTBFlushes uint64 `json:"abtb_flushes"`
+
+	BloomLookups   uint64 `json:"bloom_lookups"`
+	BloomFlushHits uint64 `json:"bloom_flush_hits"`
+
+	Mispredicts uint64 `json:"mispredicts"`
+
+	L1IMisses  uint64 `json:"l1i_misses"`
+	L1DMisses  uint64 `json:"l1d_misses"`
+	L2Misses   uint64 `json:"l2_misses"`
+	ITLBMisses uint64 `json:"itlb_misses"`
+	DTLBMisses uint64 `json:"dtlb_misses"`
+}
+
+// add accumulates o into p (used by compaction and cross-job merges).
+func (p *Point) add(o Point) {
+	p.Instructions += o.Instructions
+	p.Cycles += o.Cycles
+	p.TrampCalls += o.TrampCalls
+	p.TrampSkips += o.TrampSkips
+	p.TrampInstrs += o.TrampInstrs
+	p.Resolutions += o.Resolutions
+	p.GOTStores += o.GOTStores
+	p.Stores += o.Stores
+	p.ABTBHits += o.ABTBHits
+	p.ABTBInserts += o.ABTBInserts
+	p.ABTBFlushes += o.ABTBFlushes
+	p.BloomLookups += o.BloomLookups
+	p.BloomFlushHits += o.BloomFlushHits
+	p.Mispredicts += o.Mispredicts
+	p.L1IMisses += o.L1IMisses
+	p.L1DMisses += o.L1DMisses
+	p.L2Misses += o.L2Misses
+	p.ITLBMisses += o.ITLBMisses
+	p.DTLBMisses += o.DTLBMisses
+}
+
+// diff returns the per-interval deltas between two cumulative samples.
+func diff(cur, prev cpu.IntervalSample) Point {
+	c, p := cur.Counters, prev.Counters
+	return Point{
+		Instructions:   c.Instructions - p.Instructions,
+		Cycles:         c.Cycles - p.Cycles,
+		TrampCalls:     c.TrampCalls - p.TrampCalls,
+		TrampSkips:     c.TrampSkips - p.TrampSkips,
+		TrampInstrs:    c.TrampInstrs - p.TrampInstrs,
+		Resolutions:    c.Resolutions - p.Resolutions,
+		GOTStores:      cur.GOTStores - prev.GOTStores,
+		Stores:         c.Stores - p.Stores,
+		ABTBHits:       c.ABTBRedirects - p.ABTBRedirects,
+		ABTBInserts:    cur.ABTBInserts - prev.ABTBInserts,
+		ABTBFlushes:    c.ABTBFlushes - p.ABTBFlushes,
+		BloomLookups:   cur.BloomLookups - prev.BloomLookups,
+		BloomFlushHits: cur.BloomFlushHits - prev.BloomFlushHits,
+		Mispredicts:    c.Mispredicts - p.Mispredicts,
+		L1IMisses:      c.L1IMisses - p.L1IMisses,
+		L1DMisses:      c.L1DMisses - p.L1DMisses,
+		L2Misses:       c.L2Misses - p.L2Misses,
+		ITLBMisses:     c.ITLBMisses - p.ITLBMisses,
+		DTLBMisses:     c.DTLBMisses - p.DTLBMisses,
+	}
+}
+
+// Series is a finished timeline: Points[i] covers instructions
+// [i×Interval, (i+1)×Interval) of the measurement window (the final
+// point may be partial — its Instructions delta says how much it
+// covers).  Interval is the post-compaction width, BaseInterval the
+// width the job was sampled at.
+type Series struct {
+	Interval     uint64  `json:"interval"`
+	BaseInterval uint64  `json:"base_interval"`
+	Points       []Point `json:"points"`
+}
+
+// Collector accumulates interval samples from one CPU into a bounded
+// Series.  Not safe for concurrent use; samples arrive synchronously
+// from the CPU's Run loop.
+type Collector struct {
+	maxPoints int
+	interval  uint64
+	base      uint64
+	cp        *cpu.CPU
+	last      cpu.IntervalSample
+	points    []Point
+}
+
+// NewCollector returns a collector sampling every interval
+// instructions (floored at MinInterval; 0 means DefaultInterval) and
+// holding at most maxPoints points (rounded up to even; ≤0 means
+// DefaultMaxPoints).
+func NewCollector(interval uint64, maxPoints int) *Collector {
+	if interval == 0 {
+		interval = DefaultInterval
+	}
+	if interval < MinInterval {
+		interval = MinInterval
+	}
+	if maxPoints <= 0 {
+		maxPoints = DefaultMaxPoints
+	}
+	if maxPoints%2 != 0 {
+		maxPoints++
+	}
+	return &Collector{maxPoints: maxPoints, interval: interval, base: interval}
+}
+
+// Attach hooks the collector to cp's sampler and records the current
+// cumulative snapshot as the series origin.  Call it at the start of
+// the measurement window (immediately after ResetStats).
+func (co *Collector) Attach(cp *cpu.CPU) {
+	co.cp = cp
+	co.last = cp.IntervalSnapshot()
+	cp.SetSampler(co.interval, co.observe)
+}
+
+// observe receives one cumulative sample and appends its delta,
+// compacting when full.
+func (co *Collector) observe(s cpu.IntervalSample) {
+	co.points = append(co.points, diff(s, co.last))
+	co.last = s
+	if len(co.points) >= co.maxPoints {
+		co.compact()
+	}
+}
+
+// compact merges adjacent point pairs, doubles the interval, and
+// re-arms the CPU to sample on the widened grid.
+func (co *Collector) compact() {
+	n := len(co.points) / 2
+	for i := 0; i < n; i++ {
+		p := co.points[2*i]
+		p.add(co.points[2*i+1])
+		co.points[i] = p
+	}
+	// A stray odd point (possible only via Close's final flush) is
+	// carried through unmerged.
+	if len(co.points)%2 != 0 {
+		co.points[n] = co.points[len(co.points)-1]
+		n++
+	}
+	co.points = co.points[:n]
+	co.interval *= 2
+	if co.cp != nil {
+		co.cp.SetSampleInterval(co.interval)
+	}
+}
+
+// Close flushes the final partial interval, detaches the sampler, and
+// returns the finished series (nil if nothing retired).
+func (co *Collector) Close() *Series {
+	if co.cp != nil {
+		final := co.cp.IntervalSnapshot()
+		if p := diff(final, co.last); p.Instructions != 0 {
+			co.points = append(co.points, p)
+			co.last = final
+			if len(co.points) > co.maxPoints {
+				co.compact()
+			}
+		}
+		co.cp.SetSampler(0, nil)
+		co.cp = nil
+	}
+	if len(co.points) == 0 {
+		return nil
+	}
+	return &Series{Interval: co.interval, BaseInterval: co.base, Points: co.points}
+}
+
+// Merge element-wise sums series onto a common grid for cross-job
+// aggregation (batch per-config timelines).  All inputs are rescaled
+// to the coarsest interval present by grouping runs of
+// coarsest/interval points; nil entries are skipped.  Returns nil when
+// no input has points.
+func Merge(series []*Series) *Series {
+	var coarsest, base uint64
+	for _, s := range series {
+		if s == nil || len(s.Points) == 0 {
+			continue
+		}
+		if s.Interval > coarsest {
+			coarsest = s.Interval
+		}
+		if base == 0 || s.BaseInterval < base {
+			base = s.BaseInterval
+		}
+	}
+	if coarsest == 0 {
+		return nil
+	}
+	out := &Series{Interval: coarsest, BaseInterval: base}
+	for _, s := range series {
+		if s == nil || len(s.Points) == 0 {
+			continue
+		}
+		group := int(coarsest / s.Interval)
+		if group < 1 {
+			group = 1
+		}
+		for i, p := range s.Points {
+			slot := i / group
+			for slot >= len(out.Points) {
+				out.Points = append(out.Points, Point{})
+			}
+			out.Points[slot].add(p)
+		}
+	}
+	return out
+}
+
+// csvHeader lists the CSV columns in emission order.
+var csvHeader = []string{
+	"point", "instructions", "cycles",
+	"tramp_calls", "tramp_skips", "tramp_instrs",
+	"resolutions", "got_stores", "stores",
+	"abtb_hits", "abtb_inserts", "abtb_flushes",
+	"bloom_lookups", "bloom_flush_hits",
+	"mispredicts",
+	"l1i_misses", "l1d_misses", "l2_misses", "itlb_misses", "dtlb_misses",
+}
+
+// WriteCSV writes the series as CSV: a comment-free header row then
+// one row per point, in column order matching the JSON field order.
+func WriteCSV(w io.Writer, s *Series) error {
+	if s == nil {
+		return fmt.Errorf("timeline: nil series")
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	for i, p := range s.Points {
+		row := []string{
+			u(uint64(i)), u(p.Instructions), u(p.Cycles),
+			u(p.TrampCalls), u(p.TrampSkips), u(p.TrampInstrs),
+			u(p.Resolutions), u(p.GOTStores), u(p.Stores),
+			u(p.ABTBHits), u(p.ABTBInserts), u(p.ABTBFlushes),
+			u(p.BloomLookups), u(p.BloomFlushHits),
+			u(p.Mispredicts),
+			u(p.L1IMisses), u(p.L1DMisses), u(p.L2Misses), u(p.ITLBMisses), u(p.DTLBMisses),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,187 @@
+package timeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+// sample builds a cumulative IntervalSample with every field derived
+// from n so diffs are distinguishable per field.
+func sample(n uint64) cpu.IntervalSample {
+	var s cpu.IntervalSample
+	s.Counters.Instructions = 100 * n
+	s.Counters.Cycles = 150 * n
+	s.Counters.TrampCalls = 2 * n
+	s.Counters.TrampSkips = n
+	s.Counters.TrampInstrs = 4 * n
+	s.Counters.Resolutions = n
+	s.Counters.Stores = 5 * n
+	s.Counters.ABTBRedirects = 3 * n
+	s.Counters.ABTBFlushes = n
+	s.Counters.Mispredicts = 6 * n
+	s.Counters.L1IMisses = 7 * n
+	s.Counters.L1DMisses = 8 * n
+	s.Counters.L2Misses = 9 * n
+	s.Counters.ITLBMisses = 10 * n
+	s.Counters.DTLBMisses = 11 * n
+	s.ABTBInserts = 12 * n
+	s.BloomLookups = 13 * n
+	s.BloomFlushHits = 14 * n
+	s.GOTStores = 15 * n
+	return s
+}
+
+// TestDiffCoversEveryField walks Point by reflection: every field of
+// the delta between sample(1) and sample(2) must be non-zero, proving
+// diff maps each series and none is forgotten.
+func TestDiffCoversEveryField(t *testing.T) {
+	p := diff(sample(2), sample(1))
+	v := reflect.ValueOf(p)
+	for i := 0; i < v.NumField(); i++ {
+		if v.Field(i).Uint() == 0 {
+			t.Errorf("Point.%s = 0 after diff of fully-populated samples; field not mapped?",
+				v.Type().Field(i).Name)
+		}
+	}
+}
+
+// TestCollectorCompaction drives a collector far past its cap and
+// checks the bound holds, the interval doubles per compaction, and no
+// counts are lost (total deltas conserved).
+func TestCollectorCompaction(t *testing.T) {
+	co := NewCollector(MinInterval, 8)
+	const total = 40 // 5× the cap
+	for i := uint64(1); i <= total; i++ {
+		co.observe(sample(i))
+	}
+	s := co.Close()
+	if s == nil {
+		t.Fatal("Close returned nil series")
+	}
+	if len(s.Points) > 8 {
+		t.Errorf("len(Points) = %d, want <= cap 8", len(s.Points))
+	}
+	if s.BaseInterval != MinInterval {
+		t.Errorf("BaseInterval = %d, want %d", s.BaseInterval, MinInterval)
+	}
+	if s.Interval <= s.BaseInterval || s.Interval%s.BaseInterval != 0 {
+		t.Errorf("Interval = %d, want a 2^k multiple of base %d", s.Interval, s.BaseInterval)
+	}
+	var instr, stores uint64
+	for _, p := range s.Points {
+		instr += p.Instructions
+		stores += p.Stores
+	}
+	// Cumulative sample(total) minus origin sample(0)=zero.
+	if want := 100 * uint64(total); instr != want {
+		t.Errorf("sum of Instructions deltas = %d, want %d (compaction lost counts)", instr, want)
+	}
+	if want := 5 * uint64(total); stores != want {
+		t.Errorf("sum of Stores deltas = %d, want %d", stores, want)
+	}
+}
+
+// TestCollectorEmpty checks a collector that never saw a sample (and
+// whose final flush is empty) closes to nil.
+func TestCollectorEmpty(t *testing.T) {
+	if s := NewCollector(0, 0).Close(); s != nil {
+		t.Errorf("empty collector closed to %+v, want nil", s)
+	}
+}
+
+// TestCollectorDefaults checks parameter clamping.
+func TestCollectorDefaults(t *testing.T) {
+	co := NewCollector(0, 0)
+	if co.interval != DefaultInterval || co.maxPoints != DefaultMaxPoints {
+		t.Errorf("defaults = (%d, %d), want (%d, %d)",
+			co.interval, co.maxPoints, DefaultInterval, DefaultMaxPoints)
+	}
+	co = NewCollector(1, 3)
+	if co.interval != MinInterval {
+		t.Errorf("interval 1 clamped to %d, want MinInterval %d", co.interval, MinInterval)
+	}
+	if co.maxPoints != 4 {
+		t.Errorf("maxPoints 3 rounded to %d, want 4 (even)", co.maxPoints)
+	}
+}
+
+// TestMergeRescales merges a fine series with a coarse one: output is
+// on the coarse grid and conserves totals.
+func TestMergeRescales(t *testing.T) {
+	fine := &Series{Interval: 4, BaseInterval: 4, Points: []Point{
+		{Instructions: 4, Stores: 1}, {Instructions: 4, Stores: 2},
+		{Instructions: 4, Stores: 3}, {Instructions: 4, Stores: 4},
+	}}
+	coarse := &Series{Interval: 8, BaseInterval: 4, Points: []Point{
+		{Instructions: 8, Stores: 10}, {Instructions: 8, Stores: 20},
+	}}
+	m := Merge([]*Series{fine, nil, coarse})
+	if m == nil {
+		t.Fatal("Merge returned nil")
+	}
+	if m.Interval != 8 || m.BaseInterval != 4 {
+		t.Errorf("merged grid = (%d, %d), want (8, 4)", m.Interval, m.BaseInterval)
+	}
+	want := []Point{
+		{Instructions: 4 + 4 + 8, Stores: 1 + 2 + 10},
+		{Instructions: 4 + 4 + 8, Stores: 3 + 4 + 20},
+	}
+	if !reflect.DeepEqual(m.Points, want) {
+		t.Errorf("merged points = %+v, want %+v", m.Points, want)
+	}
+	if Merge([]*Series{nil, {}}) != nil {
+		t.Error("Merge of nil/empty series != nil")
+	}
+}
+
+// TestWriteCSVMatchesJSON checks the CSV header covers exactly the
+// Point JSON fields (same names, same order) plus the leading index,
+// and that a round-trip row count matches.
+func TestWriteCSVMatchesJSON(t *testing.T) {
+	var names []string
+	pt := reflect.TypeOf(Point{})
+	for i := 0; i < pt.NumField(); i++ {
+		tag := strings.Split(pt.Field(i).Tag.Get("json"), ",")[0]
+		names = append(names, tag)
+	}
+	if want := append([]string{"point"}, names...); !reflect.DeepEqual(csvHeader, want) {
+		t.Errorf("csvHeader = %v\nwant        %v", csvHeader, want)
+	}
+
+	s := &Series{Interval: 4, BaseInterval: 4, Points: []Point{{Instructions: 4}, {Instructions: 2}}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+len(s.Points) {
+		t.Errorf("CSV has %d lines, want header + %d points", len(lines), len(s.Points))
+	}
+	if err := WriteCSV(&buf, nil); err == nil {
+		t.Error("WriteCSV(nil) returned nil error")
+	}
+}
+
+// TestSeriesJSONRoundTrip checks exact uint64 round-tripping through
+// encoding/json, which the store persistence path relies on.
+func TestSeriesJSONRoundTrip(t *testing.T) {
+	s := &Series{Interval: 1 << 40, BaseInterval: 1 << 16, Points: []Point{
+		{Instructions: 1<<63 + 7, Cycles: 1<<53 + 1},
+	}}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Series
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&got, s) {
+		t.Errorf("round-trip changed series:\n  in  %+v\n  out %+v", s, got)
+	}
+}
