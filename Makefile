@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt race faults chaos bench-runner bench-fault obs-bench kernel-bench pool-bench store-bench cluster-bench timeline-bench all
+.PHONY: check fmt race faults chaos bench-runner bench-fault obs-bench kernel-bench pool-bench store-bench cluster-bench timeline-bench sample-bench all
 
 all: check
 
@@ -69,6 +69,17 @@ timeline-bench:
 # `go test -run TestGoldenCounters ./internal/experiments/`.
 kernel-bench:
 	scripts/kernel_bench.sh
+
+# Compiled-trace and sampled-simulation rows: interpreted vs compiled
+# kernel throughput (interleaved A/B) plus the sampled estimator's
+# accuracy against an exact run of the same job; merges
+# compiled_traces and sampled_simulation sections into
+# BENCH_kernel.json.  Fails on instrs/op divergence between the two
+# kernel paths or on the exact cost falling outside the sampled 95%
+# interval.  Pair with the bit-identity proofs:
+# `go test -run 'TestCompiledBitIdentical|TestGoldenCounters' ./internal/cpu/ ./internal/experiments/`.
+sample-bench:
+	scripts/sample_bench.sh
 
 # Artifact-pool throughput: a repeated-spec sweep with pooling on vs
 # off (Options.DisablePool), interleaved A/B; regenerates

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// waitJobDone polls GET /v1/jobs/{id} until the job leaves the queue,
+// failing the test on a non-200 poll or a failed job.
+func waitJobDone(t *testing.T, ts *httptest.Server, id string) jobResponse {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		job, code := getJob(t, ts, id)
+		if code != http.StatusOK {
+			t.Fatalf("poll status = %d", code)
+		}
+		if job.State == runner.StateDone {
+			return job
+		}
+		if job.State == runner.StateFailed {
+			t.Fatalf("job %s failed: %s", id, job.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after deadline", id, job.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestNormalizeInteractionsHTTP pins JobSpec.Normalize's interaction
+// rules end to end through POST /v1/jobs: explicit sub-minimum budgets
+// are rejected even when Scale would rescue them, scaled-down defaults
+// clamp instead, and the sampling parameters reject contradictory
+// combinations at submission time with a 400, not at run time.
+func TestNormalizeInteractionsHTTP(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	// An explicit measure below MinMeasure is unsatisfiable even
+	// though scale=4 would lift the folded count to 40: the caller
+	// asked for a 10-request measurement and must hear "no", not get a
+	// silently different job.
+	bad := []string{
+		`{"workload":"apache","config":"base","seed":1,"measure":10,"scale":4}`,
+		// Sampling contradictions: an explicit timeline interval on a
+		// sampled job, warmup without windows, a single window (no
+		// variance), and a split too fine for warmup+1 per window.
+		`{"workload":"apache","config":"base","seed":1,"sample_windows":4,"timeline_interval":50000}`,
+		`{"workload":"apache","config":"base","seed":1,"sample_warmup":3}`,
+		`{"workload":"apache","config":"base","seed":1,"sample_windows":1}`,
+		`{"workload":"apache","config":"base","seed":1,"measure":20,"sample_windows":10}`,
+		`{"workload":"apache","config":"base","seed":1,"sample_windows":-2}`,
+	}
+	for _, body := range bad {
+		if _, code := postJob(t, ts, body); code != http.StatusBadRequest {
+			t.Errorf("submit %s: status = %d, want 400", body, code)
+		}
+	}
+
+	// A scaled-down *default* budget clamps up to MinMeasure instead
+	// of erroring: the caller never named a count, so there is nothing
+	// to contradict.
+	sub, code := postJob(t, ts, `{"workload":"apache","config":"base","seed":1,"scale":0.01,"warm":2}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("scaled submit status = %d, want 202", code)
+	}
+	if sub.Spec.Measure != runner.MinMeasure || sub.Spec.Scale != 0 {
+		t.Errorf("scaled spec = %+v, want measure clamped to %d with scale folded", sub.Spec, runner.MinMeasure)
+	}
+}
+
+// TestPinnedJobIDs pins three content-derived job IDs computed before
+// sampling existed.  The sample_windows/sample_warmup zero values must
+// leave canonical keys — and therefore every ID clients may have
+// stored — byte-identical; a change here is a cache-invalidation event
+// for every deployment.
+func TestPinnedJobIDs(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := []struct {
+		body string
+		id   string
+	}{
+		{`{"workload":"apache","config":"base","seed":1}`, "bef829b6146c4efe"},
+		{`{"workload":"mysql","config":"enhanced","seed":7,"scale":0.25}`, "8f19dfea2875520b"},
+		{`{"workload":"memcached","config":"base","seed":3,"timeline_off":true}`, "5ea820c297eb8dbe"},
+	}
+	for _, c := range cases {
+		sub, code := postJob(t, ts, c.body)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %s: status = %d, want 202", c.body, code)
+		}
+		if sub.ID != c.id {
+			t.Errorf("submit %s: id = %s, want pinned %s (key %q)", c.body, sub.ID, c.id, sub.Key)
+		}
+		if strings.Contains(sub.Key, "|sw=") {
+			t.Errorf("exact job key %q carries a sampling suffix", sub.Key)
+		}
+	}
+}
+
+// TestEndToEndSampledJob drives a sampled job through the HTTP API:
+// the normalized spec comes back with sampling defaults resolved and
+// the timeline forced off, the result carries per-metric mean ± ci95
+// blocks, and the timeline endpoint reports the job as
+// timeline-disabled rather than pending.
+func TestEndToEndSampledJob(t *testing.T) {
+	ts, _ := newTestServer(t)
+	sub, code := postJob(t, ts,
+		`{"workload":"memcached","config":"base","seed":3,"warm":5,"measure":160,"sample_windows":4}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", code)
+	}
+	if !sub.Spec.TimelineOff || sub.Spec.SampleWarmup != runner.DefaultSampleWarmup {
+		t.Errorf("normalized spec = %+v, want timeline off and default sample warmup", sub.Spec)
+	}
+	if !strings.HasSuffix(sub.Key, "|tl=off|sw=4|su=2") {
+		t.Errorf("sampled key = %q, want |tl=off|sw=4|su=2 suffix", sub.Key)
+	}
+
+	job := waitJobDone(t, ts, sub.ID)
+	res := job.Result
+	if res == nil || res.Sampled == nil {
+		t.Fatalf("sampled job result = %+v, want a sampled block", res)
+	}
+	sr := res.Sampled
+	if sr.Windows != 4 || sr.Measured < 1 || sr.Warmed != runner.DefaultSampleWarmup {
+		t.Errorf("sampled geometry = %+v", sr)
+	}
+	if sr.FastForwarded+sr.Warmed+sr.Measured != 160/4 {
+		t.Errorf("window split %d+%d+%d != %d", sr.FastForwarded, sr.Warmed, sr.Measured, 160/4)
+	}
+	for _, name := range []string{"instructions", "cycles", "cpi", "us_per_req"} {
+		m, ok := sr.Metrics[name]
+		if !ok || m.Mean <= 0 || m.CI95 < 0 {
+			t.Errorf("metric %s = %+v, want present with positive mean", name, m)
+		}
+	}
+	if res.Instructions == 0 {
+		t.Error("sampled result carries no excerpt counters")
+	}
+
+	// The timeline endpoint must explain itself: sampling forced
+	// timeline_off, so the answer is the timeline-disabled 404.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID + "/timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("timeline status = %d, want 404", resp.StatusCode)
+	}
+
+	// An identical resubmission is a cache hit on the sampled entry;
+	// the exact-job spec (no sampling) is a distinct job.
+	re, code := postJob(t, ts,
+		`{"workload":"memcached","config":"base","seed":3,"warm":5,"measure":160,"sample_windows":4}`)
+	if code != http.StatusOK || re.ID != sub.ID {
+		t.Errorf("resubmit = %+v status %d, want cached id %s", re, code, sub.ID)
+	}
+	ex, code := postJob(t, ts,
+		`{"workload":"memcached","config":"base","seed":3,"warm":5,"measure":160}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("exact submit status = %d, want 202 (distinct job)", code)
+	}
+	if ex.ID == sub.ID {
+		t.Error("exact and sampled specs share an ID")
+	}
+	exact := waitJobDone(t, ts, ex.ID)
+	if exact.Result == nil || exact.Result.Sampled != nil {
+		t.Errorf("exact result = %+v, want no sampled block", exact.Result)
+	}
+}

@@ -551,6 +551,17 @@ type classJSON struct {
 	P99US  float64 `json:"p99_us"`
 }
 
+// sampledJSON is the wire form of a sampled job's interval
+// estimates: the window geometry plus each metric's per-request mean
+// and 95% confidence half-width.  Exact jobs omit the block entirely.
+type sampledJSON struct {
+	Windows       int                              `json:"windows"`
+	FastForwarded int                              `json:"fast_forwarded_per_window"`
+	Warmed        int                              `json:"warmup_per_window"`
+	Measured      int                              `json:"measured_per_window"`
+	Metrics       map[string]runner.SampledCounter `json:"metrics"`
+}
+
 // resultJSON is the wire form of a completed job's Result.
 type resultJSON struct {
 	WallMS    float64 `json:"wall_ms"`
@@ -578,6 +589,12 @@ type resultJSON struct {
 	LibCalls            uint64 `json:"lib_calls"`
 
 	Classes map[string]classJSON `json:"classes"`
+
+	// Sampled carries the mean ± ci95 interval estimates of a job run
+	// with sample_windows > 0; nil (omitted) on exact jobs.  For such
+	// jobs Instructions/Cycles/PKI above cover only the measured
+	// window excerpts, not the fast-forwarded stretches between them.
+	Sampled *sampledJSON `json:"sampled,omitempty"`
 }
 
 // jobResponse answers GET /v1/jobs/{id}.
@@ -634,6 +651,14 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 		resp.Error = err.Error()
 	} else if res, ok := job.Result(); ok {
 		resp.Result = marshalResult(res)
+		if resp.Result.Sampled == nil && job.Spec.SampleWindows > 0 {
+			// Restored results carry no in-memory estimates; the
+			// sampled record persists beside the result (like a
+			// timeline), so read it through the store.
+			if sr, ok := s.pool.Sampled(job.ID); ok {
+				resp.Result.Sampled = marshalSampled(sr)
+			}
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -839,7 +864,22 @@ func marshalResult(res *runner.Result) *resultJSON {
 	for class, sample := range res.Samples {
 		out.Classes[class] = summariseClass(sample)
 	}
+	if res.Sampled != nil {
+		out.Sampled = marshalSampled(res.Sampled)
+	}
 	return out
+}
+
+// marshalSampled flattens a sampled job's interval estimates into
+// their wire form.
+func marshalSampled(sr *runner.SampledResult) *sampledJSON {
+	return &sampledJSON{
+		Windows:       sr.Windows,
+		FastForwarded: sr.FastForwarded,
+		Warmed:        sr.Warmed,
+		Measured:      sr.Measured,
+		Metrics:       sr.Metrics,
+	}
 }
 
 func summariseClass(s *stats.Sample) classJSON {

@@ -10,10 +10,17 @@
 // same format GET /v1/jobs/{id}/timeline serves, for offline use
 // without a dlsimd process.
 //
+// With -compiled it dumps the compiled trace of the linked image
+// instead (internal/cpu.Compile): the one-time lowering the service's
+// fast-path Run loop replays — superblock coverage, RLE fetch-run
+// compression, threaded successor edges, and the largest superblocks
+// with their owning modules.
+//
 // Usage:
 //
 //	tracedump [-workload apache] [-requests N] [-top N] [-seed N]
 //	tracedump -timeline [-interval N] [-format json|csv] [...]
+//	tracedump -compiled [-top N] [...]
 package main
 
 import (
@@ -21,8 +28,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/core"
+	"repro/internal/cpu"
 	"repro/internal/timeline"
 	"repro/internal/workload"
 )
@@ -30,23 +39,74 @@ import (
 func main() {
 	wl := flag.String("workload", "apache", "apache | firefox | memcached | mysql")
 	requests := flag.Int("requests", 200, "requests to trace")
-	top := flag.Int("top", 30, "trampolines to list")
+	top := flag.Int("top", 30, "trampolines (or -compiled superblocks) to list")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	tl := flag.Bool("timeline", false, "dump the sampled counter timeline instead of the trampoline profile")
 	interval := flag.Uint64("interval", 0, "timeline sample interval in retired instructions (0 = default 64Ki)")
 	format := flag.String("format", "json", "timeline output format: json | csv")
+	compiled := flag.Bool("compiled", false, "dump the linked image's compiled trace instead of running it")
 	flag.Parse()
 
 	var err error
-	if *tl {
+	switch {
+	case *compiled:
+		err = runCompiled(*wl, *top, *seed)
+	case *tl:
 		err = runTimeline(*wl, *requests, *seed, *interval, *format)
-	} else {
+	default:
 		err = run(*wl, *requests, *top, *seed)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracedump:", err)
 		os.Exit(1)
 	}
+}
+
+// runCompiled compiles the linked image's instruction stream and dumps
+// the result: the compile-time view the kernel replays, without
+// executing a single request.
+func runCompiled(wl string, top int, seed uint64) error {
+	sys, _, err := setup(wl, seed)
+	if err != nil {
+		return err
+	}
+	img := sys.Image()
+	cfg := core.Base(seed)
+	prog := cpu.Compile(img, cfg.Hardware.L1I.LineBytes)
+	st := prog.Stats()
+
+	fmt.Printf("workload=%s line=%dB instructions=%d\n\n", wl, prog.LineBytes(), st.Instructions)
+	fmt.Printf("threaded successor edges     %d\n", st.Threaded)
+	fmt.Printf("direct calls                 %d (%d through a PLT trampoline, annotated at compile time)\n",
+		st.DirectCalls, st.PLTCalls)
+	fmt.Printf("superblocks                  %d totalling %d block instructions (entry chains overlap; %.2f per stream instr)\n",
+		st.Blocks, st.BlockInstrs, float64(st.BlockInstrs)/float64(st.Instructions))
+	fmt.Printf("segments                     %d (%.2f instrs/segment)\n",
+		st.Segments, float64(st.BlockInstrs)/float64(max(st.Segments, 1)))
+	fmt.Printf("fetch runs                   %d L1I + %d I-TLB (%.2fx compression vs per-instruction fetch)\n",
+		st.L1IRuns, st.ITLBRuns, float64(st.BlockInstrs)/float64(max(st.L1IRuns, 1)))
+	fmt.Printf("trampoline-body instructions %d inside blocks\n\n", st.PLTInstrs)
+
+	blocks := prog.Blocks()
+	sort.Slice(blocks, func(i, j int) bool {
+		if blocks[i].Instrs != blocks[j].Instrs {
+			return blocks[i].Instrs > blocks[j].Instrs
+		}
+		return blocks[i].StartPC < blocks[j].StartPC
+	})
+	fmt.Printf("%-5s %-18s %-20s %-7s %-5s %s\n", "rank", "start pc", "module", "instrs", "segs", "plt")
+	for i, b := range blocks {
+		if i >= top {
+			fmt.Printf("... %d more\n", len(blocks)-top)
+			break
+		}
+		mod := "?"
+		if m := img.ModuleOf(b.StartPC); m != nil {
+			mod = m.Name
+		}
+		fmt.Printf("%-5d %#-18x %-20s %-7d %-5d %d\n", i+1, b.StartPC, mod, b.Instrs, b.Segs, b.PLT)
+	}
+	return nil
 }
 
 // runTimeline replays the workload with an interval sampler attached

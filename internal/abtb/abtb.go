@@ -239,6 +239,14 @@ func (a *ABTB) BreakPattern() {
 	a.pendingCallValid = false
 }
 
+// PatternPending reports whether a retired call is awaiting its
+// indirect branch.  The compiled-trace replay loop consults it before
+// a superblock of simple instructions: when no pattern is pending,
+// none of the block's OnRetireOther/BreakPattern calls can have any
+// effect (nothing inside a superblock retires a call), so the whole
+// per-instruction hook walk is skipped.
+func (a *ABTB) PatternPending() bool { return a.pendingCallValid }
+
 // SnoopStore is called with the address of every retired store (and
 // every incoming coherence invalidation).  In the Bloom-filtered
 // design a hit clears the entire ABTB; in the §3.4 variant stores are

@@ -115,6 +115,27 @@ func (c *Cache) AccessRange(addr, size uint64) int {
 	return lat
 }
 
+// AccessRepeat performs n consecutive accesses for the byte at addr,
+// all falling in one line, and returns the summed latency.  The first
+// access is an ordinary Access (it may miss and fill); the remaining
+// n-1 are guaranteed hits — nothing can evict the line in between —
+// so they are applied in bulk via the tag table's BumpHits, with
+// counter and LRU effects bit-identical to n sequential Access calls.
+// The compiled-trace replay loop uses it for runs of straight-line
+// instruction fetches sharing a line.
+func (c *Cache) AccessRepeat(addr uint64, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	line := c.Line(addr)
+	lat := c.access(line, addr)
+	if n > 1 {
+		c.tags.BumpHits(line, n-1)
+		lat += (n - 1) * c.cfg.HitLatency
+	}
+	return lat
+}
+
 // Contains reports whether addr's line is resident, without updating
 // LRU or counters.
 func (c *Cache) Contains(addr uint64) bool {

@@ -108,3 +108,72 @@ func BenchmarkRunTimelineOn(b *testing.B) {
 	}
 	b.ReportMetric(float64(instrs)/float64(b.N), "instrs/op")
 }
+
+// benchComputeCPU builds a compute-heavy image for the compiled-trace
+// A/B: long straight-line ALU bodies with occasional data accesses,
+// the shape trace compilation batches into full superblocks.  The
+// same CPU runs interpreted or compiled depending on the flag; the
+// two paths are bit-identical (TestCompiledBitIdentical), so the
+// instrs/op metric must agree between the pair.
+func benchComputeCPU(b *testing.B, compiled bool) *CPU {
+	b.Helper()
+	app := objfile.New("app")
+	m := app.NewFunc("main")
+	lib := objfile.New("lib")
+	lib.AddData("d", 8192)
+	for i := 0; i < 8; i++ {
+		name := "w" + string(rune('a'+i))
+		f := lib.NewFunc(name)
+		for j := 0; j < 6; j++ {
+			f.ALU(28).Load("d", uint64(i*64), 512)
+		}
+		f.Ret()
+		m.Call(name)
+		m.ALU(16)
+	}
+	m.Halt()
+	im, err := linker.Link(app, []*objfile.Object{lib}, linker.Options{Mode: linker.BindLazy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	c := New(im, cfg)
+	if compiled {
+		if err := c.SetProgram(Compile(im, cfg.L1I.LineBytes)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ { // resolve and warm
+		if _, err := c.RunSymbol("main", 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return c
+}
+
+func benchComputeRun(b *testing.B, c *CPU) {
+	b.Helper()
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		res, err := c.RunSymbol("main", 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += res.Instructions
+	}
+	b.ReportMetric(float64(instrs)/float64(b.N), "instrs/op")
+}
+
+// BenchmarkComputeInterpreted / BenchmarkComputeCompiled are the
+// compiled-trace A/B pair scripts/sample_bench.sh records: the same
+// compute-heavy workload stepped instruction by instruction vs
+// replayed from the compiled Program (superblock dispatch, RLE fetch
+// runs, threaded successors).
+func BenchmarkComputeInterpreted(b *testing.B) {
+	benchComputeRun(b, benchComputeCPU(b, false))
+}
+
+func BenchmarkComputeCompiled(b *testing.B) {
+	benchComputeRun(b, benchComputeCPU(b, true))
+}

@@ -1,0 +1,874 @@
+// Compiled traces: a one-time pass over a linked image that lowers its
+// decoded-instruction maps into a dense, branch-threaded instruction
+// array the Run loop can replay without per-step page lookups.
+//
+// The interpreter executes from the image's per-page instruction index:
+// every step is a page-memo probe, a decode-struct load, two
+// AccessRange calls for fetch, and a full opcode dispatch.  The
+// compiler removes the redundant parts ahead of time:
+//
+//   - Instructions are stored in one dense array sorted by PC, and
+//     every statically known successor (fall-through, direct call/jump
+//     target) is pre-resolved to an array index, so sequential and
+//     direct-branch execution never consults a page table.
+//   - Runs of straight-line simple instructions (Nop/ALU/Load/Store/
+//     Push — nothing that touches the predictor) are grouped into
+//     superblocks whose I-TLB and L1I fetch traffic is pre-computed as
+//     run-length-encoded access runs; replay applies each run with one
+//     bulk cache/TLB operation (AccessRepeat/AccessRepeatPage) instead
+//     of per-instruction AccessRange calls.
+//   - PLT/trampoline classification is annotated at compile time: a
+//     direct call's TrampolineIndex is resolved once, and each
+//     superblock segment carries its retired-in-PLT instruction count.
+//
+// The compiled path is bit-identical to the interpreter — same
+// counters, same cycle account, same sample and budget boundaries,
+// same errors.  Two properties make that exact:
+//
+//   - Superblocks segment at memory operations, so a bulk I-fetch run
+//     never reorders across a D-side access into the shared L2, and a
+//     block is only dispatched when it fits entirely under the loop's
+//     current limit (budget or sample boundary); otherwise replay
+//     falls back to single-instruction steps, reproducing the
+//     interpreter's step granularity exactly.
+//   - The bulk cache/TLB operations replay the interpreter's exact
+//     access sequence: only the first access of a same-line (same-page)
+//     run can miss, so recording that access's address preserves
+//     next-level addresses, and the remaining accesses are applied as
+//     guaranteed hits with identical counter and LRU effects.
+//
+// A Program is built from the image's shared instruction index, which
+// forks share with their master, so one compiled Program serves every
+// fork of a pooled image (see internal/pool).
+package cpu
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/isa"
+	"repro/internal/linker"
+	"repro/internal/mem"
+)
+
+// blockCap bounds superblock length in instructions.  Blocks are only
+// dispatched when they fit entirely under the Run loop's limit, so a
+// cap keeps the single-step fallback window (and thus the tail of a
+// sample interval executed per-instruction) short.
+const blockCap = 32
+
+// cinstr is one compiled instruction: the decoded instruction by
+// value (no pointer chase), its PC, and pre-resolved successor
+// indices into the program's code array.
+type cinstr struct {
+	in isa.Instr
+	pc uint64
+
+	next     int32 // index of the fall-through (pc+Size), -1 if unmapped
+	tgt      int32 // index of in.Target for Call/Jmp/JmpCond, else -1
+	trampIdx int32 // TrampolineIndex(in.Target) for direct calls, else -1
+
+	// blk, when non-nil, is the superblock starting at this
+	// instruction.
+	blk *block
+}
+
+// crun is one run-length-encoded fetch access: n consecutive accesses
+// to the same L1I line (addr is the first access's byte address) or
+// the same page (addr is the virtual page number).
+type crun struct {
+	addr uint64
+	n    int32
+}
+
+// seg is a superblock segment: a run of simple instructions whose
+// fetch traffic is applied in bulk, optionally ending with one memory
+// operation.  Segments never continue past a memory op, so bulk
+// I-fetches never cross a D-side access into the shared L2.
+type seg struct {
+	firstIdx int32 // code index of the segment's first instruction
+	n        int32 // instructions in the segment (incl. trailing mem op)
+	nPLT     uint64
+	memIdx   int32 // code index of the trailing Load/Store/Push, or -1
+	itlb     []crun
+	l1i      []crun
+}
+
+// block is a superblock: up to blockCap straight-line simple
+// instructions with pre-computed fetch runs, entered only at its first
+// instruction.
+type block struct {
+	nInstr uint64
+	endIdx int32  // code index of the instruction after the block
+	endPC  uint64 // its PC (for the unmapped-fall-through error)
+	segs   []seg
+}
+
+// idxMemoEntry memoises one compiled-index page for the replay loop's
+// dynamic-target lookups, mirroring the interpreter's fetch-page memo.
+type idxMemoEntry struct {
+	pn uint64
+	pg *idxPage // nil marks an empty memo slot
+}
+
+// idxPage maps a page's in-page byte offsets to code-array indices
+// (-1 where no instruction starts).
+type idxPage [mem.PageSize]int32
+
+// Program is a compiled trace: the image's instructions as a dense
+// branch-threaded array plus the PC→index pages used for dynamic
+// targets.  A Program is immutable after Compile and safe for
+// concurrent use by any number of CPUs running forks of the image it
+// was compiled from.
+type Program struct {
+	code      []cinstr
+	pages     map[uint64]*idxPage
+	lineBytes int // L1I line size the fetch runs were compiled for
+}
+
+// Instructions returns the number of compiled instructions.
+func (p *Program) Instructions() int { return len(p.code) }
+
+// LineBytes returns the L1I line size the program was compiled for.
+func (p *Program) LineBytes() int { return p.lineBytes }
+
+// ProgramStats summarises a compiled trace for tooling (cmd/tracedump
+// -compiled): how much of the instruction stream was lowered into
+// superblocks, how densely the fetch traffic compressed, and how many
+// control-flow edges were threaded at compile time.
+type ProgramStats struct {
+	Instructions int    // compiled instructions
+	Threaded     int    // static successor edges resolved to indices
+	Blocks       int    // superblocks
+	BlockInstrs  uint64 // instructions covered by some superblock
+	Segments     int    // superblock segments
+	L1IRuns      int    // RLE L1I fetch runs across all segments
+	ITLBRuns     int    // RLE I-TLB page runs across all segments
+	PLTInstrs    uint64 // trampoline-body instructions inside blocks
+	DirectCalls  int    // direct calls total
+	PLTCalls     int    // direct calls annotated with a trampoline index
+}
+
+// BlockInfo describes one superblock head for tooling, in PC order.
+type BlockInfo struct {
+	StartPC uint64
+	Instrs  uint64
+	Segs    int
+	PLT     uint64
+}
+
+// Stats walks the program once and returns its summary.
+func (p *Program) Stats() ProgramStats {
+	var st ProgramStats
+	st.Instructions = len(p.code)
+	for i := range p.code {
+		ci := &p.code[i]
+		if ci.next >= 0 {
+			st.Threaded++
+		}
+		if ci.tgt >= 0 {
+			st.Threaded++
+		}
+		if ci.in.Op == isa.Call {
+			st.DirectCalls++
+			if ci.trampIdx >= 0 {
+				st.PLTCalls++
+			}
+		}
+		if b := ci.blk; b != nil {
+			st.Blocks++
+			st.BlockInstrs += b.nInstr
+			st.Segments += len(b.segs)
+			for si := range b.segs {
+				s := &b.segs[si]
+				st.L1IRuns += len(s.l1i)
+				st.ITLBRuns += len(s.itlb)
+				st.PLTInstrs += s.nPLT
+			}
+		}
+	}
+	return st
+}
+
+// Blocks returns every superblock head in PC order.
+func (p *Program) Blocks() []BlockInfo {
+	var out []BlockInfo
+	for i := range p.code {
+		ci := &p.code[i]
+		if b := ci.blk; b != nil {
+			var plt uint64
+			for si := range b.segs {
+				plt += b.segs[si].nPLT
+			}
+			out = append(out, BlockInfo{StartPC: ci.pc, Instrs: b.nInstr, Segs: len(b.segs), PLT: plt})
+		}
+	}
+	return out
+}
+
+// batchable reports whether op can live inside a superblock: simple
+// instructions with no control flow and no predictor interaction.
+func batchable(op isa.Op) bool {
+	switch op {
+	case isa.Nop, isa.ALU, isa.Load, isa.Store, isa.Push:
+		return true
+	}
+	return false
+}
+
+// Compile lowers the image's instruction index into a Program whose
+// fetch runs are pre-computed for the given L1I line size.  The image's
+// instruction map is read but never mutated, and because forks share
+// that map one Program serves the master and every fork.
+func Compile(img *linker.Image, l1iLineBytes int) *Program {
+	if l1iLineBytes <= 0 || l1iLineBytes&(l1iLineBytes-1) != 0 {
+		panic(fmt.Sprintf("cpu: compile with invalid L1I line size %d", l1iLineBytes))
+	}
+	lineShift := uint(0)
+	for 1<<lineShift < l1iLineBytes {
+		lineShift++
+	}
+
+	instrs := img.Instructions()
+	pcs := make([]uint64, 0, len(instrs))
+	for pc := range instrs {
+		pcs = append(pcs, pc)
+	}
+	slices.Sort(pcs)
+
+	p := &Program{
+		code:      make([]cinstr, len(pcs)),
+		pages:     make(map[uint64]*idxPage),
+		lineBytes: l1iLineBytes,
+	}
+	for i, pc := range pcs {
+		p.code[i] = cinstr{in: *instrs[pc], pc: pc, next: -1, tgt: -1, trampIdx: -1}
+		pn := pc >> mem.PageShift
+		pg := p.pages[pn]
+		if pg == nil {
+			pg = new(idxPage)
+			for j := range pg {
+				pg[j] = -1
+			}
+			p.pages[pn] = pg
+		}
+		pg[pc&(mem.PageSize-1)] = int32(i)
+	}
+
+	indexOf := func(pc uint64) int32 {
+		pg := p.pages[pc>>mem.PageShift]
+		if pg == nil {
+			return -1
+		}
+		return pg[pc&(mem.PageSize-1)]
+	}
+
+	// Successor threading and static-target annotation.
+	isTarget := make([]bool, len(p.code))
+	for i := range p.code {
+		ci := &p.code[i]
+		ci.next = indexOf(ci.pc + uint64(ci.in.Size))
+		switch ci.in.Op {
+		case isa.Call, isa.Jmp, isa.JmpCond:
+			ci.tgt = indexOf(ci.in.Target)
+			if ci.tgt >= 0 {
+				isTarget[ci.tgt] = true
+			}
+		}
+		if ci.in.Op == isa.Call {
+			ci.trampIdx = int32(img.TrampolineIndex(ci.in.Target))
+		}
+	}
+
+	// Superblock formation.  A run is a maximal contiguous stretch of
+	// batchable instructions (each falling through to the next array
+	// element).  Blocks are emitted at every entry point into a run —
+	// the run head, every static branch target inside it — and chained
+	// every blockCap instructions from each entry.  Dynamic entry
+	// points (return sites, function entries) always follow a
+	// non-batchable instruction, so they are run heads.
+	for i := 0; i < len(p.code); {
+		if !batchable(p.code[i].in.Op) {
+			i++
+			continue
+		}
+		// Extend the run [i, e).
+		e := i + 1
+		for e < len(p.code) && p.code[e-1].next == int32(e) && batchable(p.code[e].in.Op) {
+			e++
+		}
+		for k := i; k < e; k++ {
+			if k != i && !isTarget[k] {
+				continue
+			}
+			// Chain blocks from entry point k to the end of the run,
+			// stopping where an earlier entry's chain already built
+			// them (identical content: a block depends only on its
+			// start index and the run end).
+			for b0 := k; b0 < e && p.code[b0].blk == nil; {
+				end := b0 + blockCap
+				if end > e {
+					end = e
+				}
+				p.code[b0].blk = buildBlock(p.code, b0, end, lineShift)
+				b0 = end
+			}
+		}
+		i = e
+	}
+	return p
+}
+
+// buildBlock compiles the superblock covering code[b0:end).
+func buildBlock(code []cinstr, b0, end int, lineShift uint) *block {
+	last := &code[end-1]
+	b := &block{
+		nInstr: uint64(end - b0),
+		endIdx: last.next,
+		endPC:  last.pc + uint64(last.in.Size),
+	}
+	segStart := b0
+	for k := b0; k < end; k++ {
+		op := code[k].in.Op
+		memOp := op == isa.Load || op == isa.Store || op == isa.Push
+		if memOp || k == end-1 {
+			b.segs = append(b.segs, buildSeg(code, segStart, k+1, memOp, lineShift))
+			segStart = k + 1
+		}
+	}
+	return b
+}
+
+// buildSeg pre-computes one segment's RLE fetch runs, replaying the
+// interpreter's exact access sequence: per instruction, every page
+// overlapped by [pc, pc+Size), then every L1I line.  Runs record the
+// first access's address (page number for the TLB), because only the
+// first access of a same-key run can miss and recurse.
+func buildSeg(code []cinstr, s, e int, memOp bool, lineShift uint) seg {
+	sg := seg{firstIdx: int32(s), n: int32(e - s), memIdx: -1}
+	if memOp {
+		sg.memIdx = int32(e - 1)
+	}
+	for k := s; k < e; k++ {
+		ci := &code[k]
+		if ci.in.PLT {
+			sg.nPLT++
+		}
+		pc, size := ci.pc, uint64(ci.in.Size)
+		pFirst, pLast := mem.PageNum(pc), mem.PageNum(pc+size-1)
+		for vpn := pFirst; vpn <= pLast; vpn++ {
+			if n := len(sg.itlb) - 1; n >= 0 && sg.itlb[n].addr == vpn {
+				sg.itlb[n].n++
+			} else {
+				sg.itlb = append(sg.itlb, crun{addr: vpn, n: 1})
+			}
+		}
+		// Mirror cache.AccessRange: a single-line access records the
+		// real byte address; a straddling access records each line's
+		// base address.
+		lFirst, lLast := pc>>lineShift, (pc+size-1)>>lineShift
+		if lFirst == lLast {
+			sg.l1i = appendLineRun(sg.l1i, pc, lineShift)
+		} else {
+			for ln := lFirst; ln <= lLast; ln++ {
+				sg.l1i = appendLineRun(sg.l1i, ln<<lineShift, lineShift)
+			}
+		}
+	}
+	return sg
+}
+
+func appendLineRun(runs []crun, addr uint64, lineShift uint) []crun {
+	if n := len(runs) - 1; n >= 0 && runs[n].addr>>lineShift == addr>>lineShift {
+		runs[n].n++
+		return runs
+	}
+	return append(runs, crun{addr: addr, n: 1})
+}
+
+// SetProgram installs (or, with nil, removes) a compiled program; Run
+// replays it instead of interpreting.  The program must have been
+// compiled from the CPU's image — or from any image sharing its
+// instruction index, i.e. the pooled master this image was forked
+// from — for the same L1I line size.
+func (c *CPU) SetProgram(p *Program) error {
+	if p != nil {
+		if p.lineBytes != c.cfg.L1I.LineBytes {
+			return fmt.Errorf("cpu: program compiled for %d-byte I-lines, cache has %d-byte lines", p.lineBytes, c.cfg.L1I.LineBytes)
+		}
+		if len(p.code) != len(c.img.Instructions()) {
+			return fmt.Errorf("cpu: program has %d instructions, image has %d", len(p.code), len(c.img.Instructions()))
+		}
+	}
+	c.prog = p
+	// Both paths' page memos key the same underlying state; reset them
+	// all so a mode switch re-derives every memo from the maps.
+	c.idxMemo = [pageMemoSize]idxMemoEntry{}
+	c.pageMemo = [pageMemoSize]pageMemoEntry{}
+	c.cntPageNum, c.cntPage = 0, nil
+	c.fetchPageNum, c.fetchPage, c.fetchCounts = 0, nil, nil
+	return nil
+}
+
+// Program returns the installed compiled program, or nil when the CPU
+// interprets.
+func (c *CPU) Program() *Program { return c.prog }
+
+// lookupIdx maps a dynamic target PC to its code-array index (-1 if
+// unmapped), memoising the index page.
+func (c *CPU) lookupIdx(pc uint64) int32 {
+	pn := pc >> mem.PageShift
+	m := &c.idxMemo[pageMemoIdx(pn)]
+	if m.pn != pn || m.pg == nil {
+		pg := c.prog.pages[pn]
+		if pg == nil {
+			return -1
+		}
+		*m = idxMemoEntry{pn: pn, pg: pg}
+	}
+	return m.pg[pc&(mem.PageSize-1)]
+}
+
+// bumpC is the compiled path's bumpN: it returns and increments pc's
+// dynamic execution count, memoising the counter page directly (the
+// compiled loop does not maintain the fetch memo).  Pages are shared
+// with the interpreter's execPages map, and the interpreter's memos
+// are refreshed on allocation so a later SetProgram(nil) observes
+// coherent counts.
+func (c *CPU) bumpC(pc uint64) uint64 {
+	pn := pc >> mem.PageShift
+	if c.cntPage == nil || c.cntPageNum != pn {
+		p := c.execPages[pn]
+		if p == nil {
+			p = new(execPage)
+			c.execPages[pn] = p
+			if m := &c.pageMemo[pageMemoIdx(pn)]; m.pn == pn && m.page != nil {
+				m.counts = p
+			}
+			if c.fetchPage != nil && c.fetchPageNum == pn {
+				c.fetchCounts = p
+			}
+		}
+		c.cntPageNum, c.cntPage = pn, p
+	}
+	off := pc & (mem.PageSize - 1)
+	n := c.cntPage[off]
+	c.cntPage[off] = n + 1
+	return n
+}
+
+// runCompiled is Run over a compiled program.  The control structure —
+// limit = min(budget end, next sample boundary), checked before every
+// dispatch — is the interpreter's; the difference is that a superblock
+// is dispatched as one unit when it fits entirely under the limit, and
+// otherwise (or for control flow) a single pre-threaded instruction is
+// stepped.  Because blocks never partially execute, budget errors and
+// sample boundaries land on exactly the interpreter's instruction
+// counts.
+func (c *CPU) runCompiled(entry uint64, maxInstrs uint64) (RunResult, error) {
+	start := c.c
+	budgetEnd := start.Instructions + maxInstrs
+	limit := budgetEnd
+	if c.onSample != nil && c.nextSampleAt < limit {
+		limit = c.nextSampleAt
+	}
+	c.sp = c.img.StackTop() - 64
+	pc := entry
+	idx := c.lookupIdx(entry)
+	for {
+		if c.c.Instructions >= limit {
+			if c.c.Instructions >= budgetEnd {
+				return c.runDelta(start), fmt.Errorf("cpu: instruction budget %d exhausted at pc %#x", maxInstrs, pc)
+			}
+			c.takeSample()
+			limit = budgetEnd
+			if c.nextSampleAt < limit {
+				limit = c.nextSampleAt
+			}
+			continue
+		}
+		if idx < 0 {
+			return c.runDelta(start), fmt.Errorf("%w: pc %#x", ErrNoInstruction, pc)
+		}
+		ci := &c.prog.code[idx]
+		if b := ci.blk; b != nil && c.c.Instructions+b.nInstr <= limit {
+			c.execBlock(b)
+			idx, pc = b.endIdx, b.endPC
+			continue
+		}
+		var halted bool
+		var err error
+		idx, pc, halted, err = c.stepIdx(ci)
+		if err != nil {
+			return c.runDelta(start), err
+		}
+		if halted {
+			return c.runDelta(start), nil
+		}
+	}
+}
+
+// execBlock replays one superblock: per segment, the pre-computed
+// fetch runs are applied in bulk, counters are advanced once, and the
+// trailing memory operation (if any) executes normally.  The ABTB
+// pattern hooks are only walked when a call→indirect-branch pattern is
+// actually pending at block entry: nothing inside a block retires a
+// call, so otherwise every hook call would be a no-op.
+func (c *CPU) execBlock(b *block) {
+	glue := c.ab != nil && c.ab.PatternPending()
+	code := c.prog.code
+	for si := range b.segs {
+		s := &b.segs[si]
+		lat := 0
+		for _, r := range s.itlb {
+			lat += c.itlb.AccessRepeatPage(r.addr, int(r.n))
+		}
+		for _, r := range s.l1i {
+			lat += c.l1i.AccessRepeat(r.addr, int(r.n))
+		}
+		c.c.TrampInstrs += s.nPLT
+		c.c.Instructions += uint64(s.n)
+		c.c.Cycles += uint64(lat) + uint64(s.n)
+
+		nSimple := s.n
+		if s.memIdx >= 0 {
+			nSimple--
+		}
+		if glue {
+			for k := s.firstIdx; k < s.firstIdx+nSimple; k++ {
+				ci := &code[k]
+				c.ab.OnRetireOther(ci.pc, ci.in.Size)
+			}
+		}
+		if s.memIdx >= 0 {
+			mi := &code[s.memIdx]
+			switch mi.in.Op {
+			case isa.Load:
+				c.dataRead(mi.in.EffAddr(mi.pc, c.bumpC(mi.pc)))
+			case isa.Store:
+				c.dataWrite(mi.in.EffAddr(mi.pc, c.bumpC(mi.pc)), mi.in.Val)
+			case isa.Push:
+				c.sp -= 8
+				c.dataWrite(c.sp, mi.in.Val)
+			}
+			if glue {
+				c.ab.BreakPattern()
+				glue = false // nothing in the block can re-arm it
+			}
+		}
+	}
+}
+
+// stepIdx retires one compiled instruction.  It mirrors step exactly —
+// same access order, same counter and predictor updates, same retire
+// logic — but consumes pre-threaded successor indices and returns the
+// next (index, pc) pair.  It also serves as the fallback for entering
+// a superblock that does not fit under the current limit, which is why
+// it handles the batchable opcodes too.
+func (c *CPU) stepIdx(ci *cinstr) (nextIdx int32, nextPC uint64, halted bool, err error) {
+	in := &ci.in
+	pc := ci.pc
+	size := uint64(in.Size)
+
+	// ---- Fetch ----
+	c.c.Cycles += uint64(c.itlb.AccessRange(pc, size))
+	c.c.Cycles += uint64(c.l1i.AccessRange(pc, size))
+
+	var predicted uint64
+	var predValid bool
+	var predTaken bool
+	switch in.Op {
+	case isa.Call, isa.CallInd, isa.Jmp, isa.JmpMem, isa.Resolve:
+		predicted, predValid = c.bp.PredictTarget(pc)
+		if in.Op.IsCall() {
+			c.bp.PushReturn(pc + size)
+		}
+	case isa.JmpCond:
+		predTaken = c.bp.PredictCond(pc)
+		if predTaken {
+			predicted, predValid = c.bp.PredictTarget(pc)
+		} else {
+			predicted, predValid = pc+size, true
+		}
+	case isa.Ret:
+		predicted, predValid = c.bp.PredictReturn()
+	}
+
+	// ---- Execute ----
+	if in.PLT {
+		c.c.TrampInstrs++
+	}
+	c.c.Instructions++
+	c.c.Cycles++
+
+	var actual uint64
+	actualIdx := int32(-1)
+	actualKnown := false // actualIdx valid without a lookup
+	switch in.Op {
+	case isa.Halt:
+		c.retireBreak()
+		c.syncCounters()
+		return 0, 0, true, nil
+
+	case isa.Nop, isa.ALU:
+		if c.ab != nil {
+			c.ab.OnRetireOther(pc, in.Size)
+		}
+		return ci.next, pc + size, false, nil
+
+	case isa.Load:
+		c.dataRead(in.EffAddr(pc, c.bumpC(pc)))
+		c.retireBreak()
+		return ci.next, pc + size, false, nil
+
+	case isa.Store:
+		c.dataWrite(in.EffAddr(pc, c.bumpC(pc)), in.Val)
+		c.retireBreak()
+		return ci.next, pc + size, false, nil
+
+	case isa.Push:
+		c.sp -= 8
+		c.dataWrite(c.sp, in.Val)
+		c.retireBreak()
+		return ci.next, pc + size, false, nil
+
+	case isa.Call:
+		actual = in.Target
+		actualIdx, actualKnown = ci.tgt, true
+		c.sp -= 8
+		c.dataWrite(c.sp, pc+size)
+
+	case isa.CallInd:
+		actual = c.dataRead(in.Mem)
+		c.sp -= 8
+		c.dataWrite(c.sp, pc+size)
+
+	case isa.Jmp:
+		actual = in.Target
+		actualIdx, actualKnown = ci.tgt, true
+
+	case isa.JmpCond:
+		taken := in.CondTaken(pc, c.bumpC(pc), c.cfg.Seed)
+		if taken {
+			actual = in.Target
+		} else {
+			actual = pc + size
+		}
+		c.c.Branches++
+		switch {
+		case taken != predTaken:
+			c.c.Mispredicts++
+			c.c.MispredCond++
+			c.c.Cycles += uint64(c.cfg.MispredictPenalty)
+		case taken && !predValid:
+			c.c.FetchBubbles++
+			c.c.Cycles += uint64(c.cfg.FetchBubblePenalty)
+		case taken && predicted != actual:
+			c.c.Mispredicts++
+			c.c.MispredCond++
+			c.c.Cycles += uint64(c.cfg.MispredictPenalty)
+		}
+		c.bp.UpdateCond(pc, taken)
+		if taken {
+			c.bp.UpdateTarget(pc, actual)
+			c.retireBreak()
+			return ci.tgt, actual, false, nil
+		}
+		c.retireBreak()
+		return ci.next, actual, false, nil
+
+	case isa.JmpMem:
+		actual = c.dataRead(in.Mem)
+
+	case isa.Ret:
+		actual = c.dataRead(c.sp)
+		c.sp += 8
+
+	case isa.Resolve:
+		next, _, rerr := c.execResolve(pc, predicted, predValid)
+		if rerr != nil {
+			return 0, 0, false, rerr
+		}
+		return c.lookupIdx(next), next, false, nil
+
+	default:
+		return 0, 0, false, fmt.Errorf("cpu: unexecutable opcode %v at %#x", in.Op, pc)
+	}
+
+	// ---- Retire: branch resolution with the ABTB hook ----
+	effective := actual
+	effIdx, effKnown := actualIdx, actualKnown
+	skipped := false
+	if in.Op.IsCall() {
+		tIdx := -1
+		if in.Op == isa.Call {
+			tIdx = int(ci.trampIdx)
+		} else {
+			tIdx = c.img.TrampolineIndex(actual)
+		}
+		if tIdx >= 0 {
+			c.c.TrampCalls++
+			c.trampCounts[tIdx]++
+			if c.TraceLibCall != nil {
+				c.TraceLibCall(actual)
+			}
+		}
+		if c.ab != nil {
+			if target, hit := c.ab.Lookup(actual); hit {
+				effective = target
+				effKnown = false
+				skipped = true
+				c.c.TrampSkips++
+			}
+		}
+	}
+
+	c.c.Branches++
+	if !predValid || predicted != effective {
+		if (in.Op == isa.Call || in.Op == isa.Jmp) && !skipped {
+			c.c.FetchBubbles++
+			c.c.Cycles += uint64(c.cfg.FetchBubblePenalty)
+		} else {
+			c.c.Mispredicts++
+			c.c.Cycles += uint64(c.cfg.MispredictPenalty)
+			switch {
+			case skipped || in.Op == isa.Call:
+				c.c.MispredCall++
+			case in.Op == isa.Ret:
+				c.c.MispredRet++
+			default:
+				c.c.MispredIndirect++
+			}
+		}
+	}
+	if in.Op != isa.Ret {
+		c.bp.UpdateTarget(pc, effective)
+	}
+
+	if c.ab != nil {
+		if in.Op.IsIndirectBranch() {
+			memAddr := uint64(0)
+			if in.Op == isa.JmpMem {
+				memAddr = in.Mem
+			}
+			c.ab.OnRetireIndirectBranch(pc, actual, memAddr)
+		}
+		if in.Op.IsCall() {
+			c.ab.OnRetireCall(actual)
+		} else if !in.Op.IsIndirectBranch() {
+			c.ab.BreakPattern()
+		}
+	}
+
+	if !effKnown {
+		effIdx = c.lookupIdx(effective)
+	}
+	return effIdx, effective, false, nil
+}
+
+// FastForward executes from entry with architectural fidelity only:
+// memory contents, the stack pointer, per-PC execution counts and lazy
+// GOT bindings advance exactly as under detailed simulation, but no
+// cache, TLB, predictor, ABTB or measurement-counter state is touched.
+// Sampled simulation uses it to skip between measurement windows at a
+// fraction of detailed cost; a detailed run resumed after a
+// fast-forward sees the same architectural state it would have seen
+// had every instruction been simulated in detail.
+//
+// It requires a compiled program (the threaded successor indices are
+// what make skipping cheap) and bounds runaway execution like Run
+// (maxInstrs 0 means the same generous default).
+func (c *CPU) FastForward(entry uint64, maxInstrs uint64) error {
+	if c.prog == nil {
+		return fmt.Errorf("cpu: fast-forward requires a compiled program")
+	}
+	if maxInstrs == 0 {
+		maxInstrs = 100_000_000
+	}
+	if c.ab != nil {
+		// The skipped stretch would have retired pattern-breaking
+		// instructions; never let a pre-skip call pair with a
+		// post-skip indirect branch.
+		c.ab.BreakPattern()
+	}
+	c.sp = c.img.StackTop() - 64
+	pc := entry
+	idx := c.lookupIdx(entry)
+	code := c.prog.code
+	var steps uint64
+	for {
+		if idx < 0 {
+			return fmt.Errorf("%w: pc %#x", ErrNoInstruction, pc)
+		}
+		if steps >= maxInstrs {
+			return fmt.Errorf("cpu: fast-forward budget %d exhausted at pc %#x", maxInstrs, pc)
+		}
+		steps++
+		ci := &code[idx]
+		in := &ci.in
+		switch in.Op {
+		case isa.Halt:
+			return nil
+		case isa.Nop, isa.ALU:
+			idx, pc = ci.next, pc+uint64(in.Size)
+		case isa.Load:
+			// The count advances (EffAddr sweeps consume one per
+			// execution) but the read has no architectural effect.
+			c.bumpC(pc)
+			idx, pc = ci.next, pc+uint64(in.Size)
+		case isa.Store:
+			c.mem.Write64(in.EffAddr(pc, c.bumpC(pc)), in.Val)
+			idx, pc = ci.next, pc+uint64(in.Size)
+		case isa.Push:
+			c.sp -= 8
+			c.mem.Write64(c.sp, in.Val)
+			idx, pc = ci.next, pc+uint64(in.Size)
+		case isa.Call:
+			c.sp -= 8
+			c.mem.Write64(c.sp, pc+uint64(in.Size))
+			idx, pc = ci.tgt, in.Target
+		case isa.CallInd:
+			tgt := c.mem.Read64(in.Mem)
+			c.sp -= 8
+			c.mem.Write64(c.sp, pc+uint64(in.Size))
+			idx, pc = c.lookupIdx(tgt), tgt
+		case isa.Jmp:
+			idx, pc = ci.tgt, in.Target
+		case isa.JmpCond:
+			if in.CondTaken(pc, c.bumpC(pc), c.cfg.Seed) {
+				idx, pc = ci.tgt, in.Target
+			} else {
+				idx, pc = ci.next, pc+uint64(in.Size)
+			}
+		case isa.JmpMem:
+			tgt := c.mem.Read64(in.Mem)
+			idx, pc = c.lookupIdx(tgt), tgt
+		case isa.Ret:
+			tgt := c.mem.Read64(c.sp)
+			c.sp += 8
+			idx, pc = c.lookupIdx(tgt), tgt
+		case isa.Resolve:
+			modID := c.mem.Read64(c.sp)
+			relocIdx := c.mem.Read64(c.sp + 8)
+			c.sp += 16
+			gotAddr, funcAddr, err := c.img.Resolve(modID, relocIdx)
+			if err != nil {
+				return err
+			}
+			c.mem.Write64(gotAddr, funcAddr)
+			idx, pc = c.lookupIdx(funcAddr), funcAddr
+		default:
+			return fmt.Errorf("cpu: unexecutable opcode %v at %#x", in.Op, pc)
+		}
+	}
+}
+
+// FastForwardSymbol resolves a function symbol and fast-forwards from
+// it.
+func (c *CPU) FastForwardSymbol(sym string) error {
+	entry, ok := c.img.Symbol(sym)
+	if !ok {
+		return fmt.Errorf("cpu: unknown entry symbol %q", sym)
+	}
+	return c.FastForward(entry, 0)
+}

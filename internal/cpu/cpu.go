@@ -171,6 +171,41 @@ func (c Counters) Sub(prev Counters) Counters {
 	}
 }
 
+// Add returns c + d, the inverse of Sub — used to total windowed
+// measurements (sampled simulation sums its per-window deltas).
+func (c Counters) Add(d Counters) Counters {
+	return Counters{
+		MispredCond:     c.MispredCond + d.MispredCond,
+		MispredRet:      c.MispredRet + d.MispredRet,
+		MispredIndirect: c.MispredIndirect + d.MispredIndirect,
+		MispredCall:     c.MispredCall + d.MispredCall,
+		Instructions:    c.Instructions + d.Instructions,
+		Cycles:          c.Cycles + d.Cycles,
+		TrampInstrs:     c.TrampInstrs + d.TrampInstrs,
+		TrampCalls:      c.TrampCalls + d.TrampCalls,
+		TrampSkips:      c.TrampSkips + d.TrampSkips,
+		Loads:           c.Loads + d.Loads,
+		Stores:          c.Stores + d.Stores,
+		Branches:        c.Branches + d.Branches,
+		Mispredicts:     c.Mispredicts + d.Mispredicts,
+		FetchBubbles:    c.FetchBubbles + d.FetchBubbles,
+		Resolutions:     c.Resolutions + d.Resolutions,
+		L1IAccesses:     c.L1IAccesses + d.L1IAccesses,
+		L1IMisses:       c.L1IMisses + d.L1IMisses,
+		L1DAccesses:     c.L1DAccesses + d.L1DAccesses,
+		L1DMisses:       c.L1DMisses + d.L1DMisses,
+		L2Accesses:      c.L2Accesses + d.L2Accesses,
+		L2Misses:        c.L2Misses + d.L2Misses,
+		ITLBAccesses:    c.ITLBAccesses + d.ITLBAccesses,
+		ITLBMisses:      c.ITLBMisses + d.ITLBMisses,
+		DTLBAccesses:    c.DTLBAccesses + d.DTLBAccesses,
+		DTLBMisses:      c.DTLBMisses + d.DTLBMisses,
+		BTBEvictions:    c.BTBEvictions + d.BTBEvictions,
+		ABTBRedirects:   c.ABTBRedirects + d.ABTBRedirects,
+		ABTBFlushes:     c.ABTBFlushes + d.ABTBFlushes,
+	}
+}
+
 // IntervalSample is a cumulative snapshot of the CPU's measurement
 // state taken at an interval-sampling boundary (see SetSampler).  It
 // carries the full Counters set plus ABTB/Bloom detail that is kept
@@ -268,9 +303,24 @@ type CPU struct {
 	// Run loop's existing per-step budget comparison — a single
 	// precomputed limit — so the disabled path is bit-identical to a
 	// build without sampling and adds no per-instruction work.
+	// sampleOrigin anchors the absolute boundary grid: every boundary
+	// is sampleOrigin + k*sampleEvery, including after a mid-run
+	// interval change (see SetSampleInterval).
 	sampleEvery  uint64
+	sampleOrigin uint64
 	nextSampleAt uint64
 	onSample     func(IntervalSample)
+
+	// prog, when non-nil, is the compiled-trace program for the image
+	// (see Compile/SetProgram): Run replays the dense branch-threaded
+	// instruction array instead of interpreting via per-PC page
+	// lookups.  The compiled path is bit-identical to the interpreted
+	// one.  cntPageNum/cntPage memoise the execution-counter page for
+	// the compiled loop, which never touches the fetch memo.
+	prog       *Program
+	cntPageNum uint64
+	cntPage    *execPage
+	idxMemo    [pageMemoSize]idxMemoEntry
 
 	// gotStores counts retired resolver stores into the GOT.  It is
 	// deliberately not a Counters field: the golden-counter test
@@ -342,6 +392,9 @@ func (c *CPU) Run(entry uint64, maxInstrs uint64) (RunResult, error) {
 	if maxInstrs == 0 {
 		maxInstrs = 100_000_000
 	}
+	if c.prog != nil {
+		return c.runCompiled(entry, maxInstrs)
+	}
 	start := c.c
 	// The loop stops at limit = min(budget end, next sample boundary):
 	// one comparison per step whether or not sampling is enabled, so
@@ -407,7 +460,8 @@ func (c *CPU) SetSampler(every uint64, fn func(IntervalSample)) {
 	}
 	c.sampleEvery = every
 	c.onSample = fn
-	c.nextSampleAt = c.c.Instructions + every
+	c.sampleOrigin = c.c.Instructions
+	c.nextSampleAt = c.sampleOrigin + every
 }
 
 // SetSampleInterval changes the sampling interval for subsequent
@@ -415,9 +469,17 @@ func (c *CPU) SetSampler(every uint64, fn func(IntervalSample)) {
 // from inside the sample callback when they compact: after merging
 // adjacent points they double the interval so the series stays
 // bounded.  No-op when sampling is disabled or every is zero.
+//
+// The re-arm stays on the absolute grid anchored at SetSampler time:
+// the next boundary is the first sampleOrigin + k*every strictly past
+// the current instruction count, so a collector that compacted mid-run
+// emits the same boundaries a fresh collector at the wider interval
+// would.  (A relative re-arm from the current count would drift off
+// the grid by the boundary-crossing overshoot.)
 func (c *CPU) SetSampleInterval(every uint64) {
 	if c.onSample != nil && every != 0 {
 		c.sampleEvery = every
+		c.nextSampleAt = c.sampleOrigin + ((c.c.Instructions-c.sampleOrigin)/every+1)*every
 	}
 }
 

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/linker"
@@ -208,5 +209,26 @@ func TestRunResultMatchesCounters(t *testing.T) {
 	d := c.Counters().Sub(before)
 	if res.Instructions != d.Instructions || res.Cycles != d.Cycles {
 		t.Errorf("RunResult %+v != counter delta {%d %d}", res, d.Instructions, d.Cycles)
+	}
+}
+
+// TestCountersAddInvertsSub walks every field by reflection: for fully
+// populated snapshots, prev.Add(end.Sub(prev)) must reproduce end
+// exactly, so a counter added to the struct but forgotten in Add or
+// Sub fails here by name.
+func TestCountersAddInvertsSub(t *testing.T) {
+	var prev, end Counters
+	pv, ev := reflect.ValueOf(&prev).Elem(), reflect.ValueOf(&end).Elem()
+	for i := 0; i < pv.NumField(); i++ {
+		pv.Field(i).SetUint(uint64(3*i + 1))
+		ev.Field(i).SetUint(uint64(7*i + 5))
+	}
+	got := prev.Add(end.Sub(prev))
+	gv := reflect.ValueOf(got)
+	for i := 0; i < gv.NumField(); i++ {
+		if gv.Field(i).Uint() != ev.Field(i).Uint() {
+			t.Errorf("Counters.%s: Add(Sub) = %d, want %d (field missing from Add or Sub?)",
+				gv.Type().Field(i).Name, gv.Field(i).Uint(), ev.Field(i).Uint())
+		}
 	}
 }

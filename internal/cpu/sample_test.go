@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/linker"
+	"repro/internal/objfile"
 )
 
 // TestSamplerBoundaries pins the sampler contract: callbacks fire at
@@ -160,6 +161,51 @@ func TestSetSampleIntervalWidens(t *testing.T) {
 	}
 	if c.SampleInterval() != 1<<20 {
 		t.Errorf("SampleInterval() = %d, want %d", c.SampleInterval(), 1<<20)
+	}
+}
+
+// TestSetSampleIntervalAbsoluteGrid pins the re-arm fix: re-arming
+// from inside a sample callback must land the next boundary on the
+// absolute grid anchored at SetSampler time, not relative to the
+// current instruction count.  The program forces the first boundary to
+// be crossed by a Resolve step (overshooting by the resolver footprint);
+// a relative re-arm would carry that overshoot onto every later
+// boundary, so the second sample would drift off the grid.
+func TestSetSampleIntervalAbsoluteGrid(t *testing.T) {
+	app := objfile.New("app")
+	app.NewFunc("main").ALU(50).Call("api").ALU(300).Halt()
+	lib := objfile.New("lib")
+	lib.NewFunc("api").ALU(20).Ret()
+	im, err := linker.Link(app, []*objfile.Object{lib}, linker.Options{Mode: linker.BindLazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(im, DefaultConfig())
+
+	const every = 100
+	var samples []uint64
+	c.SetSampler(every, func(s IntervalSample) {
+		if len(samples) == 0 {
+			// Re-arm mid-run with the same interval, as a compacting
+			// collector would with a doubled one.
+			c.SetSampleInterval(every)
+		}
+		samples = append(samples, s.Counters.Instructions)
+	})
+	if _, err := c.RunSymbol("main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) < 2 {
+		t.Fatalf("got %d samples, want >= 2", len(samples))
+	}
+	if samples[0]%every == 0 {
+		t.Fatalf("test premise broken: first sample at %d has no overshoot", samples[0])
+	}
+	// Every step after the resolution retires exactly one instruction,
+	// so the second sample must land exactly on the next grid boundary.
+	if want := (samples[0]/every + 1) * every; samples[1] != want {
+		t.Errorf("second sample at %d instructions, want %d (re-arm drifted off the absolute grid)",
+			samples[1], want)
 	}
 }
 

@@ -47,24 +47,11 @@ func goldenSpecs() []runner.JobSpec {
 	return specs
 }
 
-// TestGoldenCounters locks the simulation kernel to a pre-recorded
-// counter snapshot: every workload × {base, enhanced} cell must
-// reproduce testdata/golden_counters.json field for field.  The file
-// was generated before the kernel's hot-path rework (dense per-page
-// execution counters, memoized data pages, de-mapped trampoline
-// accounting, set-associative fast paths), so a pass proves those
-// optimisations are bit-identical, not just statistically close.
-//
-// Regenerate deliberately with:
-//
-//	go test ./internal/experiments/ -run TestGoldenCounters -update
-func TestGoldenCounters(t *testing.T) {
-	if testing.Short() {
-		t.Skip("golden matrix is full simulations; skipped in -short")
-	}
-	path := filepath.Join("testdata", "golden_counters.json")
-
-	pool := runner.New(runner.Options{Workers: 2})
+// runGoldenMatrix executes the golden workload × config matrix under
+// the given runner options and returns the counter snapshot rows.
+func runGoldenMatrix(t *testing.T, opts runner.Options) []goldenEntry {
+	t.Helper()
+	pool := runner.New(opts)
 	defer pool.Close()
 	results, err := pool.RunAll(t.Context(), goldenSpecs())
 	if err != nil {
@@ -78,6 +65,32 @@ func TestGoldenCounters(t *testing.T) {
 			Counters: res.Counters,
 		}
 	}
+	return got
+}
+
+// TestGoldenCounters locks the simulation kernel to a pre-recorded
+// counter snapshot: every workload × {base, enhanced} cell must
+// reproduce testdata/golden_counters.json field for field.  The file
+// was generated before the kernel's hot-path rework (dense per-page
+// execution counters, memoized data pages, de-mapped trampoline
+// accounting, set-associative fast paths), so a pass proves those
+// optimisations are bit-identical, not just statistically close.
+//
+// The matrix runs twice against the SAME golden file — once replaying
+// compiled traces (the default) and once on the interpreted path
+// (DisableCompiledTraces) — so trace compilation is pinned as a pure
+// speed change with no counter drift in either direction.
+//
+// Regenerate deliberately with:
+//
+//	go test ./internal/experiments/ -run TestGoldenCounters -update
+func TestGoldenCounters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden matrix is full simulations; skipped in -short")
+	}
+	path := filepath.Join("testdata", "golden_counters.json")
+
+	got := runGoldenMatrix(t, runner.Options{Workers: 2})
 
 	if *updateGolden {
 		b, err := json.MarshalIndent(got, "", "  ")
@@ -102,29 +115,37 @@ func TestGoldenCounters(t *testing.T) {
 	if err := json.Unmarshal(b, &want); err != nil {
 		t.Fatalf("parsing %s: %v", path, err)
 	}
+	compareGolden(t, "compiled", got, want)
+	compareGolden(t, "interpreted",
+		runGoldenMatrix(t, runner.Options{Workers: 2, DisableCompiledTraces: true}), want)
+	if t.Failed() {
+		t.Fatal(fmt.Sprintf("kernel output drifted from %s: the optimized hot path is no longer bit-identical", path))
+	}
+}
+
+// compareGolden diffs one matrix run against the golden rows,
+// reporting exactly which counters drifted, field by field.
+func compareGolden(t *testing.T, label string, got, want []goldenEntry) {
+	t.Helper()
 	if len(want) != len(got) {
-		t.Fatalf("golden file has %d entries, run produced %d (regenerate with -update?)", len(want), len(got))
+		t.Fatalf("%s: golden file has %d entries, run produced %d (regenerate with -update?)", label, len(want), len(got))
 	}
 	for i := range got {
 		g, w := got[i], want[i]
 		if g.Workload != w.Workload || g.Config != w.Config {
-			t.Fatalf("entry %d is %s/%s, golden has %s/%s", i, g.Workload, g.Config, w.Workload, w.Config)
+			t.Fatalf("%s: entry %d is %s/%s, golden has %s/%s", label, i, g.Workload, g.Config, w.Workload, w.Config)
 		}
 		if g.Counters == w.Counters {
 			continue
 		}
-		// Report exactly which counters drifted, field by field.
 		gv := reflect.ValueOf(g.Counters)
 		wv := reflect.ValueOf(w.Counters)
 		for f := 0; f < gv.NumField(); f++ {
 			if gv.Field(f).Uint() != wv.Field(f).Uint() {
-				t.Errorf("%s/%s: %s = %d, golden %d",
-					g.Workload, g.Config, gv.Type().Field(f).Name,
+				t.Errorf("%s: %s/%s: %s = %d, golden %d",
+					label, g.Workload, g.Config, gv.Type().Field(f).Name,
 					gv.Field(f).Uint(), wv.Field(f).Uint())
 			}
 		}
-	}
-	if t.Failed() {
-		t.Fatal(fmt.Sprintf("kernel output drifted from %s: the optimized hot path is no longer bit-identical", path))
 	}
 }

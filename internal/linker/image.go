@@ -63,6 +63,14 @@ func (im *Image) InstrPageAt(pc uint64) *InstrPage {
 // Memory returns the image's data memory (GOT, data regions, stack).
 func (im *Image) Memory() *mem.Memory { return im.memory }
 
+// Instructions returns the image's full decoded-instruction index,
+// keyed by virtual address.  The trace compiler walks it once to build
+// its dense branch-threaded program; iteration order is unspecified,
+// so callers sort.  The map is shared with the image (and with every
+// fork, which is why one compiled program serves all forks of a pooled
+// master) and must not be mutated.
+func (im *Image) Instructions() map[uint64]*isa.Instr { return im.instrs }
+
 // Modules returns the linked modules in load order (executable first).
 func (im *Image) Modules() []*Module { return im.modules }
 

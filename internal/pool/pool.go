@@ -38,6 +38,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/cpu"
 	"repro/internal/linker"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
@@ -99,6 +100,32 @@ type imageEntry struct {
 	evicted bool // guarded by mu; stops byte accounting after eviction
 	err     error
 	elem    *list.Element // position in the image LRU (guarded by Pool.mu)
+
+	// progs caches compiled trace programs for this master, keyed by
+	// L1I line size (the only hardware parameter baked into the
+	// compiled form).  Forks share the master's decoded-instruction
+	// index, so one Program drives every system built from this entry
+	// (cpu.TestCompiledForkSharing); compilation happens once per
+	// (image, line size), off every job's hot path.  Guarded by
+	// progMu, separate from mu so compilation never blocks forks.
+	progMu sync.Mutex
+	progs  map[int]*cpu.Program
+}
+
+// program returns the compiled trace program for the entry's master at
+// the given L1I line size, compiling it on first use.
+func (e *imageEntry) program(lineBytes int) *cpu.Program {
+	e.progMu.Lock()
+	defer e.progMu.Unlock()
+	if p, ok := e.progs[lineBytes]; ok {
+		return p
+	}
+	p := cpu.Compile(e.img, lineBytes)
+	if e.progs == nil {
+		e.progs = make(map[int]*cpu.Program, 1)
+	}
+	e.progs[lineBytes] = p
+	return p
 }
 
 // Pool caches generated workloads and linked master images.  All
@@ -268,7 +295,15 @@ func (p *Pool) systemFor(key ImageKey, w *workload.Workload, cfg core.Config) (*
 	}
 	e.mu.Unlock()
 
-	return core.NewSystemFromImage(img, cfg), hit, nil
+	sys := core.NewSystemFromImage(img, cfg)
+	// Install the shared compiled trace program: the fast-path Run loop
+	// is bit-identical to the interpreted one, so pooled results stay
+	// bit-identical to unpooled — callers that want the interpreted
+	// path (A/B benchmarks) detach it with SetProgram(nil).
+	if err := sys.CPU().SetProgram(e.program(cfg.Hardware.L1I.LineBytes)); err != nil {
+		return nil, false, fmt.Errorf("pool: installing compiled trace for %s/seed=%d: %w", key.Workload, key.Seed, err)
+	}
+	return sys, hit, nil
 }
 
 // evictLocked drops least-recently-used entries beyond the bounds and

@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"time"
@@ -35,6 +36,13 @@ type SweepSpec struct {
 	// therefore every pre-timeline batch ID.
 	TimelineInterval uint64 `json:"timeline_interval,omitempty"`
 	TimelineOff      bool   `json:"timeline_off,omitempty"`
+
+	// SampleWindows and SampleWarmup apply to every expanded job (see
+	// JobSpec): a positive window count runs the whole sweep as sampled
+	// simulation.  Zero values keep the exact path and every
+	// pre-sampling batch ID.
+	SampleWindows int `json:"sample_windows,omitempty"`
+	SampleWarmup  int `json:"sample_warmup,omitempty"`
 }
 
 // MaxBatchJobs bounds one sweep's expansion, so a single request
@@ -68,6 +76,8 @@ func (s SweepSpec) Expand() ([]JobSpec, error) {
 				Measure:          s.Measure,
 				TimelineInterval: s.TimelineInterval,
 				TimelineOff:      s.TimelineOff,
+				SampleWindows:    s.SampleWindows,
+				SampleWarmup:     s.SampleWarmup,
 			}
 			norm, err := spec.Normalize()
 			if err != nil {
@@ -177,6 +187,15 @@ type BatchAggregate struct {
 	SetupMS  float64    `json:"setup_ms"`
 	MeasMS   float64    `json:"measure_ms"`
 	TrampPKI float64    `json:"tramp_instrs_pki"`
+
+	// Sampled-job roll-up: the unweighted mean of the jobs'
+	// us_per_req estimates with the propagated 95% half-width
+	// (sqrt of summed squared per-job half-widths over the job
+	// count — exact for independent estimates).  Zero-valued when
+	// no job in the config ran sampled.
+	SampledJobs int     `json:"sampled_jobs,omitempty"`
+	SampledUS   float64 `json:"sampled_us,omitempty"`
+	SampledUSCI float64 `json:"sampled_us_ci95,omitempty"`
 }
 
 // BatchTimeline is one config's merged phase timeline over the
@@ -221,6 +240,10 @@ func (b *Batch) Status() BatchStatus {
 		setupMS, measMS  float64
 		trampPKI         float64
 		series           []*timeline.Series
+
+		sampledJobs   int
+		sampledUSSum  float64
+		sampledUSCISq float64
 	}
 	aggs := make(map[ConfigKind]*agg)
 	order := make([]ConfigKind, 0, 4)
@@ -248,6 +271,13 @@ func (b *Batch) Status() BatchStatus {
 				a.jobs++
 				if res.Timeline != nil {
 					a.series = append(a.series, res.Timeline)
+				}
+				if res.Sampled != nil {
+					if sc, ok := res.Sampled.Metrics["us_per_req"]; ok {
+						a.sampledJobs++
+						a.sampledUSSum += sc.Mean
+						a.sampledUSCISq += sc.CI95 * sc.CI95
+					}
 				}
 				if res.Counters.Instructions > 0 {
 					a.cpi += float64(res.Counters.Cycles) / float64(res.Counters.Instructions)
@@ -289,12 +319,20 @@ func (b *Batch) Status() BatchStatus {
 			out.MeanUS = a.meanNum / a.wN
 			out.P99US = a.p99Num / a.wN
 		}
+		if a.sampledJobs > 0 {
+			out.SampledJobs = a.sampledJobs
+			out.SampledUS = a.sampledUSSum / float64(a.sampledJobs)
+			out.SampledUSCI = math.Sqrt(a.sampledUSCISq) / float64(a.sampledJobs)
+		}
 		st.Aggregate = append(st.Aggregate, out)
 		// Merged per-config timeline, kept beside (not inside) the
 		// aggregate row: the chaos suite asserts aggregates are
 		// bit-identical across failover scenarios, and that property
 		// must not depend on which jobs' series are in memory.
-		if merged := timeline.Merge(a.series); merged != nil {
+		// All of a batch's series share one base interval and compact
+		// by doubling, so incompatible grids can only come from
+		// corrupted input; skip the timeline rather than fail Status.
+		if merged, err := timeline.Merge(a.series); err == nil && merged != nil {
 			st.Timelines = append(st.Timelines, BatchTimeline{
 				Config: cfg,
 				Jobs:   len(a.series),

@@ -24,6 +24,7 @@ const (
 	kindJob        = "job"
 	kindBatch      = "batch"
 	kindTimeline   = "timeline"
+	kindSampled    = "sampled"
 )
 
 // timelineStoreID derives the store ID a job's timeline record lives
@@ -151,6 +152,47 @@ func decodeTimeline(b []byte) (*timeline.Series, error) {
 		return nil, fmt.Errorf("runner: stored timeline %s has no points", p.ID)
 	}
 	return p.Series, nil
+}
+
+// sampledStoreID derives the store ID a sampled job's interval
+// estimates live under.  Like timelines, the "s" prefix keeps the
+// record disjoint from job IDs and beside (not inside) the result: a
+// torn sampled tail lost to crash recovery never takes the result with
+// it, and vice versa.
+func sampledStoreID(jobID string) string { return "s" + jobID }
+
+// persistedSampled is a sampled job's durable estimate record.
+type persistedSampled struct {
+	V    int    `json:"v"`
+	Kind string `json:"kind"`
+
+	ID      string         `json:"id"` // the owning job's ID, without the "s" prefix
+	Sampled *SampledResult `json:"sampled"`
+}
+
+// encodeSampled serialises a job's interval estimates for the store.
+func encodeSampled(jobID string, s *SampledResult) ([]byte, error) {
+	return json.Marshal(persistedSampled{
+		V:       persistVersion,
+		Kind:    kindSampled,
+		ID:      jobID,
+		Sampled: s,
+	})
+}
+
+// decodeSampled rebuilds the estimates from their disk form.
+func decodeSampled(b []byte) (*SampledResult, error) {
+	var p persistedSampled
+	if err := json.Unmarshal(b, &p); err != nil {
+		return nil, fmt.Errorf("runner: corrupt stored sampled record: %w", err)
+	}
+	if p.V != persistVersion || p.Kind != kindSampled {
+		return nil, fmt.Errorf("runner: stored record is not a v%d sampled record (v=%d kind=%q)", persistVersion, p.V, p.Kind)
+	}
+	if p.Sampled == nil || p.Sampled.Windows == 0 {
+		return nil, fmt.Errorf("runner: stored sampled record %s is empty", p.ID)
+	}
+	return p.Sampled, nil
 }
 
 // persistedBatch is a completed batch's durable form: the expanded

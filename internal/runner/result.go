@@ -52,6 +52,15 @@ type Result struct {
 	// persisted; Runner.Timeline falls back to the store record.
 	Timeline *timeline.Series
 
+	// Sampled carries the per-counter interval estimates of a sampled
+	// job (Spec.SampleWindows > 0); nil on exact jobs.  On sampled
+	// jobs, Counters/PKI cover only the measured window excerpts (the
+	// sum of the window deltas) and Samples pool the measured
+	// requests' latencies.  Restored results carry nil here even when
+	// estimates were persisted; Runner.Sampled falls back to the store
+	// record.
+	Sampled *SampledResult
+
 	// SetupWall is the wall clock spent before the first measured
 	// request: workload generation (or pool fetch), linking (or
 	// copy-on-write fork), and warmup.  MeasureWall covers only the

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/cpu"
 	"repro/internal/faultinject"
 	"repro/internal/pool"
 	"repro/internal/store"
@@ -100,6 +101,14 @@ type Options struct {
 	// links from scratch, the pre-pool behaviour.  Used by the A/B
 	// throughput benchmark; Pool is ignored when set.
 	DisablePool bool
+
+	// DisableCompiledTraces runs exact jobs on the interpreted
+	// per-instruction kernel loop instead of the compiled-trace fast
+	// path.  Results are bit-identical either way (the property
+	// experiments.TestGoldenCounters pins); the switch exists for A/B
+	// throughput benchmarks and as an escape hatch.  Sampled jobs
+	// ignore it — fast-forwarding requires the compiled form.
+	DisableCompiledTraces bool
 
 	// MaxBatches bounds how many batch handles are retained for
 	// lookup by ID (least recently used dropped beyond it).  Zero
@@ -736,11 +745,17 @@ func (r *Runner) finish(j *Job, res *Result, err error) {
 		if b, perr := encodeResult(res); perr == nil {
 			_ = r.store.Put(j.ID, b)
 		}
-		// The timeline is a separate record beside the result: losing
-		// one to a torn tail never corrupts the other.
+		// Timelines and sampled estimates are separate records beside
+		// the result: losing one to a torn tail never corrupts the
+		// others.
 		if res.Timeline != nil {
 			if b, perr := encodeTimeline(j.ID, res.Timeline); perr == nil {
 				_ = r.store.Put(timelineStoreID(j.ID), b)
+			}
+		}
+		if res.Sampled != nil {
+			if b, perr := encodeSampled(j.ID, res.Sampled); perr == nil {
+				_ = r.store.Put(sampledStoreID(j.ID), b)
 			}
 		}
 	}
@@ -810,6 +825,19 @@ func (r *Runner) execute(ctx context.Context, spec JobSpec, sp *telemetry.Span) 
 	if err != nil {
 		return nil, fmt.Errorf("runner: %s/%s: %w", spec.Workload, spec.Config, err)
 	}
+	sampled := spec.SampleWindows > 0
+	if r.pool == nil {
+		// The pool path installed the shared compiled trace program;
+		// without a pool, compile one for this job.  Exact results are
+		// bit-identical on either kernel path.
+		if !r.opts.DisableCompiledTraces || sampled {
+			if perr := sys.CPU().SetProgram(cpu.Compile(sys.Image(), cfg.Hardware.L1I.LineBytes)); perr != nil {
+				return nil, fmt.Errorf("runner: %s/%s: %w", spec.Workload, spec.Config, perr)
+			}
+		}
+	} else if r.opts.DisableCompiledTraces && !sampled {
+		sys.CPU().SetProgram(nil)
+	}
 	d := workload.NewDriver(w, sys, workload.DriverSeed(spec.Seed))
 	ph = sp.Child("warmup")
 	err = d.WarmupContext(ctx, spec.Warm)
@@ -818,43 +846,62 @@ func (r *Runner) execute(ctx context.Context, spec JobSpec, sp *telemetry.Span) 
 		return nil, fmt.Errorf("runner: %s/%s: %w", spec.Workload, spec.Config, err)
 	}
 	setupWall := time.Since(setupStart)
-	// Arm timeline sampling only now: WarmupContext ended with
-	// ResetStats, so the series covers exactly the measurement window.
-	// A disabled timeline leaves the kernel's sampler disarmed — the
-	// measured zero-overhead path.
-	var col *timeline.Collector
-	if spec.TimelineInterval > 0 {
-		col = timeline.NewCollector(spec.TimelineInterval, timeline.DefaultMaxPoints)
-		col.Attach(sys.CPU())
-	}
-	measureStart := time.Now()
-	ph = sp.Child("measure")
-	samp, err := d.RunContext(ctx, spec.Measure)
-	ph.End()
-	if err != nil {
-		if col != nil {
-			col.Close() // disarm the sampler before the fork is discarded
-		}
-		return nil, fmt.Errorf("runner: %s/%s: %w", spec.Workload, spec.Config, err)
-	}
-	measureWall := time.Since(measureStart)
 	key, _ := spec.Key()
 	res := &Result{
-		Spec:        spec,
-		Key:         key,
-		ID:          IDFromKey(key),
-		Counters:    sys.Counters(),
-		PKI:         sys.PKI(),
-		Samples:     samp,
-		Trace:       sys.LifetimeRecorder(),
-		Workload:    w,
-		SetupWall:   setupWall,
-		MeasureWall: measureWall,
-		Wall:        setupWall + measureWall,
+		Spec:     spec,
+		Key:      key,
+		ID:       IDFromKey(key),
+		Trace:    sys.LifetimeRecorder(),
+		Workload: w,
 	}
-	if col != nil {
-		res.Timeline = col.Close()
+	measureStart := time.Now()
+	if sampled {
+		// Sampled simulation: fast-forward / warm / measure per window.
+		// Counters cover only the measured excerpts (the sum of the
+		// window deltas); the interval estimates live in res.Sampled.
+		ph = sp.Child("measure-sampled")
+		run, serr := d.RunSampledContext(ctx, spec.Measure, spec.SampleWindows, spec.SampleWarmup)
+		ph.End()
+		if serr != nil {
+			return nil, fmt.Errorf("runner: %s/%s: %w", spec.Workload, spec.Config, serr)
+		}
+		var sum cpu.Counters
+		for _, win := range run.Windows {
+			sum = sum.Add(win.Counters)
+		}
+		res.Counters = sum
+		res.PKI = core.PKIOf(sum)
+		res.Samples = run.Classes
+		res.Sampled = buildSampledResult(run)
+	} else {
+		// Arm timeline sampling only now: WarmupContext ended with
+		// ResetStats, so the series covers exactly the measurement
+		// window.  A disabled timeline leaves the kernel's sampler
+		// disarmed — the measured zero-overhead path.
+		var col *timeline.Collector
+		if spec.TimelineInterval > 0 {
+			col = timeline.NewCollector(spec.TimelineInterval, timeline.DefaultMaxPoints)
+			col.Attach(sys.CPU())
+		}
+		ph = sp.Child("measure")
+		samp, merr := d.RunContext(ctx, spec.Measure)
+		ph.End()
+		if merr != nil {
+			if col != nil {
+				col.Close() // disarm the sampler before the fork is discarded
+			}
+			return nil, fmt.Errorf("runner: %s/%s: %w", spec.Workload, spec.Config, merr)
+		}
+		res.Counters = sys.Counters()
+		res.PKI = sys.PKI()
+		res.Samples = samp
+		if col != nil {
+			res.Timeline = col.Close()
+		}
 	}
+	res.MeasureWall = time.Since(measureStart)
+	res.SetupWall = setupWall
+	res.Wall = setupWall + res.MeasureWall
 	res.freeze()
 	return res, nil
 }

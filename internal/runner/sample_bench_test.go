@@ -1,0 +1,63 @@
+package runner
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// BenchmarkSampledVsExact is the accuracy-and-cost row behind
+// scripts/sample_bench.sh: one exact job and its sampled counterpart
+// (same workload, seed and request budget), reporting the exact
+// per-request cost, the sampled estimate with its 95% half-width, the
+// relative error, whether the exact value fell inside the interval
+// (within_ci: the acceptance gate), and the measured-phase wall-clock
+// ratio the fast-forward path buys.  Both sides are deterministic, so
+// every metric except the wall ratio is host-invariant.
+func BenchmarkSampledVsExact(b *testing.B) {
+	ctx := context.Background()
+	// 8 windows of 75 requests, 16 detailed warmup + 7 measured each:
+	// the warmup share is what keeps the post-fast-forward cold-start
+	// bias inside the interval (fast-forwarded stretches advance
+	// architectural state but not caches or predictors, so each
+	// window's detailed phase starts partially cold).
+	sampled := JobSpec{
+		Workload: "memcached", Config: Base, Seed: 3,
+		Warm: 20, Measure: 600, SampleWindows: 8, SampleWarmup: 16,
+	}
+	exact := sampled
+	exact.SampleWindows, exact.SampleWarmup = 0, 0
+
+	var exactUS, mean, ci, wallRatio float64
+	for i := 0; i < b.N; i++ {
+		r := New(Options{Workers: 2})
+		eres, err := r.Run(ctx, exact)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sres, err := r.Run(ctx, sampled)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Close()
+		if sres.Sampled == nil {
+			b.Fatal("sampled job has no estimates")
+		}
+		exactUS = core.Micros(eres.Counters.Cycles) / float64(exact.Measure)
+		m := sres.Sampled.Metrics["us_per_req"]
+		mean, ci = m.Mean, m.CI95
+		wallRatio = float64(eres.MeasureWall) / float64(sres.MeasureWall)
+	}
+	b.ReportMetric(exactUS, "exact_us")
+	b.ReportMetric(mean, "sampled_us")
+	b.ReportMetric(ci, "ci95_us")
+	b.ReportMetric(100*math.Abs(mean-exactUS)/exactUS, "rel_err_pct")
+	within := 0.0
+	if math.Abs(mean-exactUS) <= ci {
+		within = 1
+	}
+	b.ReportMetric(within, "within_ci")
+	b.ReportMetric(wallRatio, "wall_speedup")
+}

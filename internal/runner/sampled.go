@@ -1,0 +1,93 @@
+package runner
+
+// Sampled-simulation result shapes: per-counter means with 95%
+// confidence intervals over a job's measurement windows.  The window
+// deltas come from workload.RunSampledContext; this file reduces them
+// to per-request rates and interval estimates (stats.MeanCI95).
+
+import (
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// SampledCounter is one metric's interval estimate over a sampled
+// job's measurement windows: the mean of the per-window values and the
+// half-width of its 95% confidence interval (Student-t, n-1 degrees of
+// freedom).  The true steady-state value lies in [Mean-CI95, Mean+CI95]
+// with 95% confidence under the windows-as-independent-draws model.
+type SampledCounter struct {
+	Mean float64 `json:"mean"`
+	CI95 float64 `json:"ci95"`
+}
+
+// SampledResult is the statistical outcome of a sampled job.  Metrics
+// maps metric names to interval estimates; all counter metrics are
+// per-measured-request rates, "cpi" is cycles over instructions, and
+// "us_per_req" is microseconds of simulated time per request.
+type SampledResult struct {
+	// Windows is the number of measurement windows (= sample size of
+	// every estimate).
+	Windows int `json:"windows"`
+
+	// Per-window request budget split: FastForwarded requests run
+	// architecturally only, Warmed detailed-but-discarded, Measured
+	// detailed and counted.
+	FastForwarded int `json:"fast_forwarded_per_window"`
+	Warmed        int `json:"warmup_per_window"`
+	Measured      int `json:"measured_per_window"`
+
+	Metrics map[string]SampledCounter `json:"metrics"`
+}
+
+// sampledMetricNames lists the reported metrics in a stable order (the
+// JSON map marshals sorted by key regardless; the list exists for
+// tests and table printers).
+var sampledMetricNames = []string{
+	"instructions", "cycles", "cpi", "us_per_req",
+	"tramp_calls", "tramp_skips", "tramp_instrs",
+	"mispredicts",
+	"l1i_misses", "itlb_misses", "l1d_misses", "dtlb_misses",
+}
+
+// buildSampledResult reduces the per-window counter deltas to interval
+// estimates.
+func buildSampledResult(run *workload.SampledRun) *SampledResult {
+	out := &SampledResult{
+		Windows:       len(run.Windows),
+		FastForwarded: run.FastForwarded,
+		Warmed:        run.Warmed,
+		Measured:      run.Measured,
+		Metrics:       make(map[string]SampledCounter, len(sampledMetricNames)),
+	}
+	series := make(map[string][]float64, len(sampledMetricNames))
+	for _, w := range run.Windows {
+		reqs := float64(w.Requests)
+		if reqs == 0 {
+			continue
+		}
+		c := w.Counters
+		perReq := func(name string, v uint64) {
+			series[name] = append(series[name], float64(v)/reqs)
+		}
+		perReq("instructions", c.Instructions)
+		perReq("cycles", c.Cycles)
+		perReq("tramp_calls", c.TrampCalls)
+		perReq("tramp_skips", c.TrampSkips)
+		perReq("tramp_instrs", c.TrampInstrs)
+		perReq("mispredicts", c.Mispredicts)
+		perReq("l1i_misses", c.L1IMisses)
+		perReq("itlb_misses", c.ITLBMisses)
+		perReq("l1d_misses", c.L1DMisses)
+		perReq("dtlb_misses", c.DTLBMisses)
+		if c.Instructions > 0 {
+			series["cpi"] = append(series["cpi"], float64(c.Cycles)/float64(c.Instructions))
+		}
+		series["us_per_req"] = append(series["us_per_req"], core.Micros(c.Cycles)/reqs)
+	}
+	for _, name := range sampledMetricNames {
+		mean, ci := stats.MeanCI95(series[name])
+		out.Metrics[name] = SampledCounter{Mean: mean, CI95: ci}
+	}
+	return out
+}

@@ -147,6 +147,24 @@ type JobSpec struct {
 	// kernel runs with sampling disarmed (the measured zero-overhead
 	// path) and GET /v1/jobs/{id}/timeline answers 404.
 	TimelineOff bool `json:"timeline_off,omitempty"`
+
+	// SampleWindows, when positive, switches the job to sampled
+	// simulation: the measured request budget is split into this many
+	// evenly spaced windows, most of each window is fast-forwarded with
+	// architectural fidelity only, and the result carries per-counter
+	// means with 95% confidence intervals over the measured excerpts
+	// (Result.Sampled).  At least 2 windows are required — a single
+	// window has no variance estimate.  Zero (the default) runs the
+	// exact simulation, leaving the spec's key and every
+	// content-derived ID exactly as before sampling existed.
+	SampleWindows int `json:"sample_windows,omitempty"`
+
+	// SampleWarmup is the number of detailed warmup requests run (and
+	// discarded) after each window's fast-forward phase, rebuilding
+	// microarchitectural state before measurement.  Zero means the
+	// default (DefaultSampleWarmup); only meaningful with
+	// SampleWindows > 0.
+	SampleWarmup int `json:"sample_warmup,omitempty"`
 }
 
 // Validate checks the spec against the registries.
@@ -160,6 +178,16 @@ func (j JobSpec) Validate() error {
 	if j.Warm < 0 || j.Measure < 0 {
 		return fmt.Errorf("runner: negative request budget (warm=%d, measure=%d)", j.Warm, j.Measure)
 	}
+	if j.SampleWindows < 0 || j.SampleWarmup < 0 {
+		return fmt.Errorf("runner: negative sampling parameter (sample_windows=%d, sample_warmup=%d)",
+			j.SampleWindows, j.SampleWarmup)
+	}
+	if j.SampleWindows == 1 {
+		return fmt.Errorf("runner: sample_windows=1 has no variance estimate; use >= 2 windows or leave sampling off")
+	}
+	if j.SampleWindows == 0 && j.SampleWarmup != 0 {
+		return fmt.Errorf("runner: sample_warmup=%d without sample_windows", j.SampleWarmup)
+	}
 	return nil
 }
 
@@ -170,6 +198,12 @@ func (j JobSpec) Validate() error {
 // learns the request is unsatisfiable rather than silently receiving
 // a 20-request result cached under a key they never asked for.
 const MinMeasure = 20
+
+// DefaultSampleWarmup is the per-window detailed warmup applied when a
+// sampled spec leaves SampleWarmup zero: enough requests to re-warm
+// caches and predictor state after a fast-forward phase (SMARTS-style
+// detailed warming) without eating into the measured excerpt.
+const DefaultSampleWarmup = 2
 
 // Normalize resolves defaults and folds Scale into the measured
 // request count, returning the canonical form of the spec.  Two specs
@@ -203,6 +237,25 @@ func (j JobSpec) Normalize() (JobSpec, error) {
 	}
 	out.Measure = n
 	out.Scale = 0 // folded into Measure
+	if out.SampleWindows > 0 {
+		// Sampled simulation fast-forwards most of the run, so a phase
+		// timeline over it would be full of holes; the two features are
+		// mutually exclusive.  An explicit interval is a contradictory
+		// request and is rejected; otherwise sampling forces the
+		// timeline off.
+		if out.TimelineInterval != 0 && !out.TimelineOff {
+			return JobSpec{}, fmt.Errorf("runner: timeline_interval=%d is incompatible with sample_windows=%d (sampled jobs collect no timeline)",
+				out.TimelineInterval, out.SampleWindows)
+		}
+		out.TimelineOff = true
+		if out.SampleWarmup == 0 {
+			out.SampleWarmup = DefaultSampleWarmup
+		}
+		if perWin := out.Measure / out.SampleWindows; perWin < out.SampleWarmup+1 {
+			return JobSpec{}, fmt.Errorf("runner: measure=%d over sample_windows=%d leaves %d requests per window, need >= sample_warmup+1 = %d",
+				out.Measure, out.SampleWindows, perWin, out.SampleWarmup+1)
+		}
+	}
 	if out.TimelineOff {
 		out.TimelineInterval = 0
 	} else if out.TimelineInterval == 0 {
@@ -233,6 +286,13 @@ func (j JobSpec) Key() (string, error) {
 		key += "|tl=off"
 	case n.TimelineInterval != timeline.DefaultInterval:
 		key += fmt.Sprintf("|tl=%d", n.TimelineInterval)
+	}
+	// Sampled jobs estimate rather than measure exactly, so they can
+	// never share a cache entry with an exact job (or with a different
+	// window split).  Exact jobs carry no suffix — their keys are
+	// byte-identical to pre-sampling ones.
+	if n.SampleWindows > 0 {
+		key += fmt.Sprintf("|sw=%d|su=%d", n.SampleWindows, n.SampleWarmup)
 	}
 	return key, nil
 }

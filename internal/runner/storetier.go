@@ -45,6 +45,34 @@ func (r *Runner) Timeline(id string) (*timeline.Series, bool) {
 	return s, true
 }
 
+// Sampled returns the interval estimates of the sampled job with the
+// given short ID: from the in-memory result when the job completed in
+// this process, otherwise from the store record persisted beside the
+// result.  It answers false for unknown jobs, exact jobs, jobs still
+// in flight, and sampled records lost to crash recovery.
+func (r *Runner) Sampled(id string) (*SampledResult, bool) {
+	r.mu.Lock()
+	j, inMem := r.byID[id]
+	r.mu.Unlock()
+	if inMem {
+		if res, ok := j.Result(); ok && res.Sampled != nil {
+			return res.Sampled, true
+		}
+	}
+	if r.store == nil {
+		return nil, false
+	}
+	payload, ok, err := r.store.Get(sampledStoreID(id))
+	if !ok || err != nil {
+		return nil, false
+	}
+	s, err := decodeSampled(payload)
+	if err != nil {
+		return nil, false
+	}
+	return s, true
+}
+
 // restoreJobLocked looks id up in the disk store and, on a hit,
 // promotes it into the in-memory cache as a completed job.  wantKey,
 // when non-empty, must match the stored result's canonical key (a

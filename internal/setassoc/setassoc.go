@@ -131,6 +131,34 @@ func (t *Table[V]) Lookup(key uint64) (V, bool) {
 	return zero, false
 }
 
+// BumpHits applies n consecutive hit-Lookups of key in one step and
+// reports whether the key was resident.  The counter and LRU effects
+// are exactly those of calling Lookup n times when every call hits:
+// lookups and hits advance by n, the tick advances by n, and the
+// entry's LRU stamp lands on the final tick.  The compiled-trace
+// replay loop uses it to account for a run of guaranteed same-line
+// accesses without re-probing; callers must only use it when the key
+// is known to be resident (n repeated accesses with nothing evicting
+// in between).  If the key is in fact absent the single probe spent
+// discovering that is recorded as an ordinary miss and false returns.
+func (t *Table[V]) BumpHits(key uint64, n int) bool {
+	if n <= 0 {
+		return true
+	}
+	if _, ok := t.Lookup(key); !ok {
+		return false
+	}
+	if n > 1 {
+		// Lookup left lastHit pointing at key's entry; replay the
+		// remaining n-1 hits in bulk.
+		t.lookups += uint64(n - 1)
+		t.hits += uint64(n - 1)
+		t.tick += uint64(n - 1)
+		t.lastHit.lru = t.tick
+	}
+	return true
+}
+
 // Peek returns the value for key without updating LRU state or
 // counters.  Used by retire-time checks that must not perturb the
 // structure.

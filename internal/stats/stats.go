@@ -271,6 +271,59 @@ func (h *Histogram) PeakBucket() int {
 	return best
 }
 
+// tTable95 holds two-sided 95% Student-t critical values by degrees of
+// freedom (index = df, 1-based; index 0 unused).  Sampled simulation
+// works with a handful to a few dozen measurement windows, squarely
+// where the t correction over the normal 1.96 matters; past df=30 the
+// table is within 2% of the normal value and we use 1.96.
+var tTable95 = [...]float64{0,
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical95 returns the two-sided 95% Student-t critical value for
+// the given degrees of freedom (1.96 for df > 30, 0 for df < 1).
+func TCritical95(df int) float64 {
+	if df < 1 {
+		return 0
+	}
+	if df <= 30 {
+		return tTable95[df]
+	}
+	return 1.96
+}
+
+// MeanCI95 returns the sample mean of xs and the half-width of its 95%
+// confidence interval, computed with the sample (n-1) variance and the
+// Student-t critical value for n-1 degrees of freedom: t·s/√n.  This
+// is the estimator sampled simulation reports per counter — windows
+// are treated as independent draws from the steady-state phase mix.
+// The half-width is 0 for fewer than two observations (no variance
+// estimate exists).
+func MeanCI95(xs []float64) (mean, ci95 float64) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	mean = sum / float64(n)
+	if n < 2 {
+		return mean, 0
+	}
+	var sq float64
+	for _, x := range xs {
+		d := x - mean
+		sq += d * d
+	}
+	s2 := sq / float64(n-1)
+	ci95 = TCritical95(n-1) * math.Sqrt(s2/float64(n))
+	return mean, ci95
+}
+
 // PerKilo expresses count per thousand units of base, the "per kilo
 // instruction" (PKI) normalisation used throughout the paper's tables.
 func PerKilo(count, base uint64) float64 {

@@ -303,3 +303,67 @@ func TestCDFZeroPoints(t *testing.T) {
 		t.Error("CDF(0) should be nil")
 	}
 }
+
+// TestMeanCI95KnownValues checks the estimator against hand-computed
+// values: mean of {1,2,3,4,5} is 3, sample stddev is sqrt(2.5), and
+// the df=4 critical value is 2.776, so the half-width is
+// 2.776*sqrt(2.5/5).
+func TestMeanCI95KnownValues(t *testing.T) {
+	mean, ci := MeanCI95([]float64{1, 2, 3, 4, 5})
+	if mean != 3 {
+		t.Errorf("mean = %v, want 3", mean)
+	}
+	want := 2.776 * math.Sqrt(2.5/5)
+	if math.Abs(ci-want) > 1e-9 {
+		t.Errorf("ci95 = %v, want %v", ci, want)
+	}
+}
+
+// TestMeanCI95Degenerate pins the edge cases: empty input, a single
+// observation (no variance estimate), and identical observations
+// (zero-width interval).
+func TestMeanCI95Degenerate(t *testing.T) {
+	if m, ci := MeanCI95(nil); m != 0 || ci != 0 {
+		t.Errorf("empty = (%v, %v), want (0, 0)", m, ci)
+	}
+	if m, ci := MeanCI95([]float64{7}); m != 7 || ci != 0 {
+		t.Errorf("singleton = (%v, %v), want (7, 0)", m, ci)
+	}
+	if m, ci := MeanCI95([]float64{4, 4, 4, 4}); m != 4 || ci != 0 {
+		t.Errorf("constant = (%v, %v), want (4, 0)", m, ci)
+	}
+}
+
+// TestMeanCI95Coverage: over many synthetic experiments drawing n
+// normal samples, the 95% interval must contain the true mean roughly
+// 95% of the time — the property the sampled-simulation error bars
+// rely on.
+func TestMeanCI95Coverage(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 7))
+	const trials = 4000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, 8)
+		for j := range xs {
+			xs[j] = 10 + 3*rng.NormFloat64()
+		}
+		mean, ci := MeanCI95(xs)
+		if math.Abs(mean-10) <= ci {
+			hits++
+		}
+	}
+	cov := float64(hits) / trials
+	if cov < 0.93 || cov > 0.97 {
+		t.Errorf("coverage = %.3f, want ~0.95", cov)
+	}
+}
+
+// TestTCritical95 pins table boundaries and the normal tail.
+func TestTCritical95(t *testing.T) {
+	cases := map[int]float64{0: 0, 1: 12.706, 4: 2.776, 30: 2.042, 31: 1.96, 1000: 1.96}
+	for df, want := range cases {
+		if got := TCritical95(df); got != want {
+			t.Errorf("TCritical95(%d) = %v, want %v", df, got, want)
+		}
+	}
+}

@@ -222,16 +222,30 @@ func (co *Collector) Close() *Series {
 	return &Series{Interval: co.interval, BaseInterval: co.base, Points: co.points}
 }
 
+// ErrIncompatibleIntervals is returned by Merge when the input series
+// cannot be rescaled onto one grid: some series' interval does not
+// divide the coarsest interval present, so its points cannot be
+// grouped into whole coarse slots.  Collector compaction only ever
+// doubles intervals, so series sampled at the same base are always
+// compatible; mixed bases (or hand-built series) need not be.
+var ErrIncompatibleIntervals = fmt.Errorf("timeline: series intervals do not share a common grid")
+
 // Merge element-wise sums series onto a common grid for cross-job
 // aggregation (batch per-config timelines).  All inputs are rescaled
 // to the coarsest interval present by grouping runs of
 // coarsest/interval points; nil entries are skipped.  Returns nil when
-// no input has points.
-func Merge(series []*Series) *Series {
+// no input has points, and ErrIncompatibleIntervals (wrapped with the
+// offending intervals) when an input's interval does not divide the
+// coarsest — a truncated group ratio would silently misalign every
+// point after the first.
+func Merge(series []*Series) (*Series, error) {
 	var coarsest, base uint64
 	for _, s := range series {
 		if s == nil || len(s.Points) == 0 {
 			continue
+		}
+		if s.Interval == 0 {
+			return nil, fmt.Errorf("%w: series with zero interval", ErrIncompatibleIntervals)
 		}
 		if s.Interval > coarsest {
 			coarsest = s.Interval
@@ -241,17 +255,17 @@ func Merge(series []*Series) *Series {
 		}
 	}
 	if coarsest == 0 {
-		return nil
+		return nil, nil
 	}
 	out := &Series{Interval: coarsest, BaseInterval: base}
 	for _, s := range series {
 		if s == nil || len(s.Points) == 0 {
 			continue
 		}
-		group := int(coarsest / s.Interval)
-		if group < 1 {
-			group = 1
+		if coarsest%s.Interval != 0 {
+			return nil, fmt.Errorf("%w: interval %d does not divide coarsest %d", ErrIncompatibleIntervals, s.Interval, coarsest)
 		}
+		group := int(coarsest / s.Interval)
 		for i, p := range s.Points {
 			slot := i / group
 			for slot >= len(out.Points) {
@@ -260,7 +274,7 @@ func Merge(series []*Series) *Series {
 			out.Points[slot].add(p)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // csvHeader lists the CSV columns in emission order.

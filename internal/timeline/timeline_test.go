@@ -3,11 +3,14 @@ package timeline
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/cpu"
+	"repro/internal/linker"
+	"repro/internal/objfile"
 )
 
 // sample builds a cumulative IntervalSample with every field derived
@@ -120,7 +123,10 @@ func TestMergeRescales(t *testing.T) {
 	coarse := &Series{Interval: 8, BaseInterval: 4, Points: []Point{
 		{Instructions: 8, Stores: 10}, {Instructions: 8, Stores: 20},
 	}}
-	m := Merge([]*Series{fine, nil, coarse})
+	m, err := Merge([]*Series{fine, nil, coarse})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if m == nil {
 		t.Fatal("Merge returned nil")
 	}
@@ -134,8 +140,114 @@ func TestMergeRescales(t *testing.T) {
 	if !reflect.DeepEqual(m.Points, want) {
 		t.Errorf("merged points = %+v, want %+v", m.Points, want)
 	}
-	if Merge([]*Series{nil, {}}) != nil {
-		t.Error("Merge of nil/empty series != nil")
+	if m, err := Merge([]*Series{nil, {}}); err != nil || m != nil {
+		t.Errorf("Merge of nil/empty series = (%v, %v), want (nil, nil)", m, err)
+	}
+}
+
+// TestMergeIncompatibleIntervals pins the typed error: intervals that
+// do not share a common grid (96 is not a multiple of 64) must be
+// rejected instead of silently truncating the group ratio — the old
+// behaviour folded 96-wide points onto a 64-wide grid one-for-one,
+// misaligning every point after the first.
+func TestMergeIncompatibleIntervals(t *testing.T) {
+	a := &Series{Interval: 64, BaseInterval: 64, Points: []Point{{Instructions: 64}}}
+	b := &Series{Interval: 96, BaseInterval: 96, Points: []Point{{Instructions: 96}}}
+	if _, err := Merge([]*Series{a, b}); !errors.Is(err, ErrIncompatibleIntervals) {
+		t.Fatalf("Merge(64, 96) error = %v, want ErrIncompatibleIntervals", err)
+	}
+	z := &Series{Interval: 0, Points: []Point{{Instructions: 1}}}
+	if _, err := Merge([]*Series{z}); !errors.Is(err, ErrIncompatibleIntervals) {
+		t.Fatalf("Merge(interval 0) error = %v, want ErrIncompatibleIntervals", err)
+	}
+}
+
+// gridImage links a small deterministic two-module program whose main
+// retires a few hundred instructions per run, for collector/CPU
+// integration tests.
+func gridImage(t *testing.T) *linker.Image {
+	t.Helper()
+	app := objfile.New("app")
+	app.AddData("d", 4096)
+	lib := objfile.New("lib")
+	lib.AddData("ld", 4096)
+	f := lib.NewFunc("work")
+	f.ALU(12)
+	f.Load("ld", 0, 64)
+	f.Store("ld", 512, 32, 7)
+	f.Ret()
+	m := app.NewFunc("main")
+	for i := 0; i < 8; i++ {
+		m.Call("work")
+		m.ALU(6)
+		m.Load("d", 64, 32)
+	}
+	m.Halt()
+	im, err := linker.Link(app, []*objfile.Object{lib}, linker.Options{Mode: linker.BindLazy, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+// TestCompactionGridDeterminism is the sampler re-arm regression test:
+// a collector that compacted mid-run (doubling its interval, possibly
+// several times) must emit exactly the series a fresh collector
+// sampling at the final interval from the start would.  Before the
+// absolute-grid re-arm in cpu.SetSampleInterval, each compaction
+// re-armed relative to the current instruction count, carrying the
+// boundary-crossing overshoot onto every later boundary — the two
+// series' points then disagree.
+func TestCompactionGridDeterminism(t *testing.T) {
+	run := func(interval uint64, maxPoints int) *Series {
+		c := cpu.New(gridImage(t), cpu.EnhancedConfig())
+		co := NewCollector(interval, maxPoints)
+		co.Attach(c)
+		for i := 0; i < 200; i++ {
+			if _, err := c.RunSymbol("main", 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return co.Close()
+	}
+	compacted := run(MinInterval, 4)
+	if compacted == nil || compacted.Interval <= compacted.BaseInterval {
+		t.Fatalf("run too short to compact: %+v", compacted)
+	}
+	fresh := run(compacted.Interval, 1<<20)
+	if fresh.Interval != compacted.Interval {
+		t.Fatalf("fresh series interval %d, want %d", fresh.Interval, compacted.Interval)
+	}
+	if !reflect.DeepEqual(compacted.Points, fresh.Points) {
+		t.Fatalf("compacted series drifted off the sampling grid:\ncompacted (%d pts): %+v\nfresh     (%d pts): %+v",
+			len(compacted.Points), compacted.Points[:min(3, len(compacted.Points))],
+			len(fresh.Points), fresh.Points[:min(3, len(fresh.Points))])
+	}
+	// And the compacted output must merge cleanly with an un-compacted
+	// series from the same base grid (intervals base×2^k always share
+	// a grid), conserving totals.
+	uncompacted := run(MinInterval, 1<<20)
+	merged, err := Merge([]*Series{compacted, uncompacted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var one, two uint64
+	for _, p := range compacted.Points {
+		one += p.Instructions
+	}
+	for _, p := range merged.Points {
+		two += p.Instructions
+	}
+	if two != 2*one {
+		t.Fatalf("merge lost counts: %d, want %d", two, 2*one)
+	}
+	want := make([]Point, len(compacted.Points))
+	for i, p := range compacted.Points {
+		p.add(compacted.Points[i]) // the un-compacted run regrouped == compacted
+		want[i] = p
+	}
+	if !reflect.DeepEqual(merged.Points, want) {
+		t.Fatal("rescaled un-compacted series misaligned against compacted grid")
 	}
 }
 

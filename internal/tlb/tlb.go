@@ -84,6 +84,25 @@ func (t *TLB) AccessRange(addr, size uint64) int {
 	return pen
 }
 
+// AccessRepeatPage performs n consecutive translations of the page
+// with virtual page number vpn and returns the summed penalty.  The
+// first translation is an ordinary access (it may walk and fill); the
+// remaining n-1 are guaranteed hits and are applied in bulk, with
+// counter and LRU effects bit-identical to n sequential accesses.
+// Hits cost zero cycles, so the sum is just the first translation's
+// outcome.  The compiled-trace replay loop uses it for runs of
+// straight-line fetches within one page.
+func (t *TLB) AccessRepeatPage(vpn uint64, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	pen := t.access(vpn)
+	if n > 1 {
+		t.t.BumpHits(vpn, n-1)
+	}
+	return pen
+}
+
 // Flush invalidates all entries (context switch without ASIDs).
 func (t *TLB) Flush() { t.t.Clear() }
 

@@ -32,6 +32,7 @@ import (
 	"math/rand/v2"
 
 	"repro/internal/core"
+	"repro/internal/cpu"
 	"repro/internal/objfile"
 	"repro/internal/stats"
 )
@@ -199,6 +200,134 @@ func (d *Driver) RunContext(ctx context.Context, n int) (map[string]*stats.Sampl
 			return nil, fmt.Errorf("workload %s: request %d (%s): %w", d.w.Name, i, c.Name, err)
 		}
 		out[c.Name].Add(core.Micros(res.Cycles))
+	}
+	return out, nil
+}
+
+// WindowDelta is the measured portion of one sampling window: the
+// counter deltas over Requests detailed requests.
+type WindowDelta struct {
+	Counters cpu.Counters
+	Requests int
+}
+
+// SampledRun is the result of RunSampledContext: one WindowDelta per
+// measurement window plus the pooled per-class latency samples of all
+// measured requests.
+type SampledRun struct {
+	Windows []WindowDelta
+	Classes map[string]*stats.Sample
+
+	// Per-window request budget split, recorded for reporting.
+	FastForwarded int // architectural-only requests per window
+	Warmed        int // detailed, discarded requests per window
+	Measured      int // detailed, measured requests per window
+}
+
+// RunSampled is RunSampledContext with a background context.
+func (d *Driver) RunSampled(total, windows, warmup int) (*SampledRun, error) {
+	return d.RunSampledContext(context.Background(), total, windows, warmup)
+}
+
+// RunSampledContext serves total mixed requests split into windows
+// evenly spaced sampling windows, SMARTS-style: most of each window is
+// fast-forwarded with architectural fidelity only (GOT resolutions and
+// data stores happen, caches/TLBs/predictors are not touched), then
+// warmup detailed requests rebuild microarchitectural state and are
+// discarded, and the remaining ~10% of the window is measured in full
+// detail.  The request stream — class picks, served count, perturbation
+// schedule — is identical to RunContext's, so the measured windows are
+// genuine excerpts of the exact run.
+//
+// Fast-forwarding requires a compiled trace program on the system's CPU
+// (cpu.SetProgram); without one the first window fails.
+func (d *Driver) RunSampledContext(ctx context.Context, total, windows, warmup int) (*SampledRun, error) {
+	if windows < 1 {
+		return nil, fmt.Errorf("workload %s: sampled run needs >= 1 window, got %d", d.w.Name, windows)
+	}
+	if warmup < 0 {
+		return nil, fmt.Errorf("workload %s: negative sampled warmup %d", d.w.Name, warmup)
+	}
+	perWin := total / windows
+	if perWin < warmup+1 {
+		return nil, fmt.Errorf("workload %s: %d requests over %d windows leaves %d per window, need >= warmup+1 = %d",
+			d.w.Name, total, windows, perWin, warmup+1)
+	}
+	measured := perWin / 10
+	if measured < 1 {
+		measured = 1
+	}
+	if measured > perWin-warmup {
+		measured = perWin - warmup
+	}
+	ff := perWin - warmup - measured
+
+	out := &SampledRun{
+		Classes:       make(map[string]*stats.Sample, len(d.w.Classes)),
+		FastForwarded: ff,
+		Warmed:        warmup,
+		Measured:      measured,
+	}
+	for _, c := range d.w.Classes {
+		out.Classes[c.Name] = &stats.Sample{}
+	}
+
+	// serve advances the request stream by one request.  Bookkeeping
+	// (class pick, served count, perturbation) is shared by all three
+	// phases so the stream never depends on the window split.
+	serve := func(i int, detailed, record bool) error {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("workload %s: sampled request %d: %w", d.w.Name, i, ctx.Err())
+		default:
+		}
+		c := d.pick()
+		d.served++
+		if d.PerturbEvery > 0 && d.served%d.PerturbEvery == 0 {
+			d.sys.CPU().ContextSwitch(0xdead)
+			d.sys.CPU().ContextSwitch(1)
+		}
+		if !detailed {
+			if err := d.sys.CPU().FastForwardSymbol(c.Entry); err != nil {
+				return fmt.Errorf("workload %s: sampled request %d (%s): %w", d.w.Name, i, c.Name, err)
+			}
+			return nil
+		}
+		res, err := d.sys.RunOnce(c.Entry)
+		if err != nil {
+			return fmt.Errorf("workload %s: sampled request %d (%s): %w", d.w.Name, i, c.Name, err)
+		}
+		if record {
+			out.Classes[c.Name].Add(core.Micros(res.Cycles))
+		}
+		return nil
+	}
+
+	req := 0
+	for w := 0; w < windows; w++ {
+		for i := 0; i < ff; i++ {
+			if err := serve(req, false, false); err != nil {
+				return nil, err
+			}
+			req++
+		}
+		for i := 0; i < warmup; i++ {
+			if err := serve(req, true, false); err != nil {
+				return nil, err
+			}
+			req++
+		}
+		before := d.sys.Counters()
+		for i := 0; i < measured; i++ {
+			if err := serve(req, true, true); err != nil {
+				return nil, err
+			}
+			req++
+		}
+		out.Windows = append(out.Windows, WindowDelta{
+			Counters: d.sys.Counters().Sub(before),
+			Requests: measured,
+		})
 	}
 	return out, nil
 }

@@ -1,12 +1,16 @@
 package workload
 
 import (
+	"math"
 	"math/rand/v2"
+	"reflect"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/cpu"
 	"repro/internal/isa"
 	"repro/internal/objfile"
+	"repro/internal/stats"
 )
 
 // generators under test, smallest first for cheap structural checks.
@@ -339,5 +343,127 @@ func TestDriverSeedPinned(t *testing.T) {
 	}
 	if got := DriverSeed(7); got != 24 {
 		t.Fatalf("DriverSeed(7) = %d, want 24", got)
+	}
+}
+
+// sampledSystem links w under cfg and installs a compiled trace
+// program, as the runner's sampled path does.
+func sampledSystem(t *testing.T, w *Workload, cfg core.Config) *core.System {
+	t.Helper()
+	sys, err := w.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CPU().SetProgram(cpu.Compile(sys.Image(), cfg.Hardware.L1I.LineBytes)); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestRunSampledEstimatesExact drives the same workload/seed through an
+// exact run and a sampled run and checks the sampled per-request
+// instruction rate brackets the exact one: the mean must land within a
+// few CI widths (the exact run includes the sampled run's skipped
+// phases, so agreement is statistical, not exact).
+func TestRunSampledEstimatesExact(t *testing.T) {
+	w := Memcached(1)
+	const total = 400
+
+	exact := NewDriver(w, sampledSystem(t, w, core.Base(1)), 4)
+	if err := exact.Warmup(10); err != nil {
+		t.Fatal(err)
+	}
+	before := exact.System().Counters()
+	if _, err := exact.Run(total); err != nil {
+		t.Fatal(err)
+	}
+	d := exact.System().Counters().Sub(before)
+	exactRate := float64(d.Instructions) / total
+
+	sampled := NewDriver(w, sampledSystem(t, w, core.Base(1)), 4)
+	if err := sampled.Warmup(10); err != nil {
+		t.Fatal(err)
+	}
+	run, err := sampled.RunSampled(total, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Windows) != 8 {
+		t.Fatalf("got %d windows, want 8", len(run.Windows))
+	}
+	if run.FastForwarded+run.Warmed+run.Measured != total/8 {
+		t.Fatalf("window split %d+%d+%d != %d", run.FastForwarded, run.Warmed, run.Measured, total/8)
+	}
+	var rates []float64
+	for i, win := range run.Windows {
+		if win.Requests != run.Measured {
+			t.Fatalf("window %d measured %d requests, want %d", i, win.Requests, run.Measured)
+		}
+		if win.Counters.Instructions == 0 {
+			t.Fatalf("window %d measured no instructions", i)
+		}
+		rates = append(rates, float64(win.Counters.Instructions)/float64(win.Requests))
+	}
+	mean, ci := stats.MeanCI95(rates)
+	if ci <= 0 {
+		t.Fatalf("degenerate CI %v over %d windows", ci, len(rates))
+	}
+	// The request mix is stochastic per window, so allow a generous
+	// multiple of the CI; catching gross estimator bugs is the point.
+	if diff := math.Abs(mean - exactRate); diff > 4*ci && diff > 0.1*exactRate {
+		t.Errorf("sampled instructions/request = %.1f ± %.1f, exact = %.1f (off by %.1f)",
+			mean, ci, exactRate, diff)
+	}
+
+	// Latency samples pool only measured requests.
+	n := 0
+	for _, s := range run.Classes {
+		n += s.N()
+	}
+	if want := 8 * run.Measured; n != want {
+		t.Errorf("pooled %d latency samples, want %d", n, want)
+	}
+}
+
+// TestRunSampledDeterministic pins the sampled path's replayability:
+// identical drivers produce byte-identical window deltas.
+func TestRunSampledDeterministic(t *testing.T) {
+	w := Memcached(1)
+	one := func() *SampledRun {
+		d := NewDriver(w, sampledSystem(t, w, core.Base(1)), 9)
+		run, err := d.RunSampled(200, 4, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return run
+	}
+	a, b := one(), one()
+	if !reflect.DeepEqual(a.Windows, b.Windows) {
+		t.Errorf("sampled windows diverge across identical runs:\n  %+v\n  %+v", a.Windows, b.Windows)
+	}
+}
+
+// TestRunSampledValidation covers the parameter and precondition
+// errors: bad window counts, oversize warmup, and a CPU without a
+// compiled program (fast-forward needs one).
+func TestRunSampledValidation(t *testing.T) {
+	w := Memcached(1)
+	sys, err := w.NewSystem(core.Base(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDriver(w, sys, 2)
+	if _, err := d.RunSampled(100, 0, 2); err == nil {
+		t.Error("windows=0 accepted")
+	}
+	if _, err := d.RunSampled(100, 4, -1); err == nil {
+		t.Error("negative warmup accepted")
+	}
+	if _, err := d.RunSampled(40, 10, 5); err == nil {
+		t.Error("warmup wider than window accepted")
+	}
+	// No compiled program installed: the first fast-forward must fail.
+	if _, err := d.RunSampled(400, 4, 2); err == nil {
+		t.Error("sampled run without a compiled program succeeded")
 	}
 }

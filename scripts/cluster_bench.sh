@@ -28,8 +28,12 @@ runs="${CB_RUNS:-3}"
 benchtime="${CB_BENCHTIME:-2x}"
 fo_benchtime="${CB_FO_BENCHTIME:-300x}"
 
+# One trap covers both temp files: the output capture used to be
+# cleaned only by an explicit rm at the end, leaking it whenever a
+# benchmark run or the awk extraction failed mid-script.
+bench_bin="" bench_out=""
+trap 'rm -f "$bench_bin" "$bench_out"' EXIT
 bench_bin=$(mktemp /tmp/cluster_bench.XXXXXX)
-trap 'rm -f "$bench_bin"' EXIT
 go test -c -o "$bench_bin" ./cmd/dlsimd/
 
 # best <file> <benchmark> -> "<min ns/op> <jobs/op>"
@@ -64,7 +68,6 @@ read -r single_ns jobs <<<"$(best "$bench_out" BenchmarkSweepSingleNode)"
 read -r three_ns _ <<<"$(best "$bench_out" BenchmarkSweepThreeNode)"
 read -r fo_ns _ <<<"$(best "$bench_out" BenchmarkFailoverLatency)"
 fo_p99_us=$(metric "$bench_out" BenchmarkFailoverLatency p99_us)
-rm -f "$bench_out"
 
 jps() { awk -v ns="$1" -v jobs="$2" 'BEGIN { printf "%.2f", jobs / ns * 1e9 }'; }
 ratio() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.3f", a / b }'; }

@@ -26,8 +26,12 @@ out="${1:-BENCH_store.json}"
 runs="${SB_RUNS:-5}"
 benchtime="${SB_BENCHTIME:-3x}"
 
+# One trap covers both temp files: the output capture used to be
+# cleaned only by an explicit rm at the end, leaking it whenever a
+# benchmark run or the awk extraction failed mid-script.
+bench_bin="" bench_out=""
+trap 'rm -f "$bench_bin" "$bench_out"' EXIT
 bench_bin=$(mktemp /tmp/store_bench.XXXXXX)
-trap 'rm -f "$bench_bin"' EXIT
 go test -c -o "$bench_bin" ./internal/runner/
 
 # best <file> <benchmark> -> "<min ns/op> <jobs/op>"
@@ -50,7 +54,6 @@ done
 
 read -r cold_ns jobs <<<"$(best "$bench_out" BenchmarkSweepColdStore)"
 read -r warm_ns _ <<<"$(best "$bench_out" BenchmarkSweepWarmStore)"
-rm -f "$bench_out"
 
 jps() { awk -v ns="$1" -v jobs="$2" 'BEGIN { printf "%.2f", jobs / ns * 1e9 }'; }
 ratio() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.2f", a / b }'; }
