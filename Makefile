@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt race faults chaos bench-runner bench-fault obs-bench kernel-bench pool-bench store-bench cluster-bench timeline-bench sample-bench all
+.PHONY: check fmt race faults chaos bench-runner bench-fault obs-bench kernel-bench pool-bench store-bench cluster-bench timeline-bench sample-bench churn-bench all
 
 all: check
 
@@ -80,6 +80,15 @@ kernel-bench:
 # `go test -run 'TestCompiledBitIdentical|TestGoldenCounters' ./internal/cpu/ ./internal/experiments/`.
 sample-bench:
 	scripts/sample_bench.sh
+
+# Library-churn ABTB pressure: the plugin-server and jit workloads'
+# hit rate and flushes per 1k instructions vs a no-churn baseline;
+# regenerates BENCH_churn.json (metrics are counter-derived and
+# host-invariant; the script gates churn-flushes > baseline).  Pair
+# with the correctness sweep:
+# `go test -run 'TestChurn|TestFlushEntryPoints|TestStaleProgramTraps|TestFastForwardGOTStoreSnoop' ./internal/runner/ ./internal/abtb/ ./internal/cpu/`.
+churn-bench:
+	scripts/churn_bench.sh
 
 # Artifact-pool throughput: a repeated-spec sweep with pooling on vs
 # off (Options.DisablePool), interleaved A/B; regenerates

@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	wl := flag.String("workload", "apache", "apache | firefox | memcached | mysql")
+	wl := flag.String("workload", "apache", "apache | firefox | memcached | mysql | plugin-server | jit")
 	system := flag.String("system", "base", "base | enhanced | eager | static | patched")
 	plt := flag.String("plt", "x86", "trampoline flavour: x86 | arm (paper Fig. 2)")
 	warm := flag.Int("warm", 50, "warmup requests")
@@ -40,6 +40,7 @@ func run(wl, system, plt string, warm, requests int, seed uint64) error {
 	gens := map[string]func(uint64) *workload.Workload{
 		"apache": workload.Apache, "firefox": workload.Firefox,
 		"memcached": workload.Memcached, "mysql": workload.MySQL,
+		"plugin-server": workload.PluginServer, "jit": workload.JIT,
 	}
 	gen, ok := gens[wl]
 	if !ok {
@@ -101,6 +102,12 @@ func run(wl, system, plt string, warm, requests int, seed uint64) error {
 		c.Mispredicts, pki.Mispredicts, c.MispredCond, c.MispredIndirect, c.MispredCall, c.MispredRet)
 	fmt.Printf("BTB evictions       %12d\n", c.BTBEvictions)
 	fmt.Printf("resolutions         %12d\n", c.Resolutions)
+	if pf := sys.CPU().PageFaults(); pf > 0 {
+		fmt.Printf("page faults         %12d  (demand-driven loading)\n", pf)
+	}
+	if rot := d.Churned(); rot > 0 {
+		fmt.Printf("library rotations   %12d\n", rot)
+	}
 	if sys.CPU().Enhanced() {
 		ab := sys.CPU().ABTB()
 		fmt.Printf("ABTB                %12d entries used, %d redirects, %d flushes (%d by stores)\n",

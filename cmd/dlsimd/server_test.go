@@ -137,8 +137,8 @@ func TestEndToEndJob(t *testing.T) {
 	if st.Completed != 1 || st.JobP50MS <= 0 {
 		t.Errorf("stats completed=%d p50=%.2f, want 1 and > 0", st.Completed, st.JobP50MS)
 	}
-	if len(st.Workloads) != 4 {
-		t.Errorf("stats workloads = %v", st.Workloads)
+	if len(st.Workloads) != len(runner.Workloads) {
+		t.Errorf("stats workloads = %v, want all %d registered", st.Workloads, len(runner.Workloads))
 	}
 }
 

@@ -271,13 +271,96 @@ func TestCapacityEviction(t *testing.T) {
 }
 
 func TestResetStats(t *testing.T) {
-	a := small()
+	a := New(Config{Entries: 16, Ways: 4, BloomBits: 256, BloomK: 3, ASIDs: true})
 	populate(a, 0x401020, 0x7f0000001000, 0x601018)
 	a.Lookup(0x401020)
-	a.SnoopStore(0x601018)
+	a.SnoopStore(0x601018) // flushes (bloom hit)
+	populate(a, 0x401020, 0x7f0000001000, 0x601018)
+	a.SwitchContext(1) // counted, no flush under ASIDs
+	a.SwitchContext(0)
 	a.ResetStats()
 	if a.Redirects() != 0 || a.Inserts() != 0 || a.Flushes() != 0 ||
-		a.StoreSnoops() != 0 || a.FlushingStores() != 0 {
-		t.Error("ResetStats did not zero counters")
+		a.StoreSnoops() != 0 || a.FlushingStores() != 0 || a.ContextSwitches() != 0 {
+		t.Error("ResetStats did not zero every counter")
+	}
+	// Stats only: the table contents survive a reset.
+	if a.Len() != 1 {
+		t.Errorf("ResetStats dropped table contents: Len = %d, want 1", a.Len())
+	}
+	if _, ok := a.Lookup(0x401020); !ok {
+		t.Error("mapping lost across ResetStats")
+	}
+}
+
+// TestFlushEntryPoints is the churn-sweep audit: every path that
+// flushes the whole table — a snooped GOT store, the §3.4 explicit
+// invalidate instruction, an untagged context switch — must clear the
+// table AND the Bloom filter together, and count exactly one flush.  A
+// half flush (table cleared, bloom stale) makes every later store a
+// false-positive flush; the converse (bloom cleared, table stale)
+// revives the stale-redirect bug the Bloom exists to prevent.  The
+// non-flushing paths ride along as negative cases.
+func TestFlushEntryPoints(t *testing.T) {
+	const tramp, fn, got = 0x401020, 0x7f0000001000, 0x601018
+	base := Config{Entries: 16, Ways: 4, BloomBits: 256, BloomK: 3}
+	asids := base
+	asids.ASIDs = true
+	explicit := Config{Entries: 16, Ways: 4, ExplicitInvalidate: true}
+	cases := []struct {
+		name      string
+		cfg       Config
+		flush     func(*ABTB)
+		wantFlush bool
+	}{
+		{"snooped GOT store", base, func(a *ABTB) { a.SnoopStore(got) }, true},
+		{"Invalidate", base, func(a *ABTB) { a.Invalidate() }, true},
+		{"Invalidate (explicit mode)", explicit, func(a *ABTB) { a.Invalidate() }, true},
+		{"untagged SwitchContext", base, func(a *ABTB) { a.SwitchContext(7) }, true},
+		{"tagged SwitchContext", asids, func(a *ABTB) { a.SwitchContext(7); a.SwitchContext(0) }, false},
+		{"unrelated store", base, func(a *ABTB) { a.SnoopStore(0xdeadbeef00) }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := New(tc.cfg)
+			populate(a, tramp, fn, got)
+			tc.flush(a)
+			if !tc.wantFlush {
+				if a.Flushes() != 0 {
+					t.Fatalf("flushes = %d, want 0", a.Flushes())
+				}
+				if _, ok := a.Lookup(tramp); !ok || a.Len() != 1 {
+					t.Fatal("non-flushing path dropped the mapping")
+				}
+				return
+			}
+			if a.Flushes() != 1 {
+				t.Errorf("flushes = %d, want exactly 1", a.Flushes())
+			}
+			if a.Len() != 0 {
+				t.Errorf("Len = %d after flush, want 0", a.Len())
+			}
+			if _, ok := a.Lookup(tramp); ok {
+				t.Error("mapping survived the flush")
+			}
+			// The Bloom filter must have been cleared with the table:
+			// re-snooping the same GOT address before any re-insert
+			// cannot hit (no entry is watching it), so it must not
+			// flush again.
+			if tc.cfg.ExplicitInvalidate {
+				return // no bloom in this variant
+			}
+			if a.SnoopStore(got) {
+				t.Error("bloom filter survived the flush: re-snoop of the dead GOT address flushed again")
+			}
+			// And the flushed table accepts a fresh pattern whose store
+			// snoop works end to end.
+			populate(a, tramp, fn, got)
+			if _, ok := a.Lookup(tramp); !ok {
+				t.Error("table did not repopulate after flush")
+			}
+			if !a.SnoopStore(got) {
+				t.Error("re-inserted mapping's GOT store did not flush")
+			}
+		})
 	}
 }

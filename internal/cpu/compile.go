@@ -123,7 +123,8 @@ type idxPage [mem.PageSize]int32
 type Program struct {
 	code      []cinstr
 	pages     map[uint64]*idxPage
-	lineBytes int // L1I line size the fetch runs were compiled for
+	lineBytes int    // L1I line size the fetch runs were compiled for
+	gen       uint64 // image generation the trace was compiled against
 }
 
 // Instructions returns the number of compiled instructions.
@@ -131,6 +132,12 @@ func (p *Program) Instructions() int { return len(p.code) }
 
 // LineBytes returns the L1I line size the program was compiled for.
 func (p *Program) LineBytes() int { return p.lineBytes }
+
+// Generation returns the image generation (see linker.Image.Generation)
+// the program was compiled against.  Runtime Load/Unload bumps the
+// image's generation, making older programs stale: SetProgram and Run
+// refuse to replay them.
+func (p *Program) Generation() uint64 { return p.gen }
 
 // ProgramStats summarises a compiled trace for tooling (cmd/tracedump
 // -compiled): how much of the instruction stream was lowered into
@@ -240,6 +247,7 @@ func Compile(img *linker.Image, l1iLineBytes int) *Program {
 		code:      make([]cinstr, len(pcs)),
 		pages:     make(map[uint64]*idxPage),
 		lineBytes: l1iLineBytes,
+		gen:       img.Generation(),
 	}
 	for i, pc := range pcs {
 		p.code[i] = cinstr{in: *instrs[pc], pc: pc, next: -1, tgt: -1, trampIdx: -1}
@@ -396,6 +404,10 @@ func (c *CPU) SetProgram(p *Program) error {
 		if p.lineBytes != c.cfg.L1I.LineBytes {
 			return fmt.Errorf("cpu: program compiled for %d-byte I-lines, cache has %d-byte lines", p.lineBytes, c.cfg.L1I.LineBytes)
 		}
+		if p.gen != c.img.Generation() {
+			return fmt.Errorf("cpu: program compiled against image generation %d, image is at %d (library churn since compile); recompile or run interpreted",
+				p.gen, c.img.Generation())
+		}
 		if len(p.code) != len(c.img.Instructions()) {
 			return fmt.Errorf("cpu: program has %d instructions, image has %d", len(p.code), len(c.img.Instructions()))
 		}
@@ -466,6 +478,12 @@ func (c *CPU) bumpC(pc uint64) uint64 {
 // sample boundaries land on exactly the interpreter's instruction
 // counts.
 func (c *CPU) runCompiled(entry uint64, maxInstrs uint64) (RunResult, error) {
+	if c.prog.gen != c.img.Generation() {
+		// Trap instead of branching into freed or rewritten code: the
+		// image was churned (Load/Unload) after this trace was built.
+		return RunResult{}, fmt.Errorf("cpu: stale compiled trace (program generation %d, image at %d); recompile or SetProgram(nil)",
+			c.prog.gen, c.img.Generation())
+	}
 	start := c.c
 	budgetEnd := start.Instructions + maxInstrs
 	limit := budgetEnd
@@ -521,6 +539,9 @@ func (c *CPU) execBlock(b *block) {
 		s := &b.segs[si]
 		lat := 0
 		for _, r := range s.itlb {
+			if c.demand {
+				c.demandTouch(r.addr)
+			}
 			lat += c.itlb.AccessRepeatPage(r.addr, int(r.n))
 		}
 		for _, r := range s.l1i {
@@ -571,6 +592,9 @@ func (c *CPU) stepIdx(ci *cinstr) (nextIdx int32, nextPC uint64, halted bool, er
 	size := uint64(in.Size)
 
 	// ---- Fetch ----
+	if c.demand {
+		c.touchFetch(pc, size)
+	}
 	c.c.Cycles += uint64(c.itlb.AccessRange(pc, size))
 	c.c.Cycles += uint64(c.l1i.AccessRange(pc, size))
 
@@ -769,11 +793,16 @@ func (c *CPU) stepIdx(ci *cinstr) (nextIdx int32, nextPC uint64, halted bool, er
 // FastForward executes from entry with architectural fidelity only:
 // memory contents, the stack pointer, per-PC execution counts and lazy
 // GOT bindings advance exactly as under detailed simulation, but no
-// cache, TLB, predictor, ABTB or measurement-counter state is touched.
-// Sampled simulation uses it to skip between measurement windows at a
-// fraction of detailed cost; a detailed run resumed after a
-// fast-forward sees the same architectural state it would have seen
-// had every instruction been simulated in detail.
+// cache, TLB, predictor or measurement-counter state is touched.  The
+// one microarchitectural exception is the ABTB: its Bloom filter
+// snoops every skipped store (see ffWrite), because a stale trampoline
+// mapping must not survive a skip over the GOT store that would have
+// flushed it.  Demand pages touched by skipped fetches are mapped
+// silently, with no fault count or penalty (see ffTouch).  Sampled
+// simulation uses it to skip between measurement windows at a fraction
+// of detailed cost; a detailed run resumed after a fast-forward sees
+// the same architectural state it would have seen had every
+// instruction been simulated in detail.
 //
 // It requires a compiled program (the threaded successor indices are
 // what make skipping cheap) and bounds runaway execution like Run
@@ -781,6 +810,11 @@ func (c *CPU) stepIdx(ci *cinstr) (nextIdx int32, nextPC uint64, halted bool, er
 func (c *CPU) FastForward(entry uint64, maxInstrs uint64) error {
 	if c.prog == nil {
 		return fmt.Errorf("cpu: fast-forward requires a compiled program")
+	}
+	c.syncChurn()
+	if c.prog.gen != c.img.Generation() {
+		return fmt.Errorf("cpu: stale compiled trace (program generation %d, image at %d); recompile or SetProgram(nil)",
+			c.prog.gen, c.img.Generation())
 	}
 	if maxInstrs == 0 {
 		maxInstrs = 100_000_000
@@ -806,6 +840,12 @@ func (c *CPU) FastForward(entry uint64, maxInstrs uint64) error {
 		steps++
 		ci := &code[idx]
 		in := &ci.in
+		if c.demand {
+			// Map demand pages as the skipped fetches would, silently:
+			// the fault count and penalty are measurement state, which
+			// fast-forwarded stretches do not accrue.
+			c.ffTouch(pc, uint64(in.Size))
+		}
 		switch in.Op {
 		case isa.Halt:
 			return nil
@@ -817,20 +857,20 @@ func (c *CPU) FastForward(entry uint64, maxInstrs uint64) error {
 			c.bumpC(pc)
 			idx, pc = ci.next, pc+uint64(in.Size)
 		case isa.Store:
-			c.mem.Write64(in.EffAddr(pc, c.bumpC(pc)), in.Val)
+			c.ffWrite(in.EffAddr(pc, c.bumpC(pc)), in.Val)
 			idx, pc = ci.next, pc+uint64(in.Size)
 		case isa.Push:
 			c.sp -= 8
-			c.mem.Write64(c.sp, in.Val)
+			c.ffWrite(c.sp, in.Val)
 			idx, pc = ci.next, pc+uint64(in.Size)
 		case isa.Call:
 			c.sp -= 8
-			c.mem.Write64(c.sp, pc+uint64(in.Size))
+			c.ffWrite(c.sp, pc+uint64(in.Size))
 			idx, pc = ci.tgt, in.Target
 		case isa.CallInd:
 			tgt := c.mem.Read64(in.Mem)
 			c.sp -= 8
-			c.mem.Write64(c.sp, pc+uint64(in.Size))
+			c.ffWrite(c.sp, pc+uint64(in.Size))
 			idx, pc = c.lookupIdx(tgt), tgt
 		case isa.Jmp:
 			idx, pc = ci.tgt, in.Target
@@ -855,10 +895,41 @@ func (c *CPU) FastForward(entry uint64, maxInstrs uint64) error {
 			if err != nil {
 				return err
 			}
-			c.mem.Write64(gotAddr, funcAddr)
+			// The resolver's GOT store, with the same ABTB visibility
+			// the detailed path gives it: Bloom snoop, or the §3.4
+			// explicit invalidate.
+			c.ffWrite(gotAddr, funcAddr)
+			c.gotStores++
+			if c.ab != nil && c.ab.Config().ExplicitInvalidate {
+				c.ab.Invalidate()
+			}
 			idx, pc = c.lookupIdx(funcAddr), funcAddr
 		default:
 			return fmt.Errorf("cpu: unexecutable opcode %v at %#x", in.Op, pc)
+		}
+	}
+}
+
+// ffWrite performs a fast-forwarded store: architectural memory only —
+// no cache, TLB or counter effects — except that the ABTB's Bloom
+// filter snoops it exactly as it snoops every retired store on the
+// detailed path.  Stale trampoline mappings must not survive a skip
+// over the store that would have flushed them (and detailed-path
+// false-positive flushes must reproduce too, or sampled ABTB state
+// diverges from exact).
+func (c *CPU) ffWrite(addr, val uint64) {
+	c.mem.Write64(addr, val)
+	if c.ab != nil {
+		c.ab.SnoopStore(addr)
+	}
+}
+
+// ffTouch maps demand pages overlapped by the fetch of [pc, pc+size)
+// without fault accounting (see FastForward).
+func (c *CPU) ffTouch(pc, size uint64) {
+	for pn := pc >> mem.PageShift; pn <= (pc+size-1)>>mem.PageShift; pn++ {
+		if c.img.TouchPage(pn) && !c.img.HasDemandPages() {
+			c.demand = false
 		}
 	}
 }

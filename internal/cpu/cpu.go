@@ -66,6 +66,12 @@ type Config struct {
 	ResolverInstrs int
 	ResolverLoads  int
 
+	// PageFaultPenalty is the cycle cost of a demand-paging fault on
+	// first touch of a lazily-mapped library page (trap, map, resume).
+	// It is only charged for images with demand-loaded modules, so
+	// configurations without churn are unaffected by its value.
+	PageFaultPenalty int
+
 	// SharedL2, when non-nil, is used as the second-level cache
 	// instead of a private one built from the L2 config — the
 	// organisation of the paper's Xeon E5450, where cores share the
@@ -93,6 +99,7 @@ func DefaultConfig() Config {
 		FetchBubblePenalty: 3,
 		ResolverInstrs:     240,
 		ResolverLoads:      40,
+		PageFaultPenalty:   1200,
 	}
 }
 
@@ -223,7 +230,8 @@ type IntervalSample struct {
 	ABTBInserts    uint64 // entries installed into the ABTB
 	BloomLookups   uint64 // retired stores snooped against the Bloom filter
 	BloomFlushHits uint64 // snoops that hit the filter and flushed (incl. false positives)
-	GOTStores      uint64 // retired resolver stores into the GOT
+	GOTStores      uint64 // retired linker stores into the GOT (resolver + runtime load/unload)
+	PageFaults     uint64 // demand-paging faults on first touch of lazily-mapped library pages
 }
 
 // execPage holds per-PC dynamic execution counts for one
@@ -322,10 +330,22 @@ type CPU struct {
 	cntPage    *execPage
 	idxMemo    [pageMemoSize]idxMemoEntry
 
-	// gotStores counts retired resolver stores into the GOT.  It is
+	// gotStores counts retired linker stores into the GOT (lazy
+	// resolutions plus runtime load/unload rebinds).  It is
 	// deliberately not a Counters field: the golden-counter test
 	// freezes that set, and timeline samples carry it separately.
 	gotStores uint64
+
+	// Demand-driven loading state (see linker.Image.TouchPage):
+	// pageFaults counts first-touch faults on lazily-mapped library
+	// pages (outside Counters, like gotStores); demand arms the
+	// fetch-side touch check and is re-derived at every Run entry.
+	// memoGen is the image generation the fetch/index memos were built
+	// against — runtime Load/Unload replaces instruction pages, so
+	// stale memos would fetch freed code.
+	pageFaults uint64
+	demand     bool
+	memoGen    uint64
 
 	c Counters
 }
@@ -392,6 +412,7 @@ func (c *CPU) Run(entry uint64, maxInstrs uint64) (RunResult, error) {
 	if maxInstrs == 0 {
 		maxInstrs = 100_000_000
 	}
+	c.syncChurn()
 	if c.prog != nil {
 		return c.runCompiled(entry, maxInstrs)
 	}
@@ -498,7 +519,7 @@ func (c *CPU) SampleInterval() uint64 {
 // flush the final partial interval.
 func (c *CPU) IntervalSnapshot() IntervalSample {
 	c.syncCounters()
-	s := IntervalSample{Counters: c.c, GOTStores: c.gotStores}
+	s := IntervalSample{Counters: c.c, GOTStores: c.gotStores, PageFaults: c.pageFaults}
 	if c.ab != nil {
 		s.ABTBInserts = c.ab.Inserts()
 		s.BloomLookups = c.ab.StoreSnoops()
@@ -534,6 +555,9 @@ func (c *CPU) step(pc uint64) (next uint64, halted bool, err error) {
 	size := uint64(in.Size)
 
 	// ---- Fetch ----
+	if c.demand {
+		c.touchFetch(pc, size)
+	}
 	c.c.Cycles += uint64(c.itlb.AccessRange(pc, size))
 	c.c.Cycles += uint64(c.l1i.AccessRange(pc, size))
 
@@ -719,6 +743,71 @@ func (c *CPU) step(pc uint64) (next uint64, halted bool, err error) {
 	}
 
 	return effective, false, nil
+}
+
+// syncChurn re-arms per-run state that runtime library churn can
+// change between Run calls: when the image generation moved, the
+// fetch-page and compiled-index memos are dropped (their page objects
+// may describe freed code), the per-trampoline counter array grows to
+// cover dense indices appended by Load, and the demand-paging check is
+// armed iff unmapped pages exist.  For unchurned images this is two
+// comparisons per Run.
+func (c *CPU) syncChurn() {
+	c.demand = c.img.HasDemandPages()
+	if g := c.img.Generation(); g != c.memoGen {
+		c.memoGen = g
+		c.fetchPageNum, c.fetchPage, c.fetchCounts = 0, nil, nil
+		c.pageMemo = [pageMemoSize]pageMemoEntry{}
+		c.idxMemo = [pageMemoSize]idxMemoEntry{}
+		c.cntPageNum, c.cntPage = 0, nil
+		if n := len(c.img.TrampolineAddrs()); n > len(c.trampCounts) {
+			grown := make([]uint64, n)
+			copy(grown, c.trampCounts)
+			c.trampCounts = grown
+		}
+	}
+}
+
+// touchFetch charges demand-paging faults for the instruction bytes
+// [pc, pc+size): the first touch of a demand-mapped page traps to the
+// loader, which maps it (Mururu et al.'s demand-driven loading).
+func (c *CPU) touchFetch(pc, size uint64) {
+	for pn := pc >> mem.PageShift; pn <= (pc+size-1)>>mem.PageShift; pn++ {
+		c.demandTouch(pn)
+	}
+}
+
+// demandTouch records a fetch from page pn, charging a fault on the
+// first touch of a demand-mapped page and disarming the check once no
+// unmapped pages remain.
+func (c *CPU) demandTouch(pn uint64) {
+	if c.img.TouchPage(pn) {
+		c.pageFaults++
+		c.c.Cycles += uint64(c.cfg.PageFaultPenalty)
+		if !c.img.HasDemandPages() {
+			c.demand = false
+		}
+	}
+}
+
+// PageFaults returns the demand-paging faults taken since the last
+// ResetStats.  Like gotStores it lives outside Counters so the golden
+// aggregate-counter set stays frozen.
+func (c *CPU) PageFaults() uint64 { return c.pageFaults }
+
+// LinkerStore is the runtime dynamic linker's store primitive (the
+// production linker.StoreFunc passed to Image.Load/Unload): a retired
+// store that flows through the D-TLB, D-cache and the ABTB's Bloom
+// snoop exactly like the lazy resolver's GOT update — the mechanism
+// that makes dlclose tombstones flush stale trampoline mappings.  In
+// the §3.4 explicit-invalidate variant (no Bloom watching stores) the
+// modified loader executes the invalidate instruction instead.
+func (c *CPU) LinkerStore(addr, val uint64) {
+	c.dataWrite(addr, val)
+	c.gotStores++
+	if c.ab != nil && c.ab.Config().ExplicitInvalidate {
+		c.ab.Invalidate()
+	}
 }
 
 // fetch returns the decoded instruction at pc (nil if unmapped),
@@ -927,7 +1016,9 @@ func (c *CPU) TrampFreq() map[uint64]uint64 {
 	out := make(map[uint64]uint64)
 	for i, n := range c.trampCounts {
 		if n != 0 {
-			out[addrs[i]] = n
+			// += not =: after unload/reload churn, a reused slot
+			// address appears under both its old and new dense index.
+			out[addrs[i]] += n
 		}
 	}
 	return out
@@ -939,6 +1030,7 @@ func (c *CPU) TrampFreq() map[uint64]uint64 {
 func (c *CPU) ResetStats() {
 	c.c = Counters{}
 	c.gotStores = 0
+	c.pageFaults = 0
 	c.l1i.ResetStats()
 	c.l1d.ResetStats() // resets shared L2 twice; harmless
 	c.itlb.ResetStats()

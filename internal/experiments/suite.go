@@ -34,8 +34,10 @@ import (
 type WorkloadSpec = runner.WorkloadSpec
 
 // Workloads is the evaluation's workload set (§4.4), in the paper's
-// presentation order (the runner's registry).
-var Workloads = runner.Workloads
+// presentation order — the paper subset of the runner's registry.  The
+// library-churn workloads (plugin-server, jit) are runnable through the
+// runner and dlsimd but are not part of any reproduced table or figure.
+var Workloads = runner.PaperWorkloads()
 
 // Suite runs the evaluation.
 //

@@ -65,6 +65,72 @@ func TestForkIsolatesMutableState(t *testing.T) {
 	}
 }
 
+// TestForkChurnIsolation: runtime Load/Unload in one fork privatizes
+// every shared index first, so churned instruction pages, symbols,
+// module tombstones and demand-page state never leak into the master
+// or a sibling — and the master remains fit to mint further forks.
+func TestForkChurnIsolation(t *testing.T) {
+	master := mustLink(t, Options{Mode: BindLazy, Seed: 3})
+	a := master.Fork()
+	b := master.Fork()
+
+	parseAddr, _ := master.Symbol("parse")
+	app := master.Modules()[0]
+	parseSlot := app.GOTSlotAddr(1) // app imports [write, parse]
+	lazyWord := master.Memory().Read64(parseSlot)
+	libxID := master.findModule("libx").ID
+
+	if n := a.BindAll(); n == 0 {
+		t.Fatal("BindAll bound nothing")
+	}
+	if err := a.Unload("libx", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Load(libxGen(1), LoadOptions{Demand: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, im := range map[string]*Image{"master": master, "sibling": b} {
+		if addr, ok := im.Symbol("parse"); !ok || addr != parseAddr {
+			t.Errorf("%s: parse = %#x (ok=%v), want untouched %#x", name, addr, ok, parseAddr)
+		}
+		if _, ok := im.InstrAt(parseAddr); !ok {
+			t.Errorf("%s: lost libx text to a fork's churn", name)
+		}
+		if im.Modules()[libxID].Dead() {
+			t.Errorf("%s: module tombstone leaked from fork", name)
+		}
+		if got := im.Memory().Read64(parseSlot); got != lazyWord {
+			t.Errorf("%s: GOT[parse] = %#x, want untouched lazy word %#x", name, got, lazyWord)
+		}
+		if im.HasDemandPages() {
+			t.Errorf("%s: demand pages leaked from fork", name)
+		}
+		if g := im.Generation(); g != 0 {
+			t.Errorf("%s: generation = %d, want 0", name, g)
+		}
+	}
+	if a.Generation() != 2 {
+		t.Errorf("churned fork generation = %d, want 2", a.Generation())
+	}
+	if !a.HasDemandPages() {
+		t.Error("churned fork lost its demand pages")
+	}
+
+	// The master still mints clean forks after a sibling churned.
+	c := master.Fork()
+	if addr, ok := c.Symbol("parse"); !ok || addr != parseAddr {
+		t.Errorf("post-churn fork: parse = %#x (ok=%v), want %#x", addr, ok, parseAddr)
+	}
+	// And a second fork can churn independently of the first.
+	if err := c.Unload("libx", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Symbol("parse"); !ok {
+		t.Error("fork c's unload removed fork a's reloaded symbol")
+	}
+}
+
 // TestForkMatchesFreshLink: a forked image's visible memory is
 // bit-identical to a fresh link of the same inputs at every GOT slot
 // and pointer-initialised word.

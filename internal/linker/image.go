@@ -33,8 +33,28 @@ func (im *Image) Fork() *Image {
 	clone := *im
 	clone.memory = im.memory.Fork()
 	clone.resolutions = 0
+	// Runtime loading (dynload.go) mutates the index structures the
+	// comment above calls immutable.  Mark both sides shared so the
+	// first Load/Unload on either deep-copies its index view
+	// (privatize) instead of corrupting the other's.
+	im.shared = true
+	clone.shared = true
+	clone.runtimeWrite = nil
+	if len(im.demandPages) > 0 {
+		clone.demandPages = make(map[uint64]struct{}, len(im.demandPages))
+		for pn := range im.demandPages {
+			clone.demandPages[pn] = struct{}{}
+		}
+	}
 	return &clone
 }
+
+// Generation counts runtime Load/Unload mutations of the image.  A
+// compiled Program captures the generation it was built against;
+// replaying it against a different generation is refused (the trace
+// would branch into freed or rewritten code).  Freshly linked images
+// are generation 0.
+func (im *Image) Generation() uint64 { return im.generation }
 
 // SharedBytes returns the size in bytes of the image's copy-on-write
 // page layer plus its privately written pages — the resident data
@@ -98,6 +118,9 @@ func (im *Image) Patch() PatchStats { return im.patch }
 // (Table 2's "instructions in trampoline PKI").
 func (im *Image) InPLT(addr uint64) bool {
 	for _, m := range im.modules {
+		if m.dead {
+			continue // stale geometry may overlap a reloaded module
+		}
 		if m.PLTBase != 0 && addr >= m.PLTBase && addr < m.PLTEnd {
 			return true
 		}
@@ -147,6 +170,9 @@ func (im *Image) TrampolineAddrs() []uint64 { return im.trampAddrs }
 // or nil.
 func (im *Image) ModuleOf(addr uint64) *Module {
 	for _, m := range im.modules {
+		if m.dead {
+			continue
+		}
 		if addr >= m.Base && addr < m.DataEnd {
 			return m
 		}
@@ -174,6 +200,9 @@ func (im *Image) Resolve(modID, relocIdx uint64) (gotAddr, funcAddr uint64, err 
 		return 0, 0, fmt.Errorf("linker: resolve with bad module id %d", modID)
 	}
 	m := im.modules[modID]
+	if m.dead {
+		return 0, 0, fmt.Errorf("linker: resolve through unloaded module %s", m.Name)
+	}
 	if relocIdx >= uint64(len(m.imports)) {
 		return 0, 0, fmt.Errorf("linker: resolve %s with bad reloc %d", m.Name, relocIdx)
 	}
@@ -198,6 +227,9 @@ func (im *Image) Resolve(modID, relocIdx uint64) (gotAddr, funcAddr uint64, err 
 func (im *Image) BindAll() int {
 	n := 0
 	for _, m := range im.modules {
+		if m.dead {
+			continue
+		}
 		for i, sym := range m.imports {
 			addr := im.symbols[sym]
 			slot := m.GOTSlotAddr(i)
@@ -217,6 +249,9 @@ func (im *Image) BindAll() int {
 func (im *Image) TextBytes() uint64 {
 	var n uint64
 	for _, m := range im.modules {
+		if m.dead {
+			continue
+		}
 		end := m.TextEnd
 		if m.PLTEnd > end {
 			end = m.PLTEnd

@@ -126,7 +126,21 @@ type Module struct {
 	imports    []string          // symbol per PLT slot, in first-use order
 	regionAddr map[string]uint64 // data region name -> address
 	funcAddr   map[string]uint64 // local function -> entry address
+
+	// span is the virtual size reserved for the module at placement
+	// (moduleSize at link or load time).  Runtime reloads of a module
+	// with the same name reuse its base address when the new build
+	// fits the reserved span (see Image.Load).
+	span uint64
+
+	// dead marks a module removed by Image.Unload.  The entry stays in
+	// the module table (PLT0 pushes encode module IDs) but resolves,
+	// range queries and BindAll skip it.
+	dead bool
 }
+
+// Dead reports whether the module has been unloaded.
+func (m *Module) Dead() bool { return m.dead }
 
 // PLTSlotAddr returns the address of import slot i's trampoline (the
 // JmpMem instruction).
@@ -185,6 +199,52 @@ type Image struct {
 	patch        PatchStats
 	patchedPages map[string]bool
 	resolutions  uint64
+
+	// Runtime-loading state (see dynload.go).  generation counts
+	// Load/Unload mutations so cached derivations of the instruction
+	// index (the compiled Program) can detect staleness.  shared marks
+	// an image whose index structures are aliased with a fork; the
+	// first churn operation deep-copies them (privatize).  dynNext is
+	// the deterministic bump allocator for libraries loaded at runtime
+	// into fresh address ranges.  runtimeWrite, when set, routes
+	// linker-performed GOT/data stores through the CPU so a live ABTB
+	// snoops them like any retired store.  demandPages is the set of
+	// text pages mapped on demand: still unmapped, faulting on first
+	// instruction fetch.
+	generation   uint64
+	shared       bool
+	dynNext      uint64
+	runtimeWrite StoreFunc
+	demandPages  map[uint64]struct{}
+}
+
+// writeGOT performs a linker-side store of a GOT word (or other
+// load-time data relocation): directly into memory at link time, or
+// through the runtime store callback during Load/Unload so a live
+// CPU's caches and ABTB observe the write.
+func (im *Image) writeGOT(addr, val uint64) {
+	if im.runtimeWrite != nil {
+		im.runtimeWrite(addr, val)
+		return
+	}
+	im.memory.Write64(addr, val)
+}
+
+// addInstr registers a decoded instruction, keeping the paged fetch
+// index in sync when it already exists (runtime Load; at link time the
+// index is built once afterwards).
+func (im *Image) addInstr(pc uint64, in *isa.Instr) {
+	im.instrs[pc] = in
+	if im.ipages == nil {
+		return
+	}
+	pn := pc >> mem.PageShift
+	pg := im.ipages[pn]
+	if pg == nil {
+		pg = new(InstrPage)
+		im.ipages[pn] = pg
+	}
+	pg[pc&(mem.PageSize-1)] = in
 }
 
 // Link links the executable object against the given libraries.
@@ -232,6 +292,7 @@ func Link(exe *objfile.Object, libs []*objfile.Object, opts Options) (*Image, er
 		} else {
 			m.Base = layout.NextLibrary(size)
 		}
+		m.span = size
 		placeModule(m, o, withPLT, opts.PLT == PLTARM)
 		im.modules = append(im.modules, m)
 
@@ -466,7 +527,7 @@ func (im *Image) emitModule(m *Module, o *objfile.Object) error {
 			if err := in.Validate(); err != nil {
 				return fmt.Errorf("linker: %s:%s[%d]: %w", o.Name(), f.Name, i, err)
 			}
-			im.instrs[addrs[i]] = in
+			im.addInstr(addrs[i], in)
 		}
 	}
 
@@ -514,27 +575,30 @@ func (im *Image) emitPLT(m *Module) {
 	}
 	// PLT0: push module id; invoke the resolver.
 	plt0 := m.PLTBase
-	im.instrs[plt0] = &isa.Instr{Op: isa.Push, Size: isa.SizePush, Val: uint64(m.ID), PLT: true}
-	im.instrs[plt0+isa.SizePush] = &isa.Instr{Op: isa.Resolve, Size: isa.SizeJmpMem, PLT: true}
+	im.addInstr(plt0, &isa.Instr{Op: isa.Push, Size: isa.SizePush, Val: uint64(m.ID), PLT: true})
+	im.addInstr(plt0+isa.SizePush, &isa.Instr{Op: isa.Resolve, Size: isa.SizeJmpMem, PLT: true})
 
 	for i, sym := range m.imports {
 		slot := m.PLTSlotAddr(i)
 		got := m.GOTSlotAddr(i)
 		// jmp *(got); push reloc; jmp plt0
-		im.instrs[slot] = &isa.Instr{Op: isa.JmpMem, Size: isa.SizeJmpMem, Mem: got, PLT: true}
-		im.instrs[slot+isa.SizeJmpMem] = &isa.Instr{Op: isa.Push, Size: isa.SizePush, Val: uint64(i), PLT: true}
-		im.instrs[slot+isa.SizeJmpMem+isa.SizePush] = &isa.Instr{Op: isa.Jmp, Size: isa.SizeJmp, Target: plt0, PLT: true}
+		im.addInstr(slot, &isa.Instr{Op: isa.JmpMem, Size: isa.SizeJmpMem, Mem: got, PLT: true})
+		im.addInstr(slot+isa.SizeJmpMem, &isa.Instr{Op: isa.Push, Size: isa.SizePush, Val: uint64(i), PLT: true})
+		im.addInstr(slot+isa.SizeJmpMem+isa.SizePush, &isa.Instr{Op: isa.Jmp, Size: isa.SizeJmp, Target: plt0, PLT: true})
 		im.trampolineSym[slot] = sym
 
-		switch im.opts.Mode {
-		case BindLazy:
-			// Lazy: the GOT initially points at the slot's push, so
-			// the first call falls through to the resolver.
-			im.memory.Write64(got, slot+isa.SizeJmpMem)
-		default: // BindNow, BindPatched: eager final addresses
-			im.memory.Write64(got, im.symbols[sym])
-		}
+		im.writeGOT(got, im.initialGOTWord(m, i, sym))
 	}
+}
+
+// initialGOTWord returns the load-time value of import slot i's GOT
+// entry: the lazy re-entry point into the PLT (x86) or stub (ARM) for
+// BindLazy, or the final symbol address otherwise.
+func (im *Image) initialGOTWord(m *Module, i int, sym string) uint64 {
+	if im.opts.Mode != BindLazy {
+		return im.symbols[sym] // BindNow, BindPatched: eager
+	}
+	return im.lazyGOTWord(m, i)
 }
 
 // emitARMPLT materialises ARM-flavoured trampolines (paper Fig. 2b):
@@ -546,22 +610,17 @@ func (im *Image) emitARMPLT(m *Module) {
 	for i, sym := range m.imports {
 		slot := m.PLTSlotAddr(i)
 		got := m.GOTSlotAddr(i)
-		im.instrs[slot] = &isa.Instr{Op: isa.ALU, Size: 4, PLT: true}
-		im.instrs[slot+4] = &isa.Instr{Op: isa.ALU, Size: 4, PLT: true}
-		im.instrs[slot+8] = &isa.Instr{Op: isa.JmpMem, Size: 4, Mem: got, PLT: true}
+		im.addInstr(slot, &isa.Instr{Op: isa.ALU, Size: 4, PLT: true})
+		im.addInstr(slot+4, &isa.Instr{Op: isa.ALU, Size: 4, PLT: true})
+		im.addInstr(slot+8, &isa.Instr{Op: isa.JmpMem, Size: 4, Mem: got, PLT: true})
 		im.trampolineSym[slot] = sym
 
 		stub := stubBase + uint64(i)*armStubBytes
-		im.instrs[stub] = &isa.Instr{Op: isa.Push, Size: 4, Val: uint64(i), PLT: true}
-		im.instrs[stub+4] = &isa.Instr{Op: isa.Push, Size: 4, Val: uint64(m.ID), PLT: true}
-		im.instrs[stub+8] = &isa.Instr{Op: isa.Resolve, Size: 4, PLT: true}
+		im.addInstr(stub, &isa.Instr{Op: isa.Push, Size: 4, Val: uint64(i), PLT: true})
+		im.addInstr(stub+4, &isa.Instr{Op: isa.Push, Size: 4, Val: uint64(m.ID), PLT: true})
+		im.addInstr(stub+8, &isa.Instr{Op: isa.Resolve, Size: 4, PLT: true})
 
-		switch im.opts.Mode {
-		case BindLazy:
-			im.memory.Write64(got, stub)
-		default:
-			im.memory.Write64(got, im.symbols[sym])
-		}
+		im.writeGOT(got, im.initialGOTWord(m, i, sym))
 	}
 }
 

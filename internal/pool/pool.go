@@ -118,7 +118,13 @@ func (e *imageEntry) program(lineBytes int) *cpu.Program {
 	e.progMu.Lock()
 	defer e.progMu.Unlock()
 	if p, ok := e.progs[lineBytes]; ok {
-		return p
+		// Masters never churn (Load/Unload privatize forks first), so a
+		// cached program can only go stale if that invariant breaks —
+		// recompile rather than hand out a trace into freed code.
+		if p.Generation() == e.img.Generation() {
+			return p
+		}
+		delete(e.progs, lineBytes)
 	}
 	p := cpu.Compile(e.img, lineBytes)
 	if e.progs == nil {

@@ -1,0 +1,40 @@
+package runner
+
+import (
+	"context"
+	"testing"
+)
+
+// benchChurnRow runs one exact Enhanced job and reports the ABTB
+// figures scripts/churn_bench.sh turns into BENCH_churn.json: the
+// trampoline hit rate (calls skipped via an ABTB redirect) and the
+// flush rate per 1k retired instructions.  Counters are bit-exact, so
+// both metrics are host-invariant.
+func benchChurnRow(b *testing.B, workload string) {
+	ctx := context.Background()
+	spec := JobSpec{Workload: workload, Config: Enhanced, Seed: 3, Warm: 30, Measure: 160}
+	var hitRate, flushPer1k float64
+	for i := 0; i < b.N; i++ {
+		r := New(Options{Workers: 2})
+		res, err := r.Run(ctx, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Close()
+		c := res.Counters
+		if c.TrampCalls == 0 || c.Instructions == 0 {
+			b.Fatalf("%s: empty counters", workload)
+		}
+		hitRate = float64(c.TrampSkips) / float64(c.TrampCalls)
+		flushPer1k = 1000 * float64(c.ABTBFlushes) / float64(c.Instructions)
+	}
+	b.ReportMetric(hitRate, "abtb_hit_rate")
+	b.ReportMetric(flushPer1k, "flushes_per_1k")
+}
+
+func BenchmarkChurnPluginServer(b *testing.B) { benchChurnRow(b, "plugin-server") }
+func BenchmarkChurnJIT(b *testing.B)          { benchChurnRow(b, "jit") }
+
+// BenchmarkChurnBaseline is the no-churn reference (same request
+// budget, stable library set) the churn rows are compared against.
+func BenchmarkChurnBaseline(b *testing.B) { benchChurnRow(b, "memcached") }

@@ -980,11 +980,14 @@ func PairSpecs(name string, seed uint64, scale float64) [2]JobSpec {
 	}
 }
 
-// SuiteSpecs returns every workload's Base/Enhanced pair — the full
-// evaluation matrix at the given seed and scale.
+// SuiteSpecs returns every paper workload's Base/Enhanced pair — the
+// paper's evaluation matrix at the given seed and scale.  The churn
+// workloads are excluded so suite batches keep their historical
+// composition (and content-derived IDs); submit them individually.
 func SuiteSpecs(seed uint64, scale float64) []JobSpec {
-	out := make([]JobSpec, 0, 2*len(Workloads))
-	for _, ws := range Workloads {
+	paper := PaperWorkloads()
+	out := make([]JobSpec, 0, 2*len(paper))
+	for _, ws := range paper {
 		p := PairSpecs(ws.Name, seed, scale)
 		out = append(out, p[0], p[1])
 	}

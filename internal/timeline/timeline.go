@@ -50,6 +50,7 @@ type Point struct {
 
 	Resolutions uint64 `json:"resolutions"`
 	GOTStores   uint64 `json:"got_stores"`
+	PageFaults  uint64 `json:"page_faults"`
 	Stores      uint64 `json:"stores"`
 
 	ABTBHits    uint64 `json:"abtb_hits"`
@@ -77,6 +78,7 @@ func (p *Point) add(o Point) {
 	p.TrampInstrs += o.TrampInstrs
 	p.Resolutions += o.Resolutions
 	p.GOTStores += o.GOTStores
+	p.PageFaults += o.PageFaults
 	p.Stores += o.Stores
 	p.ABTBHits += o.ABTBHits
 	p.ABTBInserts += o.ABTBInserts
@@ -102,6 +104,7 @@ func diff(cur, prev cpu.IntervalSample) Point {
 		TrampInstrs:    c.TrampInstrs - p.TrampInstrs,
 		Resolutions:    c.Resolutions - p.Resolutions,
 		GOTStores:      cur.GOTStores - prev.GOTStores,
+		PageFaults:     cur.PageFaults - prev.PageFaults,
 		Stores:         c.Stores - p.Stores,
 		ABTBHits:       c.ABTBRedirects - p.ABTBRedirects,
 		ABTBInserts:    cur.ABTBInserts - prev.ABTBInserts,
@@ -281,7 +284,7 @@ func Merge(series []*Series) (*Series, error) {
 var csvHeader = []string{
 	"point", "instructions", "cycles",
 	"tramp_calls", "tramp_skips", "tramp_instrs",
-	"resolutions", "got_stores", "stores",
+	"resolutions", "got_stores", "page_faults", "stores",
 	"abtb_hits", "abtb_inserts", "abtb_flushes",
 	"bloom_lookups", "bloom_flush_hits",
 	"mispredicts",
@@ -303,7 +306,7 @@ func WriteCSV(w io.Writer, s *Series) error {
 		row := []string{
 			u(uint64(i)), u(p.Instructions), u(p.Cycles),
 			u(p.TrampCalls), u(p.TrampSkips), u(p.TrampInstrs),
-			u(p.Resolutions), u(p.GOTStores), u(p.Stores),
+			u(p.Resolutions), u(p.GOTStores), u(p.PageFaults), u(p.Stores),
 			u(p.ABTBHits), u(p.ABTBInserts), u(p.ABTBFlushes),
 			u(p.BloomLookups), u(p.BloomFlushHits),
 			u(p.Mispredicts),

@@ -36,6 +36,7 @@ func sample(n uint64) cpu.IntervalSample {
 	s.BloomLookups = 13 * n
 	s.BloomFlushHits = 14 * n
 	s.GOTStores = 15 * n
+	s.PageFaults = 16 * n
 	return s
 }
 

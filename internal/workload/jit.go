@@ -1,0 +1,127 @@
+// JIT runtime: a process that rewrites its own hot GOT bindings at
+// runtime, the "re-resolve" face of library churn.  Compile requests
+// retarget dispatch symbols between implementation variants (tier-up /
+// deopt, the way a JIT flips a function's entry between interpreter
+// stub and compiled code); Execute requests call through whatever is
+// currently bound.
+//
+// No modules load or unload here — churn is pure guest-code GOT
+// traffic — so this workload isolates the store-snoop path: every
+// rebind store must flush a Bloom-hit ABTB whether it executes on the
+// detailed, compiled or fast-forward kernel.  It is the pin workload
+// for the FastForward snoop fix.
+
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/objfile"
+)
+
+const (
+	jitDispatch = 4 // hot rebindable dispatch symbols
+	jitCallsPer = 6 // calls through each dispatch symbol per Execute
+)
+
+// JIT generates the GOT-rewriting workload.
+func JIT(seed uint64) *Workload {
+	rng := rand.New(rand.NewPCG(seed, 0x71bd2c))
+
+	libSpecs := []libParams{
+		{name: "libjrt", nFuncs: 40, dataBytes: 8 << 10, bodyALU: [2]int{16, 44},
+			bodyLoads: [2]int{1, 4}, loadSpan: 4, stores: 1, condEvery: 10, condBias: 90,
+			loopPct: 12, loopIters: 62},
+	}
+	libs, funcsByLib := genLibraryBundle(rng, libSpecs)
+	rtPool := make([]string, len(funcsByLib[0]))
+	copy(rtPool, funcsByLib[0])
+	rng.Shuffle(len(rtPool), func(i, j int) { rtPool[i], rtPool[j] = rtPool[j], rtPool[i] })
+
+	// libjit exports, per dispatch slot: the dispatch symbol itself
+	// (initially bound to a slow interpreter-ish body) and two
+	// implementation variants with distinct cost profiles, so a stale
+	// indirect-branch target is visible in cycle counts, not just wrong
+	// in principle.
+	jit := objfile.New("libjit")
+	const stateBytes = 16 << 10
+	jit.AddData("jstate", stateBytes)
+	off := func() uint64 { return (rng.Uint64() % (stateBytes - 64)) &^ 7 }
+	for i := 0; i < jitDispatch; i++ {
+		d := jit.NewFunc(jitDispatchName(i))
+		emitBody(d, rng, bodySpec{region: "jstate", regionLen: stateBytes, alu: 30,
+			loads: 5, span: 2, stores: 1, condEvery: 7, condBias: 85})
+		d.Ret()
+		a := jit.NewFunc(jitImplName(i, "a"))
+		a.ALU(4)
+		a.Load("jstate", off(), 4)
+		emitKernel(a, rng, "jstate", stateBytes, 6, 2, 70)
+		a.Ret()
+		b := jit.NewFunc(jitImplName(i, "b"))
+		emitBody(b, rng, bodySpec{region: "jstate", regionLen: stateBytes, alu: 18,
+			loads: 3, span: 4, stores: 1, condEvery: 8, condBias: 88})
+		b.Ret()
+	}
+	libs = append(libs, jit)
+
+	app := buildJITApp(rng, rtPool)
+
+	classes := []RequestClass{
+		{Name: "Compile", Entry: "handle_Compile", Weight: 1},
+		{Name: "Execute", Entry: "handle_Execute", Weight: 4},
+	}
+	return &Workload{Name: "jit", App: app, Libs: libs, Classes: classes}
+}
+
+func jitDispatchName(i int) string       { return fmt.Sprintf("jit_fn%d", i) }
+func jitImplName(i int, v string) string { return fmt.Sprintf("jit_impl%d_%s", i, v) }
+
+// buildJITApp builds the runtime binary.  handle_Compile rebinds every
+// dispatch GOT entry twice (tier-up to variant a, then deopt half of
+// them to variant b), calling through the slot after each rebind —
+// exactly the store-then-indirect-branch sequence the ABTB must snoop.
+func buildJITApp(rng *rand.Rand, rtPool []string) *objfile.Object {
+	app := objfile.New("jitvm")
+	app.AddData("heap", 16<<10)
+
+	pad := func(f *objfile.Func) {
+		f.ALU(5 + rng.IntN(6))
+		f.Load("heap", uint64(rng.Uint64()%(12<<10))&^7, 4)
+	}
+
+	compile := app.NewFunc("handle_Compile")
+	emitBody(compile, rng, bodySpec{region: "heap", regionLen: 16 << 10, alu: 50,
+		loads: 8, span: 4, stores: 2, condEvery: 9, condBias: 88})
+	for i := 0; i < jitDispatch; i++ {
+		compile.RebindImport(jitDispatchName(i), jitImplName(i, "a"))
+		pad(compile)
+		compile.Call(jitDispatchName(i))
+		if i%2 == 1 {
+			compile.RebindImport(jitDispatchName(i), jitImplName(i, "b"))
+			compile.Call(jitDispatchName(i))
+		}
+	}
+	emitTieredCalls(compile, rng, []tier{
+		{names: rtPool[:10], pct: 100, maxBurst: 4},
+	}, pad)
+	compile.Halt()
+
+	execute := app.NewFunc("handle_Execute")
+	emitBody(execute, rng, bodySpec{region: "heap", regionLen: 16 << 10, alu: 24,
+		loads: 4, span: 4, stores: 1, condEvery: 9, condBias: 88})
+	for i := 0; i < jitDispatch; i++ {
+		for k := 0; k < jitCallsPer; k++ {
+			pad(execute)
+			execute.Call(jitDispatchName(i))
+		}
+	}
+	emitTieredCalls(execute, rng, []tier{
+		{names: rtPool[10:22], pct: 100, maxBurst: 4, zipf: true},
+		{names: rtPool[22:34], pct: 15},
+	}, pad)
+	emitKernel(execute, rng, "heap", 16<<10, 14, 8, 76)
+	execute.Halt()
+
+	return app
+}

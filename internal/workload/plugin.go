@@ -1,0 +1,182 @@
+// Plugin server: a long-lived host process that periodically dlcloses
+// and re-dlopens a rotating set of plugin modules while serving
+// requests (§2.3's dynamic loading, exercised as steady-state churn
+// rather than startup).
+//
+// Every plugin slot cycles through several generations that share a
+// module name and exported API but differ in body content, so each
+// rotation tombstones the host's GOT bindings into the departing text,
+// reuses the module's address range for the successor, and re-resolves
+// bindings on the next call.  Reloads are demand-driven: plugin pages
+// map lazily on first touch, charging page faults to the requests that
+// first walk the new code.
+
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/objfile"
+)
+
+const (
+	pluginSlots      = 2  // rotating plugin modules
+	pluginGens       = 3  // generations per slot
+	pluginAPIFuncs   = 6  // exported API functions per plugin
+	pluginHelpers    = 3  // intra-plugin helper functions
+	pluginCross      = 3  // API functions that call back into core libs
+	pluginChurnEvery = 12 // requests between rotations
+)
+
+// PluginServer generates the plugin-churn workload.
+func PluginServer(seed uint64) *Workload {
+	rng := rand.New(rand.NewPCG(seed, 0x9146d7))
+
+	// Stable host-side libraries; these never churn.
+	libSpecs := []libParams{
+		{name: "libcore", nFuncs: 48, dataBytes: 8 << 10, bodyALU: [2]int{16, 40},
+			bodyLoads: [2]int{1, 4}, loadSpan: 4, stores: 1, condEvery: 10, condBias: 90,
+			loopPct: 10, loopIters: 60, crossCalls: 10, crossPct: 30},
+		{name: "libutil", nFuncs: 32, dataBytes: 8 << 10, bodyALU: [2]int{18, 44},
+			bodyLoads: [2]int{1, 3}, loadSpan: 4, stores: 1, condEvery: 11, condBias: 90,
+			loopPct: 12, loopIters: 62},
+	}
+	libs, funcsByLib := genLibraryBundle(rng, libSpecs)
+	var corePool []string
+	for _, names := range funcsByLib {
+		corePool = append(corePool, names...)
+	}
+
+	// Each slot's generations are generated up front so the request
+	// stream and the churn schedule are both pure functions of the seed.
+	slots := make([]ChurnSlot, pluginSlots)
+	for s := range slots {
+		gens := make([]*objfile.Object, pluginGens)
+		for g := range gens {
+			gens[g] = genPlugin(rng, s, corePool)
+		}
+		slots[s] = ChurnSlot{Name: pluginModuleName(s), Gens: gens}
+	}
+
+	app := buildPluginApp(rng, corePool)
+
+	// Generation 0 of every slot is part of the initial link.
+	for s := range slots {
+		libs = append(libs, slots[s].Gens[0])
+	}
+
+	classes := []RequestClass{
+		{Name: "Serve", Entry: "handle_Serve", Weight: 5},
+		{Name: "Admin", Entry: "handle_Admin", Weight: 1},
+	}
+	return &Workload{
+		Name:    "plugin-server",
+		App:     app,
+		Libs:    libs,
+		Classes: classes,
+		Churn:   &ChurnPlan{Every: pluginChurnEvery, Demand: true, Slots: slots},
+	}
+}
+
+func pluginModuleName(slot int) string { return fmt.Sprintf("plugin%d", slot) }
+
+func pluginAPIName(slot, j int) string {
+	return fmt.Sprintf("%s_api%02d", pluginModuleName(slot), j)
+}
+
+// genPlugin generates one generation of one plugin slot.  Instruction
+// and import counts are identical across generations — only operands,
+// branch biases and call targets drawn from rng differ — so every
+// generation fits the slot's reserved span and reloads reuse the
+// original address range (the interesting case for stale-cache bugs).
+func genPlugin(rng *rand.Rand, slot int, coreFuncs []string) *objfile.Object {
+	name := pluginModuleName(slot)
+	o := objfile.New(name)
+	const stateBytes = 16 << 10
+	o.AddData("pstate", stateBytes)
+
+	// Exactly pluginCross distinct core imports per generation.
+	imports := make([]string, len(coreFuncs))
+	copy(imports, coreFuncs)
+	rng.Shuffle(len(imports), func(i, j int) { imports[i], imports[j] = imports[j], imports[i] })
+	imports = imports[:pluginCross]
+
+	helpers := make([]string, pluginHelpers)
+	for i := range helpers {
+		helpers[i] = fmt.Sprintf("%s_int%02d", name, i)
+		h := o.NewFunc(helpers[i])
+		emitKernel(h, rng, "pstate", stateBytes, 10, 4, uint8(68+rng.IntN(10)))
+		h.Ret()
+	}
+	off := func() uint64 { return (rng.Uint64() % (stateBytes - 64)) &^ 7 }
+	for j := 0; j < pluginAPIFuncs; j++ {
+		f := o.NewFunc(pluginAPIName(slot, j))
+		f.ALU(6)
+		f.Load("pstate", off(), 4)
+		f.CondSkip(uint8(70+rng.IntN(25)), 1)
+		f.ALU(1)
+		f.Call(helpers[j%pluginHelpers])
+		if j < pluginCross {
+			f.Call(imports[j])
+		}
+		f.ALU(4)
+		f.Store("pstate", off(), 4, rng.Uint64())
+		f.Ret()
+	}
+	return o
+}
+
+// buildPluginApp builds the host binary: request handlers that mix
+// stable core-library calls with calls through every plugin API.
+func buildPluginApp(rng *rand.Rand, corePool []string) *objfile.Object {
+	app := objfile.New("plugsrv")
+	app.AddData("req", 16<<10)
+
+	pool := make([]string, len(corePool))
+	copy(pool, corePool)
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+
+	dispatch := app.NewFunc("dispatch_request")
+	emitBody(dispatch, rng, bodySpec{region: "req", regionLen: 16 << 10, alu: 40,
+		loads: 6, span: 4, stores: 2, condEvery: 9, condBias: 88})
+	dispatch.Ret()
+
+	pad := func(f *objfile.Func) {
+		f.ALU(6 + rng.IntN(6))
+		f.Load("req", uint64(rng.Uint64()%(12<<10))&^7, 4)
+	}
+
+	serve := app.NewFunc("handle_Serve")
+	serve.Call("dispatch_request")
+	emitTieredCalls(serve, rng, []tier{
+		{names: pool[:16], pct: 100, maxBurst: 8, zipf: true},
+		{names: pool[16:36], pct: 100, maxBurst: 2},
+	}, pad)
+	// The request walks both plugins' full API surface, so every
+	// rotation is repaid with re-resolutions (and, demand-loaded, page
+	// faults) on the very next Serve request.
+	for s := 0; s < pluginSlots; s++ {
+		for j := 0; j < pluginAPIFuncs; j++ {
+			pad(serve)
+			serve.Call(pluginAPIName(s, j))
+		}
+	}
+	emitKernel(serve, rng, "req", 16<<10, 16, 8, 75)
+	serve.Halt()
+
+	admin := app.NewFunc("handle_Admin")
+	admin.Call("dispatch_request")
+	emitTieredCalls(admin, rng, []tier{
+		{names: pool[36:60], pct: 100, maxBurst: 4},
+		{names: pool[60:76], pct: 20, maxBurst: 2},
+	}, pad)
+	// Admin probes one API per plugin (health checks).
+	for s := 0; s < pluginSlots; s++ {
+		admin.Call(pluginAPIName(s, 0))
+	}
+	emitKernel(admin, rng, "req", 16<<10, 20, 4, 72)
+	admin.Halt()
+
+	return app
+}

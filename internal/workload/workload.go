@@ -57,6 +57,13 @@ type Workload struct {
 	App     *objfile.Object
 	Libs    []*objfile.Object
 	Classes []RequestClass
+
+	// Churn, when non-nil, makes drivers periodically unload and
+	// reload library modules mid-stream (see ChurnPlan).  The plan and
+	// its objects are immutable like the rest of the Workload; all
+	// mutable churn state lives in the Driver and the driven system's
+	// image.
+	Churn *ChurnPlan
 }
 
 // NewSystem links the workload under the given system configuration.
@@ -94,6 +101,12 @@ type Driver struct {
 	PerturbEvery int
 
 	served int
+
+	// Churn state: requests since driver creation (all phases), slot
+	// rotation cursor, and each slot's currently loaded generation.
+	churnOps  int
+	rotations int
+	slotGen   []int
 }
 
 // DriverSeedOffset decorrelates the request-interleaving RNG from the
@@ -163,6 +176,9 @@ func (d *Driver) WarmupContext(ctx context.Context, n int) error {
 		if _, err := d.sys.RunOnce(d.pick().Entry); err != nil {
 			return fmt.Errorf("workload %s: warmup request %d: %w", d.w.Name, i, err)
 		}
+		if err := d.churnTick(); err != nil {
+			return fmt.Errorf("workload %s: warmup request %d: %w", d.w.Name, i, err)
+		}
 	}
 	d.sys.ResetStats()
 	return nil
@@ -200,6 +216,9 @@ func (d *Driver) RunContext(ctx context.Context, n int) (map[string]*stats.Sampl
 			return nil, fmt.Errorf("workload %s: request %d (%s): %w", d.w.Name, i, c.Name, err)
 		}
 		out[c.Name].Add(core.Micros(res.Cycles))
+		if err := d.churnTick(); err != nil {
+			return nil, fmt.Errorf("workload %s: request %d (%s): %w", d.w.Name, i, c.Name, err)
+		}
 	}
 	return out, nil
 }
@@ -291,7 +310,7 @@ func (d *Driver) RunSampledContext(ctx context.Context, total, windows, warmup i
 			if err := d.sys.CPU().FastForwardSymbol(c.Entry); err != nil {
 				return fmt.Errorf("workload %s: sampled request %d (%s): %w", d.w.Name, i, c.Name, err)
 			}
-			return nil
+			return d.churnTick()
 		}
 		res, err := d.sys.RunOnce(c.Entry)
 		if err != nil {
@@ -300,7 +319,7 @@ func (d *Driver) RunSampledContext(ctx context.Context, total, windows, warmup i
 		if record {
 			out.Classes[c.Name].Add(core.Micros(res.Cycles))
 		}
-		return nil
+		return d.churnTick()
 	}
 
 	req := 0

@@ -69,3 +69,14 @@ if SK_RUNS=2 scripts/sample_bench.sh /tmp/BENCH_sample_ci.json; then
 else
 	echo "WARNING: sample benchmark failed (advisory only)" >&2
 fi
+
+# Advisory: library-churn ABTB pressure vs the no-churn baseline.
+# The metrics are counter-derived and deterministic (the script gates
+# churn-flushes > baseline itself); advisory here only so a bench
+# harness hiccup cannot fail CI.  Re-run `make churn-bench` to
+# regenerate BENCH_churn.json.
+if CHB_RUNS=1 scripts/churn_bench.sh /tmp/BENCH_churn_ci.json; then
+	grep '"flushes_per_1k_instrs"' /tmp/BENCH_churn_ci.json || true
+else
+	echo "WARNING: churn benchmark failed (advisory only)" >&2
+fi
